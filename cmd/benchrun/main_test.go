@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestRunEachExperiment smoke-tests every experiment end to end on a
+// small corpus.
+func TestRunEachExperiment(t *testing.T) {
+	exps := []string{"table2", "ranking", "fig1a", "fig1b", "fig2", "q5", "validate", "ablation", "correlation"}
+	for _, exp := range exps {
+		if err := run(exp, 600, 7); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nosuch", 100, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

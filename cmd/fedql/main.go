@@ -1,0 +1,271 @@
+// Command fedql parses, optimizes, explains and executes conjunctive
+// queries over relational tables and an external text source — the
+// end-to-end loose integration the paper builds.
+//
+// Usage:
+//
+//	fedql -query "select student.name, mercury.docid from student, mercury
+//	              where 'belief update' in mercury.title
+//	              and student.name in mercury.author"
+//
+//	fedql -i                       # interactive: one query per line
+//	fedql -table pts=patients.csv  # register CSV tables (repeatable)
+//
+// Flags select the optimizer mode (-mode traditional|prl|greedy), the
+// corpus size (-docs), and optionally a remote text server (-remote
+// host:port, e.g. one started with textserve) instead of the in-process
+// backend. Without -table flags the demo university database is loaded.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"textjoin/internal/core"
+	"textjoin/internal/optimizer"
+	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+	"textjoin/internal/workload"
+)
+
+// tableFlags collects repeatable -table name=path.csv flags.
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var tables tableFlags
+	var (
+		query       = flag.String("query", "", "query to run (or use -i)")
+		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
+		docs        = flag.Int("docs", 2000, "corpus size for the generated text source")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		mode        = flag.String("mode", "prl", "optimizer mode: traditional, prl, greedy")
+		remote      = flag.String("remote", "", "address of a textserve server to use instead of the in-process index")
+		explain     = flag.Bool("explain", true, "print the chosen plan")
+		maxRows     = flag.Int("maxrows", 20, "result rows to print")
+	)
+	flag.Var(&tables, "table", "register a CSV table as name=path.csv (repeatable)")
+	flag.Parse()
+	if *query == "" && !*interactive {
+		fmt.Fprintln(os.Stderr, "fedql: -query or -i is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := config{
+		docs: *docs, seed: *seed, mode: *mode, remote: *remote,
+		explain: *explain, maxRows: *maxRows, tables: tables,
+	}
+	var err error
+	if *interactive {
+		err = repl(os.Stdout, os.Stdin, cfg)
+	} else {
+		err = runOnce(os.Stdout, *query, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedql:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	docs    int
+	seed    int64
+	mode    string
+	remote  string
+	explain bool
+	maxRows int
+	tables  []string
+}
+
+// buildEngine assembles the engine: demo or CSV tables + local or remote
+// text service.
+func buildEngine(cfg config) (*core.Engine, func(), error) {
+	opts := core.DefaultOptions()
+	switch cfg.mode {
+	case "traditional":
+		opts.Optimizer.Mode = optimizer.ModeTraditional
+	case "prl":
+		opts.Optimizer.Mode = optimizer.ModePrL
+	case "greedy":
+		opts.Optimizer.Mode = optimizer.ModePrLGreedy
+	default:
+		return nil, nil, fmt.Errorf("unknown mode %q", cfg.mode)
+	}
+	opts.Seed = cfg.seed
+
+	demo := workload.NewDemo(cfg.docs, cfg.seed)
+	cleanup := func() {}
+	var svc texservice.Service
+	if cfg.remote != "" {
+		r, err := texservice.Dial(cfg.remote, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dialing %s: %w", cfg.remote, err)
+		}
+		cleanup = func() { r.Close() }
+		svc = r
+	} else {
+		local, err := texservice.NewLocal(demo.Corpus.Index,
+			texservice.WithShortFields("title", "author", "year"))
+		if err != nil {
+			return nil, nil, err
+		}
+		svc = local
+	}
+
+	eng := core.NewEngineWith(opts)
+	if len(cfg.tables) > 0 {
+		for _, spec := range cfg.tables {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				cleanup()
+				return nil, nil, fmt.Errorf("bad -table %q; want name=path.csv", spec)
+			}
+			tbl, err := relation.LoadCSVFile(strings.ToLower(name), path)
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			if err := eng.RegisterTable(tbl); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+	} else {
+		for _, tbl := range demo.Catalog.Tables {
+			if err := eng.RegisterTable(tbl); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+	}
+	if err := eng.RegisterTextSource("mercury", svc, demo.Corpus.Fields()...); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return eng, cleanup, nil
+}
+
+// runOnce builds an engine and executes one query.
+func runOnce(w io.Writer, query string, cfg config) error {
+	eng, cleanup, err := buildEngine(cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	return execute(w, eng, query, cfg)
+}
+
+// repl reads queries line by line and executes each against one engine.
+// Meta commands: \tables lists the catalog, \explain toggles plan
+// printing, \quit exits.
+func repl(w io.Writer, r io.Reader, cfg config) error {
+	eng, cleanup, err := buildEngine(cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	fmt.Fprintln(w, `fedql: one query per line; \tables, \explain, \quit (or empty line / EOF)`)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(w, "fedql> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(w)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(strings.TrimSuffix(scanner.Text(), ";"))
+		switch {
+		case line == "" || line == `\quit` || line == `\q`:
+			return nil
+		case line == `\tables`:
+			printCatalog(w, eng)
+			continue
+		case line == `\explain`:
+			cfg.explain = !cfg.explain
+			fmt.Fprintf(w, "explain: %v\n", cfg.explain)
+			continue
+		case strings.HasPrefix(line, `\`):
+			fmt.Fprintf(w, "unknown command %s\n", line)
+			continue
+		}
+		if err := execute(w, eng, line, cfg); err != nil {
+			fmt.Fprintln(w, "error:", err)
+		}
+	}
+}
+
+// printCatalog lists the registered tables and text sources.
+func printCatalog(w io.Writer, eng *core.Engine) {
+	cat := eng.Catalog()
+	var names []string
+	for name := range cat.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  table %s%s\n", name, cat.Tables[name].Schema)
+	}
+	names = names[:0]
+	for name := range cat.Text {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  text source %s (fields: %s)\n",
+			name, strings.Join(cat.Text[name].Fields, ", "))
+	}
+}
+
+// execute runs one query against the engine and prints the outcome.
+func execute(w io.Writer, eng *core.Engine, query string, cfg config) error {
+	prepared, err := eng.Prepare(query)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "classified:", prepared.Analyzed())
+	if cfg.explain {
+		fmt.Fprintf(w, "\nplan (mode=%s, estimated cost %.2fs):\n%s",
+			cfg.mode, prepared.EstCost(), prepared.Explain())
+	}
+	res, err := prepared.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d rows in %s (optimize %s); text-service usage: %d searches (%d probes), %d postings, %d short + %d long docs, simulated cost %.2fs\n\n",
+		res.Table.Cardinality(), res.ExecuteTime.Round(10e3), res.OptimizeTime.Round(10e3),
+		res.Usage.Searches, res.Probes, res.Usage.Postings,
+		res.Usage.ShortDocs, res.Usage.LongDocs, res.Usage.Cost)
+	printTable(w, res.Table, cfg.maxRows)
+	return nil
+}
+
+func printTable(w io.Writer, t *relation.Table, maxRows int) {
+	var header []string
+	for _, c := range t.Schema.Cols {
+		header = append(header, c.Name)
+	}
+	fmt.Fprintln(w, strings.Join(header, " | "))
+	fmt.Fprintln(w, strings.Repeat("-", len(strings.Join(header, " | "))))
+	for i, row := range t.Rows {
+		if i >= maxRows {
+			fmt.Fprintf(w, "... (%d more rows)\n", len(t.Rows)-maxRows)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.Text()
+		}
+		fmt.Fprintln(w, strings.Join(parts, " | "))
+	}
+}

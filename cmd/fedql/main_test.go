@@ -1,0 +1,116 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseConfig() config {
+	return config{docs: 400, seed: 1, mode: "prl", explain: true, maxRows: 5}
+}
+
+func TestRunQueries(t *testing.T) {
+	queries := []string{
+		`select student.name, mercury.docid from student, mercury
+		 where 'belief update' in mercury.title and student.name in mercury.author`,
+		`select docid from project, mercury
+		 where project.sponsor = 'NSF' and project.pname in mercury.title
+		 and project.member in mercury.author`,
+		`select student.name, faculty.fname from student, faculty
+		 where student.advisor = faculty.fname and student.year > 4`,
+	}
+	for _, mode := range []string{"traditional", "prl", "greedy"} {
+		cfg := baseConfig()
+		cfg.mode = mode
+		for _, q := range queries {
+			if err := runOnce(io.Discard, q, cfg); err != nil {
+				t.Errorf("mode=%s query=%q: %v", mode, q, err)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := baseConfig()
+	cfg.mode = "bogusmode"
+	if err := runOnce(io.Discard, "select * from student", cfg); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	cfg = baseConfig()
+	if err := runOnce(io.Discard, "not a query", cfg); err == nil {
+		t.Error("bad query accepted")
+	}
+	cfg = baseConfig()
+	cfg.remote = "127.0.0.1:1"
+	if err := runOnce(io.Discard, "select * from student", cfg); err == nil {
+		t.Error("unreachable remote accepted")
+	}
+}
+
+func TestCSVTables(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "patients.csv")
+	csv := "name, diagnosis\nAdams, hypertension\nBaker, diabetes\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	cfg.tables = []string{"patients=" + path}
+	err := runOnce(io.Discard, `select patients.name, mercury.docid from patients, mercury
+		where patients.diagnosis in mercury.abstract`, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad specs.
+	cfg.tables = []string{"nopath"}
+	if err := runOnce(io.Discard, "select * from patients", cfg); err == nil {
+		t.Error("bad -table spec accepted")
+	}
+	cfg.tables = []string{"x=" + filepath.Join(dir, "missing.csv")}
+	if err := runOnce(io.Discard, "select * from x", cfg); err == nil {
+		t.Error("missing CSV accepted")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	cfg := baseConfig()
+	cfg.explain = false
+	input := strings.NewReader(
+		"select student.name from student, faculty where student.advisor = faculty.fname\n" +
+			"this is not sql\n" + // errors are reported, loop continues
+			"\n") // empty line quits
+	var out strings.Builder
+	if err := repl(&out, input, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fedql>") {
+		t.Errorf("no prompt in output: %q", s)
+	}
+	if !strings.Contains(s, "error:") {
+		t.Errorf("bad query not reported: %q", s)
+	}
+	if !strings.Contains(s, "rows in") {
+		t.Errorf("no query result in output: %q", s)
+	}
+}
+
+func TestREPLMetaCommands(t *testing.T) {
+	cfg := baseConfig()
+	cfg.explain = false
+	input := strings.NewReader("\\tables\n\\explain\n\\bogus\n\\quit\n")
+	var out strings.Builder
+	if err := repl(&out, input, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"table student", "text source mercury", "explain: true", "unknown command"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, s)
+		}
+	}
+}

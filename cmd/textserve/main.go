@@ -1,0 +1,105 @@
+// Command textserve runs a standalone Boolean text retrieval server over
+// TCP — the external text source of the loose integration. By default it
+// serves a generated bibliographic corpus; with -load it indexes documents
+// from a JSON file (an array of {"ext": ..., "fields": {...}} objects).
+//
+// Usage:
+//
+//	textserve -addr 127.0.0.1:7070 -docs 5000
+//	fedql -remote 127.0.0.1:7070 -query "..."
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		docs     = flag.Int("docs", 2000, "generated corpus size (ignored with -load/-snapshot)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		load     = flag.String("load", "", "JSON file of documents to serve instead of a generated corpus")
+		snapshot = flag.String("snapshot", "", "index snapshot file to serve (see -write-snapshot)")
+		writeTo  = flag.String("write-snapshot", "", "write the index snapshot to this file and exit")
+		short    = flag.String("short", "title,author,year", "comma-separated short-form fields")
+		maxTerms = flag.Int("maxterms", texservice.DefaultMaxTerms, "maximum search terms per query (the paper's M)")
+		latency  = flag.Duration("latency", 0, "simulated WAN latency added to every request (e.g. 50ms)")
+	)
+	flag.Parse()
+	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency); err != nil {
+		fmt.Fprintln(os.Stderr, "textserve:", err)
+		os.Exit(1)
+	}
+}
+
+type jsonDoc struct {
+	Ext    string            `json:"ext"`
+	Fields map[string]string `json:"fields"`
+}
+
+func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration) error {
+	var ix *textidx.Index
+	switch {
+	case snapshot != "":
+		loaded, err := textidx.LoadFile(snapshot)
+		if err != nil {
+			return err
+		}
+		ix = loaded
+	case load != "":
+		data, err := os.ReadFile(load)
+		if err != nil {
+			return err
+		}
+		var jdocs []jsonDoc
+		if err := json.Unmarshal(data, &jdocs); err != nil {
+			return fmt.Errorf("parsing %s: %w", load, err)
+		}
+		ix = textidx.NewIndex()
+		for _, d := range jdocs {
+			ix.MustAdd(textidx.Document{ExtID: d.Ext, Fields: d.Fields})
+		}
+		ix.Freeze()
+	default:
+		ix = workload.NewCorpus(workload.CorpusConfig{Docs: docs, Seed: seed}).Index
+	}
+	if writeTo != "" {
+		if err := ix.SaveFile(writeTo); err != nil {
+			return err
+		}
+		fmt.Printf("textserve: wrote snapshot of %d documents to %s\n", ix.NumDocs(), writeTo)
+		return nil
+	}
+
+	local, err := texservice.NewLocal(ix,
+		texservice.WithShortFields(strings.Split(short, ",")...),
+		texservice.WithMaxTerms(maxTerms))
+	if err != nil {
+		return err
+	}
+	srv := texservice.NewServer(local)
+	srv.Latency = latency
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("textserve: serving %d documents on %s (short form: %s, M=%d, latency %s)\n",
+		ix.NumDocs(), bound, short, maxTerms, latency)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\ntextserve: shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/workload"
+)
+
+func TestWriteSnapshotAndServeIt(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "idx.snap")
+	// Write a snapshot (returns without listening).
+	if err := run("127.0.0.1:0", 120, 3, "", "", snap, "title,author,year", 70, 0); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := textidx.LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 120 {
+		t.Fatalf("snapshot has %d docs", ix.NumDocs())
+	}
+}
+
+func TestLoadJSONDocs(t *testing.T) {
+	dir := t.TempDir()
+	docsFile := filepath.Join(dir, "docs.json")
+	docs := []jsonDoc{
+		{Ext: "a", Fields: map[string]string{"title": "alpha beta"}},
+		{Ext: "b", Fields: map[string]string{"title": "beta gamma"}},
+	}
+	data, err := json.Marshal(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(docsFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "from-json.snap")
+	if err := run("127.0.0.1:0", 0, 1, docsFile, "", snap, "title", 70, 0); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := textidx.LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 2 || ix.DocFrequency("title", "beta") != 2 {
+		t.Fatalf("loaded index wrong: %d docs", ix.NumDocs())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if err := run("x", 10, 1, filepath.Join(t.TempDir(), "missing.json"), "", "", "title", 70, 0); err == nil {
+		t.Error("missing JSON accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("x", 10, 1, bad, "", "", "title", 70, 0); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if err := run("x", 10, 1, "", filepath.Join(t.TempDir(), "missing.snap"), "", "title", 70, 0); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}
+
+// TestServeFromSnapshotEndToEnd starts the server from a snapshot on an
+// ephemeral port and queries it remotely. The server's blocking run()
+// waits for a signal, so the server is assembled from the same pieces
+// run() uses.
+func TestServeFromSnapshotEndToEnd(t *testing.T) {
+	c := workload.NewCorpus(workload.CorpusConfig{Docs: 150, Seed: 5})
+	snap := filepath.Join(t.TempDir(), "e2e.snap")
+	if err := c.Index.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := textidx.LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := texservice.NewLocal(ix, texservice.WithShortFields("title", "author"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := texservice.NewServer(local)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := texservice.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	res, err := remote.Search(textidx.Term{Field: "author", Word: c.Authors[0]}, texservice.FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("no hits through the snapshot-served index")
+	}
+}

@@ -1,0 +1,133 @@
+// Hospital information system — the paper's motivating scenario (§1,
+// [YA94]): physicians combine structured patient records with medical
+// literature held in an external text system. The example runs the same
+// diagnosis-literature join with tuple substitution (what [YA94] actually
+// did) and with the paper's methods, showing why the techniques matter.
+//
+//	go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"textjoin/internal/join"
+	"textjoin/internal/relation"
+	"textjoin/internal/stats"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The external medical literature source.
+	ix := textidx.NewIndex()
+	articles := []struct{ id, title, mesh, journal string }{
+		{"PMID-01", "Beta blockers in chronic hypertension", "hypertension beta blockers", "cardiology"},
+		{"PMID-02", "Insulin therapy outcomes in type two diabetes", "diabetes insulin", "endocrinology"},
+		{"PMID-03", "Migraine prophylaxis with beta blockers", "migraine beta blockers", "neurology"},
+		{"PMID-04", "Asthma management in adolescents", "asthma bronchodilator", "pulmonology"},
+		{"PMID-05", "Hypertension and renal disease", "hypertension renal", "nephrology"},
+		{"PMID-06", "Statin interactions in diabetes care", "diabetes statins", "endocrinology"},
+		{"PMID-07", "Cognitive therapy for chronic migraine", "migraine therapy", "neurology"},
+		{"PMID-08", "Advances in asthma immunotherapy", "asthma immunotherapy", "pulmonology"},
+	}
+	for _, a := range articles {
+		ix.MustAdd(textidx.Document{ExtID: a.id, Fields: map[string]string{
+			"title": a.title, "mesh": a.mesh, "journal": a.journal,
+		}})
+	}
+	ix.Freeze()
+
+	// The structured side: the ward's current patients.
+	patient := relation.NewTable("patient", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "diagnosis", Kind: value.KindString},
+		relation.Column{Name: "ward", Kind: value.KindString},
+	))
+	for _, p := range [][3]string{
+		{"Adams", "hypertension", "3E"},
+		{"Baker", "diabetes", "3E"},
+		{"Chen", "migraine", "3E"},
+		{"Diaz", "sciatica", "3E"}, // no literature on file
+		{"Evans", "hypertension", "2W"},
+	} {
+		patient.MustInsert(relation.Tuple{
+			value.String(p[0]), value.String(p[1]), value.String(p[2])})
+	}
+	ward3E, err := patient.Select(relation.ColConst{
+		Col: "ward", Op: relation.OpEq, Const: value.String("3E")})
+	if err != nil {
+		return err
+	}
+
+	// Query: for each ward-3E patient, the recent literature whose MeSH
+	// terms mention the diagnosis — a foreign join diagnosis in mesh.
+	spec := &join.Spec{
+		Relation:  ward3E,
+		Preds:     []join.Pred{{Column: "diagnosis", Field: "mesh"}},
+		LongForm:  true,
+		DocFields: []string{"title", "journal"},
+	}
+
+	svcFor := func() (*texservice.Local, error) {
+		return texservice.NewLocal(ix, texservice.WithShortFields("title", "mesh"))
+	}
+
+	// The cost model picks the cheapest method for this join.
+	estSvc, err := svcFor()
+	if err != nil {
+		return err
+	}
+	est := stats.New(estSvc, stats.WithSampleSize(100))
+	method, params, predicted, err := est.ChooseMethod(spec, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cost model: N=%d, s=%.2f, f=%.2f → chose %s (predicted %.2fs)\n\n",
+		params.N, params.Preds[0].Sel, params.Preds[0].Fanout, method.Name(), predicted)
+
+	// Compare against plain tuple substitution.
+	for _, m := range []join.Method{join.TS{}, method} {
+		svc, err := svcFor()
+		if err != nil {
+			return err
+		}
+		if err := m.Applicable(spec, svc); err != nil {
+			fmt.Printf("%-10s inapplicable: %v\n", m.Name(), err)
+			continue
+		}
+		res, err := m.Execute(spec, svc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %d searches, simulated cost %5.2fs, %d rows\n",
+			m.Name(), res.Stats.Usage.Searches, res.Stats.Usage.Cost, res.Stats.ResultRows)
+	}
+
+	// The physician's view.
+	svc, err := svcFor()
+	if err != nil {
+		return err
+	}
+	res, err := method.Execute(spec, svc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nward 3E literature matches:")
+	schema := res.Table.Schema
+	nameIdx := schema.ColumnIndex("name")
+	titleIdx := schema.ColumnIndex("title")
+	journalIdx := schema.ColumnIndex("journal")
+	for _, row := range res.Table.Rows {
+		fmt.Printf("  %-7s %-50s (%s)\n",
+			row[nameIdx].Text(), row[titleIdx].Text(), row[journalIdx].Text())
+	}
+	return nil
+}

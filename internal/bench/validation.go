@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"textjoin/internal/cost"
+	"textjoin/internal/join"
+	"textjoin/internal/stats"
+	"textjoin/internal/workload"
+)
+
+// ValidationPoint is one executed spot-check of a cost-model curve: a Q3
+// workload regenerated at a given s1, with model-predicted and actually
+// measured costs for the methods Figure 1(A) plots.
+type ValidationPoint struct {
+	S1        float64
+	Predicted map[string]float64
+	Measured  map[string]float64
+}
+
+// Figure1AValidation regenerates the Q3 relation at several s1 values and
+// executes TS, P1+TS (probe on project.name) and SJ+RTP against the
+// corpus, comparing the measured simulated cost with the model's
+// prediction at the *realised* statistics. This is the §7 check that the
+// computed curves of Figure 1(A) reflect what execution actually costs —
+// in particular that the TS / P1+TS crossover happens where the model
+// says it does.
+func Figure1AValidation(c *workload.Corpus, s1Values []float64) ([]ValidationPoint, error) {
+	var out []ValidationPoint
+	for _, s1 := range s1Values {
+		sc, err := c.Q3(workload.Q3Config{N: 100, N1: 25, S1: s1, N2: 100, S2: 0.3, Seed: 13})
+		if err != nil {
+			return nil, err
+		}
+		estSvc, err := sc.Service()
+		if err != nil {
+			return nil, err
+		}
+		est := stats.New(estSvc, stats.WithSampleSize(10000))
+		params, err := est.BuildParams(sc.Spec, 1)
+		if err != nil {
+			return nil, err
+		}
+		pt := ValidationPoint{
+			S1: s1,
+			Predicted: map[string]float64{
+				"TS":     params.CostTS(),
+				"P1+TS":  params.CostPTS([]int{0}),
+				"SJ+RTP": params.Cost(cost.MethodSJRTP),
+			},
+			Measured: map[string]float64{},
+		}
+		methods := map[string]join.Method{
+			"TS":     join.TS{},
+			"P1+TS":  join.PTS{ProbeColumns: []string{"name"}},
+			"SJ+RTP": join.SJRTP{},
+		}
+		for name, m := range methods {
+			svc, err := sc.Service()
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Execute(sc.Spec, svc)
+			if err != nil {
+				return nil, fmt.Errorf("s1=%v %s: %w", s1, name, err)
+			}
+			pt.Measured[name] = res.Stats.Usage.Cost
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Figure1BValidation regenerates the Q4 relation at several N1/N ratios
+// (s1 fixed at 1) and executes TS and P1+RTP (probe on the advisor
+// column), validating the Figure 1(B) curves by execution: both probe
+// methods' measured costs must rise with N1/N while TS stays flat.
+func Figure1BValidation(c *workload.Corpus, n int, ratios []float64) ([]ValidationPoint, error) {
+	var out []ValidationPoint
+	for _, ratio := range ratios {
+		n1 := int(ratio * float64(n))
+		if n1 < 1 {
+			n1 = 1
+		}
+		sc, err := c.Q4(workload.Q4Config{N: n, N1: n1, S1: 1.0, S2: 0.1, Seed: 14})
+		if err != nil {
+			return nil, err
+		}
+		estSvc, err := sc.Service()
+		if err != nil {
+			return nil, err
+		}
+		est := stats.New(estSvc, stats.WithSampleSize(10000))
+		params, err := est.BuildParams(sc.Spec, 1)
+		if err != nil {
+			return nil, err
+		}
+		pt := ValidationPoint{
+			S1: ratio, // x-axis is N1/N for this figure
+			Predicted: map[string]float64{
+				"TS":     params.CostTS(),
+				"P1+RTP": params.CostPRTP([]int{0}),
+			},
+			Measured: map[string]float64{},
+		}
+		methods := map[string]join.Method{
+			"TS":     join.TS{},
+			"P1+RTP": join.PRTP{ProbeColumns: []string{"advisor"}},
+		}
+		for name, m := range methods {
+			svc, err := sc.Service()
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Execute(sc.Spec, svc)
+			if err != nil {
+				return nil, fmt.Errorf("ratio=%v %s: %w", ratio, name, err)
+			}
+			pt.Measured[name] = res.Stats.Usage.Cost
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatValidation renders the validation points, one predicted/measured
+// column pair per method.
+func FormatValidation(w io.Writer, pts []ValidationPoint) {
+	if len(pts) == 0 {
+		return
+	}
+	var methods []string
+	for m := range pts[0].Measured {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	fmt.Fprintf(w, "%-8s", "x")
+	for _, m := range methods {
+		fmt.Fprintf(w, "%14s%14s", m+" pred", m+" meas")
+	}
+	fmt.Fprintln(w)
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%-8.2f", pt.S1)
+		for _, m := range methods {
+			fmt.Fprintf(w, "%14.1f%14.1f", pt.Predicted[m], pt.Measured[m])
+		}
+		fmt.Fprintln(w)
+	}
+}

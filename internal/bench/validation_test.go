@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure1AValidation(t *testing.T) {
+	c := smallCorpus(t)
+	pts, err := Figure1AValidation(c, []float64{0.08, 0.16, 0.4, 0.8, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		// The model's predicted winner between TS and P1+TS must match
+		// the measured winner at every executed point — including on
+		// both sides of the crossover.
+		predProbe := pt.Predicted["P1+TS"] < pt.Predicted["TS"]
+		measProbe := pt.Measured["P1+TS"] < pt.Measured["TS"]
+		if predProbe != measProbe {
+			t.Errorf("s1=%v: predicted probe-wins=%v, measured=%v (pred %v/%v, meas %v/%v)",
+				pt.S1, predProbe, measProbe,
+				pt.Predicted["P1+TS"], pt.Predicted["TS"],
+				pt.Measured["P1+TS"], pt.Measured["TS"])
+		}
+		// Invocation-dominated costs: predictions within 2× of measured
+		// for the substitution methods (transmission estimates are
+		// rougher, but invocations dominate at c_i=3).
+		for _, m := range []string{"TS", "P1+TS"} {
+			ratio := pt.Predicted[m] / pt.Measured[m]
+			if math.IsNaN(ratio) || ratio < 0.5 || ratio > 2 {
+				t.Errorf("s1=%v %s: predicted %v vs measured %v (ratio %.2f)",
+					pt.S1, m, pt.Predicted[m], pt.Measured[m], ratio)
+			}
+		}
+	}
+	// The crossover exists in the measured data: P1+TS wins at the low
+	// end and loses at s1=1.
+	if !(pts[0].Measured["P1+TS"] < pts[0].Measured["TS"]) {
+		t.Error("measured: P1+TS should win at low s1")
+	}
+	last := pts[len(pts)-1]
+	if !(last.Measured["P1+TS"] >= last.Measured["TS"]) {
+		t.Error("measured: P1+TS should not win at s1=1")
+	}
+
+	var b strings.Builder
+	FormatValidation(&b, pts)
+	t.Logf("\n%s", b.String())
+}
+
+func TestFigure1BValidation(t *testing.T) {
+	c := smallCorpus(t)
+	pts, err := Figure1BValidation(c, 60, []float64{0.1, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1+RTP's measured cost rises with N1/N; TS stays flat.
+	if !(pts[0].Measured["P1+RTP"] < pts[1].Measured["P1+RTP"] &&
+		pts[1].Measured["P1+RTP"] < pts[2].Measured["P1+RTP"]) {
+		t.Errorf("P1+RTP measured not increasing: %v %v %v",
+			pts[0].Measured["P1+RTP"], pts[1].Measured["P1+RTP"], pts[2].Measured["P1+RTP"])
+	}
+	tsRange := math.Abs(pts[2].Measured["TS"] - pts[0].Measured["TS"])
+	if tsRange > 0.1*pts[0].Measured["TS"] {
+		t.Errorf("TS measured not flat: %v → %v", pts[0].Measured["TS"], pts[2].Measured["TS"])
+	}
+	// The winner flips: P1+RTP wins at low N1/N, loses by N1/N = 1 —
+	// the Figure 1(B) crossover, validated by execution.
+	if !(pts[0].Measured["P1+RTP"] < pts[0].Measured["TS"]) {
+		t.Errorf("at N1/N=0.1 P1+RTP (%v) should beat TS (%v)",
+			pts[0].Measured["P1+RTP"], pts[0].Measured["TS"])
+	}
+	// Predicted winner matches measured winner at every point.
+	for _, pt := range pts {
+		predProbe := pt.Predicted["P1+RTP"] < pt.Predicted["TS"]
+		measProbe := pt.Measured["P1+RTP"] < pt.Measured["TS"]
+		if predProbe != measProbe {
+			t.Errorf("N1/N=%v: predicted probe-wins=%v, measured=%v", pt.S1, predProbe, measProbe)
+		}
+	}
+	var b strings.Builder
+	FormatValidation(&b, pts)
+	t.Logf("\n%s", b.String())
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"textjoin/internal/join"
+	"textjoin/internal/texservice"
+	"textjoin/internal/workload"
+)
+
+func workloadDemo(t *testing.T) *workload.Demo {
+	t.Helper()
+	return workload.NewDemo(600, 6)
+}
+
+func demoService(demo *workload.Demo) (*texservice.Local, error) {
+	return texservice.NewLocal(demo.Corpus.Index,
+		texservice.WithShortFields("title", "author", "year"))
+}
+
+// TestConcurrentQueries: once registration is done, many goroutines can
+// Prepare and Run queries against the same engine concurrently (the
+// shared meter is thread-safe; the frozen index is read-only).
+func TestConcurrentQueries(t *testing.T) {
+	eng, demo, svc := demoEngine(t)
+	queries := []string{
+		`select student.name, mercury.docid from student, mercury
+		 where student.year > 2 and student.name in mercury.author`,
+		`select docid from project, mercury
+		 where project.pname in mercury.title and project.member in mercury.author`,
+		`select student.name from student, faculty
+		 where student.advisor = faculty.fname`,
+	}
+	// Reference results, computed serially.
+	refs := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = res
+	}
+	_ = demo
+	_ = svc
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				qi := (seed + i) % len(queries)
+				res, err := eng.Query(queries[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !join.SameRows(res.Table, refs[qi].Table) {
+					t.Errorf("concurrent run of query %d differs", qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestEngineSearchCache: with the LRU enabled, re-running a query charges
+// (almost) nothing; results are unchanged.
+func TestEngineSearchCache(t *testing.T) {
+	demo := workloadDemo(t)
+	opts := DefaultOptions()
+	opts.SearchCache = 1024
+	eng := NewEngineWith(opts)
+	for _, tbl := range demo.Catalog.Tables {
+		if err := eng.RegisterTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, err := demoService(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterTextSource("mercury", svc, demo.Corpus.Fields()...); err != nil {
+		t.Fatal(err)
+	}
+	src := `select student.name, mercury.docid from student, mercury
+		where student.year > 2 and student.name in mercury.author`
+	p, err := eng.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Usage.Searches == 0 {
+		t.Fatal("first run sent no searches")
+	}
+	second, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(first.Table, second.Table) {
+		t.Fatal("cached run differs")
+	}
+	if second.Usage.Searches != 0 {
+		t.Fatalf("cached run still sent %d searches", second.Usage.Searches)
+	}
+}

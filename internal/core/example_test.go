@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"textjoin/internal/core"
+	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// Example shows the complete integration: index documents, register a
+// relation and the text source, and run a conjunctive query mixing
+// relational selections, a text selection, and a foreign join.
+func Example() {
+	// The external text system.
+	ix := textidx.NewIndex()
+	ix.MustAdd(textidx.Document{ExtID: "CSTR-1", Fields: map[string]string{
+		"title": "Belief Update in Knowledge Bases", "author": "radhika"}})
+	ix.MustAdd(textidx.Document{ExtID: "CSTR-2", Fields: map[string]string{
+		"title": "Text Retrieval", "author": "gravano"}})
+	ix.MustAdd(textidx.Document{ExtID: "CSTR-3", Fields: map[string]string{
+		"title": "Belief Revision and Update", "author": "gravano"}})
+	ix.Freeze()
+	svc, err := texservice.NewLocal(ix, texservice.WithShortFields("title", "author"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The relational side.
+	student := relation.NewTable("student", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "year", Kind: value.KindInt},
+	))
+	student.MustInsert(relation.Tuple{value.String("radhika"), value.Int(5)})
+	student.MustInsert(relation.Tuple{value.String("gravano"), value.Int(4)})
+	student.MustInsert(relation.Tuple{value.String("kao"), value.Int(2)})
+
+	// The engine.
+	eng := core.NewEngine()
+	if err := eng.RegisterTable(student); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.RegisterTextSource("mercury", svc, "title", "author"); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.Query(`select student.name, mercury.docid
+		from student, mercury
+		where student.year > 3
+		and 'belief update' in mercury.title
+		and student.name in mercury.author`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		fmt.Printf("%s wrote %s\n", row[0].Text(), row[1].Text())
+	}
+	// Output:
+	// radhika wrote CSTR-1
+}

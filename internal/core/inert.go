@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// inertService is the text service used for pure relational queries: it
+// provides the cost constants the optimizer needs and rejects any actual
+// text operation, which such queries never issue.
+type inertService struct{}
+
+var inertMeter = texservice.NewMeter(texservice.DefaultCosts())
+
+func (inertService) Search(textidx.Expr, texservice.Form) (*texservice.Result, error) {
+	return nil, fmt.Errorf("core: query has no text source")
+}
+
+func (inertService) Retrieve(textidx.DocID) (textidx.Document, error) {
+	return textidx.Document{}, fmt.Errorf("core: query has no text source")
+}
+
+func (inertService) NumDocs() (int, error) { return 0, nil }
+
+func (inertService) MaxTerms() int { return texservice.DefaultMaxTerms }
+
+func (inertService) ShortFields() []string { return nil }
+
+func (inertService) Meter() *texservice.Meter { return inertMeter }
+
+var _ texservice.Service = inertService{}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"textjoin/internal/exec"
+	"textjoin/internal/join"
+	"textjoin/internal/optimizer"
+	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// multiSourceFixture builds an engine with two distinct external text
+// sources (a report archive and a patent database) and one relation whose
+// columns join with both.
+func multiSourceFixture(t *testing.T) (*Engine, map[string]*textidx.Index) {
+	t.Helper()
+	reports := textidx.NewIndex()
+	for _, d := range []textidx.Document{
+		{ExtID: "R1", Fields: map[string]string{"title": "adaptive filtering", "author": "garcia"}},
+		{ExtID: "R2", Fields: map[string]string{"title": "query rewriting", "author": "widom"}},
+		{ExtID: "R3", Fields: map[string]string{"title": "adaptive systems", "author": "ullman garcia"}},
+	} {
+		reports.MustAdd(d)
+	}
+	reports.Freeze()
+
+	patents := textidx.NewIndex()
+	for _, d := range []textidx.Document{
+		{ExtID: "P1", Fields: map[string]string{"abstract": "a filtering apparatus", "inventor": "garcia"}},
+		{ExtID: "P2", Fields: map[string]string{"abstract": "database engine", "inventor": "stonebraker"}},
+		{ExtID: "P3", Fields: map[string]string{"abstract": "adaptive filtering method", "inventor": "widom"}},
+	} {
+		patents.MustAdd(d)
+	}
+	patents.Freeze()
+
+	svcReports, err := texservice.NewLocal(reports, texservice.WithShortFields("title", "author"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcPatents, err := texservice.NewLocal(patents, texservice.WithShortFields("abstract", "inventor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	researcher := relation.NewTable("researcher", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "topic", Kind: value.KindString},
+	))
+	for _, r := range [][2]string{
+		{"garcia", "filtering"},
+		{"widom", "adaptive"},
+		{"ullman", "database"},
+		{"nobody", "nothing"},
+	} {
+		researcher.MustInsert(relation.Tuple{value.String(r[0]), value.String(r[1])})
+	}
+
+	eng := NewEngine()
+	if err := eng.RegisterTable(researcher); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterTextSource("reports", svcReports, "title", "author"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterTextSource("patents", svcPatents, "abstract", "inventor"); err != nil {
+		t.Fatal(err)
+	}
+	return eng, map[string]*textidx.Index{"reports": reports, "patents": patents}
+}
+
+// TestTwoTextSources runs a query joining one relation with two distinct
+// external sources — researchers whose name authors a report AND invents
+// a patent — and checks it against the naive oracle.
+func TestTwoTextSources(t *testing.T) {
+	eng, indexes := multiSourceFixture(t)
+	src := `select researcher.name, reports.docid, patents.docid
+		from researcher, reports, patents
+		where researcher.name in reports.author
+		and researcher.name in patents.inventor`
+	p, err := eng.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Analyzed().Text) != 2 {
+		t.Fatalf("sources = %d", len(p.Analyzed().Text))
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.NaiveQueryMulti(p.Analyzed(), eng.Catalog(), indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(res.Table, want) {
+		t.Fatalf("two-source result (%d rows) differs from naive (%d)\nplan:\n%s",
+			res.Table.Cardinality(), want.Cardinality(), p.Explain())
+	}
+	// garcia authors R1/R3 and invents P1; widom authors R2 and invents P3.
+	if res.Table.Cardinality() != 3 {
+		t.Fatalf("rows = %d, want 3", res.Table.Cardinality())
+	}
+	// The plan contains one text join per source.
+	if !strings.Contains(p.Explain(), "reports") || !strings.Contains(p.Explain(), "patents") {
+		t.Fatalf("plan missing a source:\n%s", p.Explain())
+	}
+}
+
+// TestTwoTextSourcesWithSelections adds per-source text selections and
+// different output forms.
+func TestTwoTextSourcesWithSelections(t *testing.T) {
+	eng, indexes := multiSourceFixture(t)
+	src := `select researcher.name, reports.title, patents.docid
+		from researcher, reports, patents
+		where 'adaptive' in reports.title
+		and 'filtering' in patents.abstract
+		and researcher.name in reports.author
+		and researcher.name in patents.inventor`
+	p, err := eng.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reports needs long form (title selected); patents does not.
+	if part := p.Analyzed().Part("reports"); !part.LongForm {
+		t.Fatal("reports should be long form")
+	}
+	if part := p.Analyzed().Part("patents"); part.LongForm {
+		t.Fatal("patents should not be long form")
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.NaiveQueryMulti(p.Analyzed(), eng.Catalog(), indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(res.Table, want) {
+		t.Fatal("selective two-source result differs from naive")
+	}
+}
+
+// TestTwoTextSourcesAllModes checks every optimizer mode agrees.
+func TestTwoTextSourcesAllModes(t *testing.T) {
+	src := `select researcher.name, reports.docid, patents.docid
+		from researcher, reports, patents
+		where researcher.topic in reports.title
+		and researcher.topic in patents.abstract
+		and researcher.name in reports.author`
+	var reference *relation.Table
+	for _, mode := range []optimizer.Mode{
+		optimizer.ModeTraditional, optimizer.ModePrL, optimizer.ModePrLGreedy,
+	} {
+		eng, indexes := multiSourceFixture(t)
+		opts := DefaultOptions()
+		opts.Optimizer.Mode = mode
+		eng.opts = opts
+		p, err := eng.Prepare(src)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		res, err := p.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		want, err := exec.NaiveQueryMulti(p.Analyzed(), eng.Catalog(), indexes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !join.SameRows(res.Table, want) {
+			t.Fatalf("%v: result differs from naive\nplan:\n%s", mode, p.Explain())
+		}
+		if reference == nil {
+			reference = res.Table
+		} else if !join.SameRows(res.Table, reference) {
+			t.Fatalf("%v: result differs across modes", mode)
+		}
+	}
+}
+
+// TestMixedLocalRemoteSources: one source in-process, the other behind a
+// real TCP server — the fully heterogeneous federation. Results must
+// match the all-local run.
+func TestMixedLocalRemoteSources(t *testing.T) {
+	// All-local reference.
+	engLocal, indexes := multiSourceFixture(t)
+	src := `select researcher.name, reports.docid, patents.docid
+		from researcher, reports, patents
+		where researcher.name in reports.author
+		and researcher.name in patents.inventor`
+	ref, err := engLocal.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed: patents served over TCP.
+	patentsLocal, err := texservice.NewLocal(indexes["patents"],
+		texservice.WithShortFields("abstract", "inventor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := texservice.NewServer(patentsLocal)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remotePatents, err := texservice.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remotePatents.Close()
+
+	reportsLocal, err := texservice.NewLocal(indexes["reports"],
+		texservice.WithShortFields("title", "author"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	researcher := engLocal.Catalog().Tables["researcher"]
+	eng := NewEngine()
+	if err := eng.RegisterTable(researcher); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterTextSource("reports", reportsLocal, "title", "author"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterTextSource("patents", remotePatents, "abstract", "inventor"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(res.Table, ref.Table) {
+		t.Fatalf("mixed local/remote result (%d rows) differs from all-local (%d)",
+			res.Table.Cardinality(), ref.Table.Cardinality())
+	}
+}
+
+// TestUsageAggregatesAcrossServices: the run's usage sums both services'
+// meters.
+func TestUsageAggregatesAcrossServices(t *testing.T) {
+	eng, _ := multiSourceFixture(t)
+	res, err := eng.Query(`select researcher.name, reports.docid, patents.docid
+		from researcher, reports, patents
+		where researcher.name in reports.author
+		and researcher.name in patents.inventor`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Usage.Searches < 2 {
+		t.Fatalf("usage across two sources: %+v", res.Usage)
+	}
+}

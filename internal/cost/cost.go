@@ -1,0 +1,252 @@
+// Package cost implements the paper's cost model (§4) for foreign joins
+// with a Boolean text retrieval system, and the probe-column optimization
+// of §5.
+//
+// All formulas reflect total resource usage in seconds under the calibrated
+// constants of §4.1. Following the paper we omit the (method-independent)
+// cost of reading the relation, and ignore cache maintenance costs.
+//
+// # Conventions
+//
+// A foreign join has k join predicates; predicate i binds relation column i
+// to text field i and has selectivity s_i (probability that a value of
+// column i occurs in field i of some document), fanout f_i (average number
+// of documents a value matches, unconditional — so n substituted searches
+// are expected to transmit n·F documents in total), and N_i distinct column
+// values. Joint statistics use the g-correlated model of §4.2: with
+// s_(1) ≤ … ≤ s_(k), S_{g,K} = ∏_{j≤g} s_(j), and with f_(1) ≤ … ≤ f_(k),
+// F_{g,K} = ∏_{j≤g} f_(j) / D^(g-1). g=1 is the fully correlated model the
+// paper's experiments use; g=k assumes independent predicates.
+//
+// A text selection (e.g. 'belief update' in mercury.title) participates in
+// every search a method sends; its inverted-list length (SelPostings) is
+// charged per search and its fanout (SelFanout) enters joint fanouts as the
+// fanout of a pseudo-predicate.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"textjoin/internal/texservice"
+)
+
+// Pred carries the per-predicate statistics of one foreign join predicate.
+type Pred struct {
+	// Sel is s_i: the probability that a column value occurs in the field.
+	Sel float64
+	// Fanout is f_i: the average number of matching documents per value
+	// (unconditional: values that match nothing count as zero).
+	Fanout float64
+	// Distinct is N_i: the number of distinct values in the column.
+	Distinct int
+	// Terms is the number of basic search terms one instantiation of this
+	// predicate contributes (1 for a single word, w for a w-word phrase).
+	Terms int
+}
+
+// Params bundles everything the cost formulas need (the paper's Table 1).
+type Params struct {
+	Costs texservice.Costs
+	// D is the total number of documents in the text database.
+	D int
+	// M is the maximum number of search terms per text query.
+	M int
+	// G is the correlation parameter of the g-correlated model (§4.2);
+	// G=1 is full correlation.
+	G int
+	// N is the number of joining tuples.
+	N int
+	// Preds are the foreign join predicates (k = len(Preds)).
+	Preds []Pred
+	// HasSel reports whether the query has a text selection condition.
+	HasSel bool
+	// SelFanout is the number of documents matching the text selection.
+	SelFanout float64
+	// SelPostings is the total inverted-list length processed for the
+	// selection's terms in one search.
+	SelPostings float64
+	// SelTerms is the number of basic search terms in the selection.
+	SelTerms int
+	// LongForm records whether the query needs full documents in its
+	// result (the paper's experiments do; a docid-only semi-join does not).
+	LongForm bool
+}
+
+// Validate checks the parameters for consistency.
+func (p *Params) Validate() error {
+	if p.D <= 0 {
+		return fmt.Errorf("cost: D must be positive")
+	}
+	if p.M <= 0 {
+		return fmt.Errorf("cost: M must be positive")
+	}
+	if p.G < 1 {
+		return fmt.Errorf("cost: G must be at least 1")
+	}
+	if p.N < 0 {
+		return fmt.Errorf("cost: N must be nonnegative")
+	}
+	if len(p.Preds) == 0 {
+		return fmt.Errorf("cost: need at least one join predicate")
+	}
+	for i, pr := range p.Preds {
+		if pr.Sel < 0 || pr.Sel > 1 {
+			return fmt.Errorf("cost: predicate %d selectivity %v out of [0,1]", i, pr.Sel)
+		}
+		if pr.Fanout < 0 {
+			return fmt.Errorf("cost: predicate %d fanout %v is negative", i, pr.Fanout)
+		}
+		if pr.Distinct < 0 {
+			return fmt.Errorf("cost: predicate %d distinct count %d is negative", i, pr.Distinct)
+		}
+		if pr.Terms < 1 {
+			return fmt.Errorf("cost: predicate %d term count %d must be at least 1", i, pr.Terms)
+		}
+	}
+	if p.HasSel && (p.SelFanout < 0 || p.SelPostings < 0 || p.SelTerms < 1) {
+		return fmt.Errorf("cost: invalid text selection statistics")
+	}
+	return nil
+}
+
+// K returns the number of join predicates.
+func (p *Params) K() int { return len(p.Preds) }
+
+// AllColumns returns the index set {0,…,k-1}.
+func (p *Params) AllColumns() []int {
+	out := make([]int, len(p.Preds))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// NDistinct returns N_J, the number of distinct value combinations over the
+// columns in J, estimated as min(∏_{i∈J} N_i, N). The paper notes this is
+// an overestimate, which deliberately biases against probing.
+func (p *Params) NDistinct(J []int) float64 {
+	prod := 1.0
+	for _, i := range J {
+		prod *= float64(p.Preds[i].Distinct)
+		if prod >= float64(p.N) {
+			return float64(p.N)
+		}
+	}
+	return math.Min(prod, float64(p.N))
+}
+
+// JointSel returns S_{g,J}: the product of the g smallest selectivities
+// among the predicates in J (all of them when |J| < g).
+func (p *Params) JointSel(J []int) float64 {
+	sels := make([]float64, 0, len(J))
+	for _, i := range J {
+		sels = append(sels, p.Preds[i].Sel)
+	}
+	sort.Float64s(sels)
+	g := p.G
+	if g > len(sels) {
+		g = len(sels)
+	}
+	out := 1.0
+	for _, s := range sels[:g] {
+		out *= s
+	}
+	return out
+}
+
+// JointFanout returns F_{g,J}: ∏ of the g smallest fanouts over D^(g-1).
+// When withSel is true the text selection participates as a pseudo-
+// predicate with fanout SelFanout, modelling that every search a method
+// sends also carries the selection conjunct.
+func (p *Params) JointFanout(J []int, withSel bool) float64 {
+	fans := make([]float64, 0, len(J)+1)
+	for _, i := range J {
+		fans = append(fans, p.Preds[i].Fanout)
+	}
+	if withSel && p.HasSel {
+		fans = append(fans, p.SelFanout)
+	}
+	if len(fans) == 0 {
+		return 0
+	}
+	sort.Float64s(fans)
+	g := p.G
+	if g > len(fans) {
+		g = len(fans)
+	}
+	out := 1.0
+	for _, f := range fans[:g] {
+		out *= f
+	}
+	for j := 1; j < g; j++ {
+		out /= float64(p.D)
+	}
+	return out
+}
+
+// V returns V_{n,J}: the expected total number of documents across n
+// result sets of searches instantiated on the columns J (selection
+// included when present): n × F_{g,J∪sel}.
+func (p *Params) V(n float64, J []int) float64 {
+	return n * p.JointFanout(J, true)
+}
+
+// U returns U_{n,J}: the expected number of distinct documents matched by
+// n searches, assuming terms of different tuples occur independently:
+// D × (1 − (1 − F/D)^n).
+func (p *Params) U(n float64, J []int) float64 {
+	f := p.JointFanout(J, true)
+	d := float64(p.D)
+	if f >= d {
+		return d
+	}
+	return d * (1 - math.Pow(1-f/d, n))
+}
+
+// I returns I_{n,J}: the expected total inverted-list length processed by
+// n searches instantiated on the columns J, n × (Σ_{i∈J} f_i +
+// SelPostings). A term's list length equals its document frequency under
+// the paper's one-posting-per-document assumption.
+func (p *Params) I(n float64, J []int) float64 {
+	per := p.SelListWork()
+	for _, i := range J {
+		per += p.Preds[i].Fanout
+	}
+	return n * per
+}
+
+// SelListWork returns the inverted-list length of the text selection terms
+// (0 without a selection).
+func (p *Params) SelListWork() float64 {
+	if !p.HasSel {
+		return 0
+	}
+	return p.SelPostings
+}
+
+// TermsPerTuple returns the number of basic search terms one tuple's
+// substituted conjunct contributes (Σ_i Terms_i).
+func (p *Params) TermsPerTuple() int {
+	n := 0
+	for _, pr := range p.Preds {
+		n += pr.Terms
+	}
+	return n
+}
+
+// NK returns the number of substituted searches the distinct-binding TS
+// variant sends: the distinct count over all join columns.
+func (p *Params) NK() float64 { return p.NDistinct(p.AllColumns()) }
+
+// ResultDistinctDocs estimates the number of distinct documents in the
+// final join result: the distinct documents matched over all NK
+// instantiations, capped by the selection result when present.
+func (p *Params) ResultDistinctDocs() float64 {
+	u := p.U(p.NK(), p.AllColumns())
+	if p.HasSel {
+		u = math.Min(u, p.SelFanout)
+	}
+	return u
+}

@@ -1,0 +1,369 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"textjoin/internal/texservice"
+)
+
+// invocationOnly charges only c_i, the regime of Examples 5.1/5.2.
+func invocationOnly() texservice.Costs {
+	return texservice.Costs{CI: 1}
+}
+
+func twoPredParams() *Params {
+	return &Params{
+		Costs: texservice.DefaultCosts(),
+		D:     10000,
+		M:     70,
+		G:     1,
+		N:     100,
+		Preds: []Pred{
+			{Sel: 0.16, Fanout: 2, Distinct: 25, Terms: 1},
+			{Sel: 0.5, Fanout: 5, Distinct: 80, Terms: 1},
+		},
+		LongForm: true,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := twoPredParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.D = 0 },
+		func(p *Params) { p.M = 0 },
+		func(p *Params) { p.G = 0 },
+		func(p *Params) { p.N = -1 },
+		func(p *Params) { p.Preds = nil },
+		func(p *Params) { p.Preds[0].Sel = 1.5 },
+		func(p *Params) { p.Preds[0].Sel = -0.1 },
+		func(p *Params) { p.Preds[0].Fanout = -1 },
+		func(p *Params) { p.Preds[0].Distinct = -1 },
+		func(p *Params) { p.Preds[0].Terms = 0 },
+		func(p *Params) { p.HasSel = true; p.SelTerms = 0 },
+		func(p *Params) { p.HasSel = true; p.SelTerms = 1; p.SelFanout = -2 },
+	}
+	for i, mutate := range mutations {
+		p := twoPredParams()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNDistinct(t *testing.T) {
+	p := twoPredParams()
+	if got := p.NDistinct([]int{0}); got != 25 {
+		t.Errorf("N_{0} = %v, want 25", got)
+	}
+	if got := p.NDistinct([]int{1}); got != 80 {
+		t.Errorf("N_{1} = %v, want 80", got)
+	}
+	// Product 25*80 = 2000 exceeds N=100 → capped.
+	if got := p.NDistinct([]int{0, 1}); got != 100 {
+		t.Errorf("N_{0,1} = %v, want 100 (capped at N)", got)
+	}
+}
+
+func TestJointSelCorrelatedVsIndependent(t *testing.T) {
+	p := twoPredParams()
+	p.G = 1
+	if got := p.JointSel([]int{0, 1}); got != 0.16 {
+		t.Errorf("1-correlated joint sel = %v, want min = 0.16", got)
+	}
+	p.G = 2
+	if got := p.JointSel([]int{0, 1}); math.Abs(got-0.08) > 1e-12 {
+		t.Errorf("independent joint sel = %v, want 0.08", got)
+	}
+	// G larger than |J| degrades to the product of all.
+	p.G = 5
+	if got := p.JointSel([]int{0}); got != 0.16 {
+		t.Errorf("g>|J| joint sel = %v", got)
+	}
+}
+
+func TestJointFanout(t *testing.T) {
+	p := twoPredParams()
+	p.G = 1
+	if got := p.JointFanout([]int{0, 1}, false); got != 2 {
+		t.Errorf("1-correlated joint fanout = %v, want min = 2", got)
+	}
+	p.G = 2
+	want := 2.0 * 5.0 / 10000.0
+	if got := p.JointFanout([]int{0, 1}, false); math.Abs(got-want) > 1e-12 {
+		t.Errorf("independent joint fanout = %v, want %v", got, want)
+	}
+	// Selection participates as a pseudo-predicate.
+	p.G = 1
+	p.HasSel = true
+	p.SelFanout = 1
+	p.SelPostings = 3
+	p.SelTerms = 2
+	if got := p.JointFanout([]int{0, 1}, true); got != 1 {
+		t.Errorf("joint fanout with selective selection = %v, want 1", got)
+	}
+	if got := p.JointFanout(nil, true); got != 1 {
+		t.Errorf("selection-only fanout = %v, want 1", got)
+	}
+	if got := p.JointFanout(nil, false); got != 0 {
+		t.Errorf("empty fanout = %v, want 0", got)
+	}
+}
+
+func TestVUI(t *testing.T) {
+	p := twoPredParams()
+	p.G = 1
+	if got := p.V(10, []int{0}); got != 20 {
+		t.Errorf("V_{10,{0}} = %v, want 20", got)
+	}
+	// U is below V and approaches D.
+	u := p.U(10, []int{0})
+	if u <= 0 || u > 20 {
+		t.Errorf("U_{10,{0}} = %v out of (0,20]", u)
+	}
+	if got := p.U(1e12, []int{0}); math.Abs(got-float64(p.D)) > 1 {
+		t.Errorf("U for huge n = %v, want ≈ D", got)
+	}
+	// Fanout ≥ D degenerates to D.
+	p2 := twoPredParams()
+	p2.Preds[0].Fanout = float64(p2.D + 5)
+	if got := p2.U(3, []int{0}); got != float64(p2.D) {
+		t.Errorf("U with fanout > D = %v", got)
+	}
+	// I charges each column's list plus the selection lists per search.
+	if got := p.I(10, []int{0, 1}); got != 70 {
+		t.Errorf("I_{10,K} = %v, want 10*(2+5) = 70", got)
+	}
+	p.HasSel = true
+	p.SelPostings = 3
+	p.SelTerms = 1
+	if got := p.I(10, []int{0}); got != 50 {
+		t.Errorf("I with selection = %v, want 10*(2+3) = 50", got)
+	}
+}
+
+func TestCostTSHandComputed(t *testing.T) {
+	p := twoPredParams()
+	// NK = min(25*80, 100) = 100; F_{1,K} = 2; I = 100*7.
+	want := p.Costs.CI*100 + p.Costs.CP*700 + p.Costs.CL*200
+	if got := p.CostTS(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CostTS = %v, want %v", got, want)
+	}
+	// Without long forms, transmission switches to c_s.
+	p.LongForm = false
+	want = p.Costs.CI*100 + p.Costs.CP*700 + p.Costs.CS*200
+	if got := p.CostTS(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("short-form CostTS = %v, want %v", got, want)
+	}
+}
+
+func TestCostProbeAndPTSHandComputed(t *testing.T) {
+	p := twoPredParams()
+	J := []int{0}
+	// C_P = ci*25 + cp*25*2 + cs*25*2
+	wantP := p.Costs.CI*25 + p.Costs.CP*50 + p.Costs.CS*50
+	if got := p.CostProbe(J); math.Abs(got-wantP) > 1e-9 {
+		t.Errorf("CostProbe = %v, want %v", got, wantP)
+	}
+	// R = NK * s0 = 100*0.16 = 16.
+	wantPTS := wantP + p.Costs.CI*16 + p.Costs.CP*16*7 + p.Costs.CL*16*2
+	if got := p.CostPTS(J); math.Abs(got-wantPTS) > 1e-9 {
+		t.Errorf("CostPTS = %v, want %v", got, wantPTS)
+	}
+}
+
+func TestApplicability(t *testing.T) {
+	p := twoPredParams()
+	if !p.Applicable(MethodTS) || !p.Applicable(MethodPTS) || !p.Applicable(MethodPRTP) {
+		t.Error("TS/P+TS/P+RTP should be applicable with 2 predicates")
+	}
+	if p.Applicable(MethodRTP) {
+		t.Error("RTP requires a text selection")
+	}
+	if !p.Applicable(MethodSJRTP) {
+		t.Error("SJ+RTP should fit within M=70")
+	}
+	p.HasSel = true
+	p.SelTerms = 69
+	p.SelFanout = 10
+	p.SelPostings = 10
+	if !p.Applicable(MethodRTP) {
+		t.Error("RTP should be applicable with a selection")
+	}
+	if p.Applicable(MethodSJRTP) {
+		t.Error("SJ+RTP applicable although the selection exhausts M")
+	}
+	single := &Params{
+		Costs: texservice.DefaultCosts(), D: 100, M: 70, G: 1, N: 10,
+		Preds: []Pred{{Sel: 0.5, Fanout: 1, Distinct: 5, Terms: 1}},
+	}
+	if single.Applicable(MethodPTS) || single.Applicable(MethodPRTP) {
+		t.Error("probing requires at least two join predicates")
+	}
+	if single.Applicable(Method(99)) {
+		t.Error("unknown method applicable")
+	}
+	if single.CostRTP() != math.Inf(1) {
+		t.Error("CostRTP without selection must be +Inf")
+	}
+	if single.Cost(Method(99)) != math.Inf(1) {
+		t.Error("unknown method cost must be +Inf")
+	}
+}
+
+func TestSJBatches(t *testing.T) {
+	p := twoPredParams() // 2 terms/tuple, M=70, no selection → 35 tuples/batch
+	// NK = 100 → ceil(100/35) = 3.
+	if got := p.SJBatches(); got != 3 {
+		t.Errorf("SJBatches = %v, want 3", got)
+	}
+	p.HasSel = true
+	p.SelTerms = 68
+	p.SelFanout = 1
+	p.SelPostings = 1
+	// Room = 2 → 1 tuple per batch → 100 batches.
+	if got := p.SJBatches(); got != 100 {
+		t.Errorf("SJBatches with big selection = %v, want 100", got)
+	}
+	p.SelTerms = 69
+	if got := p.SJBatches(); !math.IsInf(got, 1) {
+		t.Errorf("SJBatches with no room = %v, want +Inf", got)
+	}
+}
+
+// TestExample51 reproduces Example 5.1: with invocation cost dominating,
+// the optimal single probe column is not necessarily the most selective
+// one — N_i matters too.
+func TestExample51(t *testing.T) {
+	p := &Params{
+		Costs: invocationOnly(),
+		D:     100000, M: 70, G: 1, N: 1000,
+		Preds: []Pred{
+			{Sel: 0.1, Fanout: 1, Distinct: 500, Terms: 1}, // more selective, many distinct
+			{Sel: 0.2, Fanout: 1, Distinct: 10, Terms: 1},  // less selective, few distinct
+		},
+		LongForm: true,
+	}
+	c0 := p.CostPTS([]int{0}) // 500 + 0.1*1000 = 600 invocations
+	c1 := p.CostPTS([]int{1}) // 10 + 0.2*1000 = 210 invocations
+	if c1 >= c0 {
+		t.Fatalf("higher-selectivity column should win: c0=%v c1=%v", c0, c1)
+	}
+	// And the inequality matches the paper's analytic condition
+	// s_i − s_j < (N_j − N_i)/N.
+	si, sj := 0.2, 0.1
+	ni, nj := 10.0, 500.0
+	if (si-sj < (nj-ni)/1000) != (c1 < c0) {
+		t.Fatal("analytic condition disagrees with cost formulas")
+	}
+}
+
+// TestExample52 reproduces Example 5.2: under an independent (k-correlated)
+// model with invocation cost only, a two-column probe dominates every
+// single-column probe.
+func TestExample52(t *testing.T) {
+	p := &Params{
+		Costs: invocationOnly(),
+		D:     1000000, M: 70, G: 3, N: 100000,
+		Preds: []Pred{
+			{Sel: 0.005, Fanout: 1, Distinct: 1000, Terms: 1},
+			{Sel: 0.01, Fanout: 1, Distinct: 10, Terms: 1},
+			{Sel: 0.01, Fanout: 1, Distinct: 10, Terms: 1},
+		},
+		LongForm: true,
+	}
+	bestSingle := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		if c := p.CostPTS([]int{i}); c < bestSingle {
+			bestSingle = c
+		}
+	}
+	J, best := p.ExhaustiveOptimalProbe(p.CostPTS)
+	if len(J) != 2 {
+		t.Fatalf("optimal probe = %v (cost %v), want a 2-column probe", J, best)
+	}
+	if best >= bestSingle {
+		t.Fatalf("2-column probe (%v) does not beat best single column (%v)", best, bestSingle)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		MethodTS: "TS", MethodRTP: "RTP", MethodSJRTP: "SJ+RTP",
+		MethodPTS: "P+TS", MethodPRTP: "P+RTP",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Method(99).String() == "" {
+		t.Error("unknown method renders empty")
+	}
+}
+
+func TestBestAndRanking(t *testing.T) {
+	p := twoPredParams()
+	p.HasSel = true
+	p.SelFanout = 2
+	p.SelPostings = 4
+	p.SelTerms = 2
+	m, c := p.Best()
+	if math.IsInf(c, 1) {
+		t.Fatal("no applicable method found")
+	}
+	rank := p.Ranking()
+	if len(rank) != 5 {
+		t.Fatalf("ranking covers %d methods, want 5", len(rank))
+	}
+	if rank[0] != m {
+		t.Fatalf("ranking head %v != best %v", rank[0], m)
+	}
+	for i := 1; i < len(rank); i++ {
+		if p.Cost(rank[i-1]) > p.Cost(rank[i]) {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+	// With a highly selective selection, RTP should rank first (the Q1
+	// situation).
+	p.SelFanout = 1
+	p.SelPostings = 1
+	if got := p.Ranking()[0]; got != MethodRTP {
+		t.Fatalf("with selective selection best = %v, want RTP", got)
+	}
+}
+
+// TestFigure2Boundary checks §7.2's analytic boundary: when invocation and
+// (equal) long-form transmission dominate, P+TS beats TS exactly when
+// s_1 < 1 − N_1/N.
+func TestFigure2Boundary(t *testing.T) {
+	for _, s1 := range []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95} {
+		for _, ratio := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+			n := 1000
+			n1 := int(ratio * float64(n))
+			if n1 < 1 {
+				n1 = 1
+			}
+			p := &Params{
+				Costs: invocationOnly(),
+				D:     100000, M: 70, G: 1, N: n,
+				Preds: []Pred{
+					{Sel: s1, Fanout: 1, Distinct: n1, Terms: 1},
+					{Sel: 1.0, Fanout: 1, Distinct: n, Terms: 1},
+				},
+				LongForm: true,
+			}
+			cTS := p.CostTS()
+			cPTS := p.CostPTS([]int{0})
+			wantProbe := float64(n1)+s1*float64(n) < float64(n)
+			if (cPTS < cTS) != wantProbe {
+				t.Errorf("s1=%v N1/N=%v: P+TS %v TS %v, analytic says probe=%v",
+					s1, ratio, cPTS, cTS, wantProbe)
+			}
+		}
+	}
+}

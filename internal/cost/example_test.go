@@ -1,0 +1,36 @@
+package cost_test
+
+import (
+	"fmt"
+
+	"textjoin/internal/cost"
+	"textjoin/internal/texservice"
+)
+
+// Example reproduces the paper's Q3-style decision: given the Table-1
+// parameters of a two-predicate foreign join, the model prices every
+// method and picks probing with tuple substitution, including which
+// column to probe on.
+func Example() {
+	p := &cost.Params{
+		Costs: texservice.DefaultCosts(), // c_i=3, c_p=1e-5, c_s=0.015, c_l=4
+		D:     10000,                     // documents
+		M:     70,                        // Mercury's term limit
+		G:     1,                         // fully correlated model
+		N:     100,                       // joining tuples
+		Preds: []cost.Pred{
+			{Sel: 0.16, Fanout: 0.4, Distinct: 25, Terms: 1},  // project.name in title
+			{Sel: 0.30, Fanout: 0.9, Distinct: 100, Terms: 1}, // member in author
+		},
+	}
+	for _, m := range []cost.Method{cost.MethodTS, cost.MethodPTS} {
+		fmt.Printf("%-5s %6.1fs\n", m, p.Cost(m))
+	}
+	J, _ := p.OptimalProbe(p.CostPTS)
+	fmt.Printf("probe on predicate %d (N_1=%d, s_1=%.2f)\n",
+		J[0], p.Preds[J[0]].Distinct, p.Preds[J[0]].Sel)
+	// Output:
+	// TS     300.6s
+	// P+TS   123.2s
+	// probe on predicate 0 (N_1=25, s_1=0.16)
+}

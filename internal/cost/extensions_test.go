@@ -1,0 +1,56 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCostTSBatched(t *testing.T) {
+	p := twoPredParams() // NK=100, 2 terms per tuple, M=70 → 35/batch → 3 batches
+	full := p.CostTS()
+	batched := p.CostTSBatched()
+	if batched >= full {
+		t.Fatalf("batched TS (%v) not cheaper than TS (%v)", batched, full)
+	}
+	// Invocation component shrinks from 100·c_i to 3·c_i; everything
+	// else is identical.
+	wantDelta := p.Costs.CI * (100 - 3)
+	if math.Abs((full-batched)-wantDelta) > 1e-9 {
+		t.Fatalf("delta = %v, want %v", full-batched, wantDelta)
+	}
+	// A conjunct that does not fit is infeasible.
+	p2 := twoPredParams()
+	p2.Preds[0].Terms = 80
+	if !math.IsInf(p2.CostTSBatched(), 1) {
+		t.Fatal("oversized conjunct not rejected")
+	}
+}
+
+func TestCostPTSLazyVsEager(t *testing.T) {
+	p := twoPredParams()
+	J := []int{0}
+	eager := p.CostPTS(J)
+	lazy := p.CostPTSLazy(J)
+	if math.IsInf(lazy, 1) || lazy <= 0 {
+		t.Fatalf("lazy cost = %v", lazy)
+	}
+	// With N_J ≪ N_K and low selectivity, eager probing wins: it sends
+	// N_J probes (25) + R full queries, while lazy sends a full query
+	// per distinct binding that is not skipped.
+	if eager >= lazy {
+		t.Fatalf("eager (%v) should beat lazy (%v) when N_J ≪ N_K and s is low", eager, lazy)
+	}
+	// With selectivity ≈ 1 lazy approaches TS (no probes wasted), while
+	// eager pays the probing phase on top.
+	p2 := twoPredParams()
+	p2.Preds[0].Sel = 1
+	p2.Preds[1].Sel = 1
+	lazyHot := p2.CostPTSLazy([]int{0})
+	eagerHot := p2.CostPTS([]int{0})
+	if lazyHot >= eagerHot {
+		t.Fatalf("lazy (%v) should beat eager (%v) when probes always succeed", lazyHot, eagerHot)
+	}
+	if lazyHot < p2.CostTS()-1e-9 {
+		t.Fatalf("lazy (%v) cannot beat TS (%v) at s=1", lazyHot, p2.CostTS())
+	}
+}

@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"textjoin/internal/texservice"
+)
+
+// randomParams draws a random but valid parameter set.
+func randomParams(rng *rand.Rand, k, g int) *Params {
+	p := &Params{
+		Costs: texservice.Costs{
+			CI: rng.Float64() * 5,
+			CP: rng.Float64() * 0.001,
+			CS: rng.Float64() * 0.1,
+			CL: rng.Float64() * 5,
+			CA: rng.Float64() * 0.01,
+		},
+		D: 1000 + rng.Intn(100000),
+		M: 70,
+		G: g,
+		N: 1 + rng.Intn(100000),
+	}
+	for i := 0; i < k; i++ {
+		p.Preds = append(p.Preds, Pred{
+			Sel:      rng.Float64(),
+			Fanout:   rng.Float64() * 50,
+			Distinct: 1 + rng.Intn(p.N),
+			Terms:    1 + rng.Intn(3),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		p.HasSel = true
+		p.SelFanout = rng.Float64() * 100
+		p.SelPostings = p.SelFanout * (1 + rng.Float64())
+		p.SelTerms = 1 + rng.Intn(3)
+	}
+	p.LongForm = rng.Intn(2) == 0
+	return p
+}
+
+// TestTheorem53 verifies Theorem 5.3: for 1-correlated cost models the
+// bounded search over probe sets of at most 2 columns finds a probe set as
+// good as the exhaustive search over all 2^k−1 subsets, for both P+TS and
+// P+RTP cost functions.
+func TestTheorem53(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(5) // up to 6 predicates
+		p := randomParams(rng, k, 1)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid params: %v", trial, err)
+		}
+		for _, fn := range []func([]int) float64{p.CostPTS, p.CostPRTP} {
+			jb, cb := p.OptimalProbe(fn)
+			je, ce := p.ExhaustiveOptimalProbe(fn)
+			if len(jb) > 2 {
+				t.Fatalf("trial %d: bounded search returned %d columns", trial, len(jb))
+			}
+			if cb > ce*(1+1e-12)+1e-12 {
+				t.Fatalf("trial %d: bounded %v (cost %v) worse than exhaustive %v (cost %v)",
+					trial, jb, cb, je, ce)
+			}
+		}
+	}
+}
+
+// TestProbeBoundGeneralizes verifies the min(k, 2g) generalization for
+// g-correlated models.
+func TestProbeBoundGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 200; trial++ {
+		g := 1 + rng.Intn(3)
+		k := 2 + rng.Intn(5)
+		p := randomParams(rng, k, g)
+		wantBound := 2 * g
+		if k < wantBound {
+			wantBound = k
+		}
+		if p.ProbeBound() != wantBound {
+			t.Fatalf("ProbeBound = %d, want %d", p.ProbeBound(), wantBound)
+		}
+		for _, fn := range []func([]int) float64{p.CostPTS, p.CostPRTP} {
+			_, cb := p.OptimalProbe(fn)
+			_, ce := p.ExhaustiveOptimalProbe(fn)
+			if cb > ce*(1+1e-12)+1e-12 {
+				t.Fatalf("trial %d (g=%d,k=%d): bounded %v worse than exhaustive %v",
+					trial, g, k, cb, ce)
+			}
+		}
+	}
+}
+
+// TestOptimalProbeDeterministicTies prefers smaller sets at equal cost.
+func TestOptimalProbeDeterministicTies(t *testing.T) {
+	p := &Params{
+		Costs: texservice.Costs{}, // all-zero costs: every probe set ties at 0
+		D:     100, M: 70, G: 1, N: 10,
+		Preds: []Pred{
+			{Sel: 0.5, Fanout: 1, Distinct: 2, Terms: 1},
+			{Sel: 0.5, Fanout: 1, Distinct: 2, Terms: 1},
+		},
+	}
+	J, c := p.OptimalProbe(p.CostPTS)
+	if c != 0 {
+		t.Fatalf("cost = %v", c)
+	}
+	if len(J) != 1 {
+		t.Fatalf("tie not broken toward the smaller set: %v", J)
+	}
+}
+
+// TestOptimalProbeComplexity sanity-checks that the bounded search visits
+// O(k^2) subsets for g=1 by timing-free means: it must succeed quickly even
+// for k where 2^k would be infeasible.
+func TestOptimalProbeComplexityLargeK(t *testing.T) {
+	p := &Params{
+		Costs: texservice.DefaultCosts(),
+		D:     100000, M: 700, G: 1, N: 100000,
+	}
+	for i := 0; i < 24; i++ {
+		p.Preds = append(p.Preds, Pred{
+			Sel:      float64(i+1) / 25,
+			Fanout:   float64(i + 1),
+			Distinct: 10 * (i + 1),
+			Terms:    1,
+		})
+	}
+	J, c := p.OptimalProbe(p.CostPTS)
+	if len(J) == 0 || len(J) > 2 || math.IsInf(c, 1) {
+		t.Fatalf("bounded search failed: %v, %v", J, c)
+	}
+}
+
+// TestProbeNeverBeatsFreeLunch: a probe set's P+TS cost is at least the
+// pure substitution cost of the surviving fraction — i.e. probing can
+// reduce but never below the work it saves plus its own cost; as a
+// consequence, when every selectivity is 1 probing is never strictly
+// better than TS.
+func TestProbeUselessWhenSelectivityOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(3)
+		p := randomParams(rng, k, 1)
+		for i := range p.Preds {
+			p.Preds[i].Sel = 1
+		}
+		_, c := p.OptimalProbe(p.CostPTS)
+		if c < p.CostTS()-1e-9 {
+			t.Fatalf("trial %d: probing (%v) beats TS (%v) with s=1 everywhere",
+				trial, c, p.CostTS())
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"textjoin/internal/texservice"
+)
+
+// paramsFromFuzz builds valid parameters from fuzz inputs.
+func paramsFromFuzz(seed int64, k, g int) *Params {
+	rng := rand.New(rand.NewSource(seed))
+	if k < 1 {
+		k = 1
+	}
+	if k > 6 {
+		k = 6
+	}
+	if g < 1 {
+		g = 1
+	}
+	if g > k {
+		g = k
+	}
+	p := &Params{
+		Costs: texservice.Costs{
+			CI: rng.Float64()*5 + 0.01,
+			CP: rng.Float64() * 0.001,
+			CS: rng.Float64() * 0.1,
+			CL: rng.Float64() * 5,
+			CA: rng.Float64() * 0.01,
+		},
+		D: 100 + rng.Intn(100000),
+		M: 70,
+		G: g,
+		N: 1 + rng.Intn(10000),
+	}
+	for i := 0; i < k; i++ {
+		p.Preds = append(p.Preds, Pred{
+			Sel:      rng.Float64(),
+			Fanout:   rng.Float64() * 40,
+			Distinct: 1 + rng.Intn(p.N),
+			Terms:    1 + rng.Intn(3),
+		})
+	}
+	p.LongForm = rng.Intn(2) == 0
+	return p
+}
+
+// TestJointSelShrinksWithColumns: adding a column never increases the
+// g-correlated joint selectivity (quick).
+func TestJointSelShrinksWithColumns(t *testing.T) {
+	prop := func(seed int64, kRaw, gRaw uint8) bool {
+		k := 2 + int(kRaw)%4
+		g := 1 + int(gRaw)%k
+		p := paramsFromFuzz(seed, k, g)
+		sub := p.AllColumns()[:k-1]
+		full := p.AllColumns()
+		return p.JointSel(full) <= p.JointSel(sub)+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJointFanoutShrinksWithColumns: adding a column never increases the
+// joint fanout (fanouts beyond the g smallest are either ignored or,
+// divided by D, shrink the product further) — provided fanouts ≤ D, which
+// the generator guarantees (quick).
+func TestJointFanoutShrinksWithColumns(t *testing.T) {
+	prop := func(seed int64, kRaw, gRaw uint8) bool {
+		k := 2 + int(kRaw)%4
+		g := 1 + int(gRaw)%k
+		p := paramsFromFuzz(seed, k, g)
+		sub := p.AllColumns()[:k-1]
+		full := p.AllColumns()
+		return p.JointFanout(full, false) <= p.JointFanout(sub, false)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUBoundedByVAndD: U_{n,J} ≤ min(V_{n,J}, D), and both grow with n
+// (quick).
+func TestUBoundedByVAndD(t *testing.T) {
+	prop := func(seed int64, nRaw uint16) bool {
+		p := paramsFromFuzz(seed, 3, 1)
+		n := float64(1 + nRaw%5000)
+		J := p.AllColumns()
+		u, v := p.U(n, J), p.V(n, J)
+		if u > v+1e-6 || u > float64(p.D)+1e-6 {
+			return false
+		}
+		u2 := p.U(n+100, J)
+		v2 := p.V(n+100, J)
+		return u2 >= u-1e-9 && v2 >= v-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostsNonNegativeAndFinite: every cost formula yields a nonnegative
+// value, finite for applicable methods (quick).
+func TestCostsNonNegativeAndFinite(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%5
+		p := paramsFromFuzz(seed, k, 1)
+		vals := []float64{p.CostTS(), p.CostTSBatched(), p.CostSJRTP()}
+		if k >= 2 {
+			vals = append(vals, p.CostPTS([]int{0}), p.CostPTSLazy([]int{0}),
+				p.CostPRTP([]int{0}), p.CostProbe([]int{0}))
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || v < 0 {
+				return false
+			}
+		}
+		// TS is always finite and applicable.
+		return !math.IsInf(p.CostTS(), 1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProbeMonotoneInN: the probe-phase cost never decreases as the
+// relation grows (N_J is capped by N) (quick).
+func TestProbeMonotoneInN(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := paramsFromFuzz(seed, 3, 1)
+		small := *p
+		small.N = p.N / 2
+		if small.N < 1 {
+			small.N = 1
+		}
+		return small.CostProbe([]int{0}) <= p.CostProbe([]int{0})+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestNeverWorseThanTS: the cost-based Best choice is never more
+// expensive than plain TS, the universally applicable default (quick).
+func TestBestNeverWorseThanTS(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%5
+		p := paramsFromFuzz(seed, k, 1)
+		_, best := p.Best()
+		return best <= p.CostTS()+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

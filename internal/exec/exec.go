@@ -1,0 +1,242 @@
+// Package exec runs physical plans produced by the optimizer against the
+// relational tables and the external text service. It also provides a
+// naive whole-query evaluator used as the correctness oracle in tests.
+package exec
+
+import (
+	"fmt"
+
+	"textjoin/internal/cost"
+	"textjoin/internal/join"
+	"textjoin/internal/plan"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/texservice"
+)
+
+// Executor evaluates plan trees. Svc serves every text source; when a
+// query spans several sources with distinct backends, Services maps each
+// source name to its own service (falling back to Svc for absent names).
+type Executor struct {
+	Cat      *sqlparse.Catalog
+	Svc      texservice.Service
+	Services map[string]texservice.Service
+}
+
+// svcFor resolves the service for a text source.
+func (e *Executor) svcFor(source string) (texservice.Service, error) {
+	if s, ok := e.Services[source]; ok {
+		return s, nil
+	}
+	if e.Svc != nil {
+		return e.Svc, nil
+	}
+	return nil, fmt.Errorf("exec: no service for text source %q", source)
+}
+
+// meters returns the distinct meters of all configured services.
+func (e *Executor) meters() []*texservice.Meter {
+	seen := map[*texservice.Meter]bool{}
+	var out []*texservice.Meter
+	add := func(s texservice.Service) {
+		if s == nil {
+			return
+		}
+		m := s.Meter()
+		if m != nil && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	add(e.Svc)
+	for _, s := range e.Services {
+		add(s)
+	}
+	return out
+}
+
+// RunStats aggregates execution-wide statistics.
+type RunStats struct {
+	// Usage is the total text-service resource consumption of the whole
+	// run, summed over every service involved.
+	Usage texservice.Usage
+	// Probes counts probe searches from Probe nodes and probe-based
+	// foreign-join methods.
+	Probes int
+}
+
+// Run evaluates the plan and returns the result table along with the
+// text-service usage it caused.
+func (e *Executor) Run(n plan.Node) (*relation.Table, RunStats, error) {
+	meters := e.meters()
+	befores := make([]texservice.Usage, len(meters))
+	for i, m := range meters {
+		befores[i] = m.Snapshot()
+	}
+	st := &RunStats{}
+	out, err := e.eval(n, st)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	for i, m := range meters {
+		st.Usage = st.Usage.Add(m.Snapshot().Sub(befores[i]))
+	}
+	return out, *st, nil
+}
+
+func (e *Executor) eval(n plan.Node, st *RunStats) (*relation.Table, error) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		return e.evalScan(n)
+	case *plan.Probe:
+		return e.evalProbe(n, st)
+	case *plan.Join:
+		return e.evalJoin(n, st)
+	case *plan.TextJoin:
+		return e.evalTextJoin(n, st)
+	case *plan.Project:
+		in, err := e.eval(n.Input, st)
+		if err != nil {
+			return nil, err
+		}
+		return in.Project(n.Columns...)
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+func (e *Executor) evalScan(n *plan.Scan) (*relation.Table, error) {
+	base, ok := e.Cat.Tables[n.Table]
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q", n.Table)
+	}
+	q := base.Qualified()
+	if n.Pred == nil {
+		return q, nil
+	}
+	return q.Select(n.Pred)
+}
+
+func (e *Executor) evalProbe(n *plan.Probe, st *RunStats) (*relation.Table, error) {
+	in, err := e.eval(n.Input, st)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := e.svcFor(n.Source)
+	if err != nil {
+		return nil, err
+	}
+	spec := &join.Spec{
+		Relation: in,
+		Preds:    toJoinPreds(n.Preds),
+		TextSel:  n.TextSel,
+	}
+	cols := probeColumns(n.Preds)
+	out, stats, err := join.ProbeReduce(spec, cols, svc)
+	if err != nil {
+		return nil, err
+	}
+	st.Probes += stats.Probes
+	return out, nil
+}
+
+func (e *Executor) evalJoin(n *plan.Join, st *RunStats) (*relation.Table, error) {
+	left, err := e.eval(n.Left, st)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.eval(n.Right, st)
+	if err != nil {
+		return nil, err
+	}
+	if len(n.Equi) > 0 {
+		return relation.HashJoin(left, right, n.Equi, n.Residual)
+	}
+	pred := n.Residual
+	if pred == nil {
+		pred = relation.True{}
+	}
+	return relation.NestedLoopJoin(left, right, pred)
+}
+
+func (e *Executor) evalTextJoin(n *plan.TextJoin, st *RunStats) (*relation.Table, error) {
+	in, err := e.eval(n.Input, st)
+	if err != nil {
+		return nil, err
+	}
+	spec := &join.Spec{
+		Relation:  in,
+		Preds:     toJoinPreds(n.Preds),
+		TextSel:   n.TextSel,
+		LongForm:  n.LongForm,
+		DocFields: n.DocFields,
+	}
+	method, err := methodFor(n)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := e.svcFor(n.Source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := method.Execute(spec, svc)
+	if err != nil {
+		return nil, err
+	}
+	st.Probes += res.Stats.Probes
+	return qualifyDocColumns(res.Table, in.Schema.Arity(), n.Source, n.DocFields), nil
+}
+
+// methodFor instantiates the executable join method a TextJoin node names.
+func methodFor(n *plan.TextJoin) (join.Method, error) {
+	switch n.Method {
+	case cost.MethodTS:
+		return join.TS{}, nil
+	case cost.MethodRTP:
+		return join.RTP{}, nil
+	case cost.MethodSJRTP:
+		return join.SJRTP{}, nil
+	case cost.MethodPTS:
+		return join.PTS{ProbeColumns: n.ProbeColumns}, nil
+	case cost.MethodPRTP:
+		return join.PRTP{ProbeColumns: n.ProbeColumns}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown join method %v", n.Method)
+	}
+}
+
+// toJoinPreds converts classified foreign predicates to the join package's
+// form.
+func toJoinPreds(preds []sqlparse.ForeignPred) []join.Pred {
+	out := make([]join.Pred, len(preds))
+	for i, f := range preds {
+		out[i] = join.Pred{Column: f.Column, Field: f.Field}
+	}
+	return out
+}
+
+// probeColumns returns the distinct relation columns of the predicates.
+func probeColumns(preds []sqlparse.ForeignPred) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range preds {
+		if !seen[f.Column] {
+			seen[f.Column] = true
+			out = append(out, f.Column)
+		}
+	}
+	return out
+}
+
+// qualifyDocColumns renames the document columns a foreign join appends
+// (docid and the requested fields) to "<source>.<name>", leaving the
+// relational columns untouched.
+func qualifyDocColumns(t *relation.Table, relArity int, source string, docFields []string) *relation.Table {
+	cols := append([]relation.Column(nil), t.Schema.Cols...)
+	cols[relArity] = relation.Column{Name: source + "." + join.DocIDColumn, Kind: cols[relArity].Kind}
+	for i, f := range docFields {
+		idx := relArity + 1 + i
+		cols[idx] = relation.Column{Name: source + "." + f, Kind: cols[idx].Kind}
+	}
+	return &relation.Table{Name: t.Name, Schema: &relation.Schema{Cols: cols}, Rows: t.Rows}
+}

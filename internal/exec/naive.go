@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"fmt"
+
+	"textjoin/internal/join"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/textidx"
+)
+
+// NaiveQuery evaluates an analyzed single-source query directly; it is
+// NaiveQueryMulti for the common case of at most one text source.
+func NaiveQuery(a *sqlparse.Analyzed, cat *sqlparse.Catalog, ix *textidx.Index) (*relation.Table, error) {
+	indexes := map[string]*textidx.Index{}
+	for _, part := range a.Text {
+		indexes[part.Source] = ix
+	}
+	return NaiveQueryMulti(a, cat, indexes)
+}
+
+// NaiveQueryMulti evaluates an analyzed query directly: cross-join all
+// tables, apply every relational predicate, evaluate each source's
+// foreign join by full scan of its index, and project. It is the
+// whole-query oracle for the optimizer/executor tests and needs direct
+// index access.
+func NaiveQueryMulti(a *sqlparse.Analyzed, cat *sqlparse.Catalog, indexes map[string]*textidx.Index) (*relation.Table, error) {
+	var acc *relation.Table
+	for _, name := range a.Tables {
+		base, ok := cat.Tables[name]
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %q", name)
+		}
+		t, err := base.Qualified().Select(a.Selections[name])
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = t
+			continue
+		}
+		acc, err = relation.NestedLoopJoin(acc, t, relation.True{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Apply every join edge's conditions as filters over the product.
+	var conds relation.And
+	for _, e := range a.Edges {
+		for _, eq := range e.Equi {
+			conds = append(conds, relation.ColCol{Left: eq.Left, Op: relation.OpEq, Right: eq.Right})
+		}
+		conds = append(conds, e.Residual...)
+	}
+	if len(conds) > 0 {
+		var err error
+		acc, err = acc.Select(conds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, part := range a.Text {
+		spec := &join.Spec{
+			Relation:  acc,
+			Preds:     toJoinPreds(a.ForeignOf(part.Source)),
+			TextSel:   part.Sel,
+			LongForm:  part.LongForm,
+			DocFields: part.DocFields,
+		}
+		joined, err := join.NaiveJoin(spec, indexes[part.Source])
+		if err != nil {
+			return nil, err
+		}
+		acc = qualifyDocColumns(joined, acc.Schema.Arity(), part.Source, part.DocFields)
+	}
+	return acc.Project(a.OutputCols...)
+}

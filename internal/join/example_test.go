@@ -1,0 +1,51 @@
+package join_test
+
+import (
+	"fmt"
+	"log"
+
+	"textjoin/internal/join"
+	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// Example compares two join methods on the same foreign join: they return
+// identical rows but consume the text service very differently.
+func Example() {
+	ix := textidx.NewIndex()
+	for i, author := range []string{"ada", "grace", "barbara", "frances"} {
+		ix.MustAdd(textidx.Document{
+			ExtID:  fmt.Sprintf("d%d", i),
+			Fields: map[string]string{"title": "computing pioneers", "author": author},
+		})
+	}
+	ix.Freeze()
+
+	people := relation.NewTable("people", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString}))
+	for _, n := range []string{"ada", "grace", "nobody", "barbara"} {
+		people.MustInsert(relation.Tuple{value.String(n)})
+	}
+
+	spec := &join.Spec{
+		Relation: people,
+		Preds:    []join.Pred{{Column: "name", Field: "author"}},
+	}
+	for _, m := range []join.Method{join.TS{}, join.SJRTP{}} {
+		svc, err := texservice.NewLocal(ix, texservice.WithShortFields("title", "author"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Execute(spec, svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s %d rows with %d searches\n",
+			m.Name(), res.Stats.ResultRows, res.Stats.Usage.Searches)
+	}
+	// Output:
+	// TS      3 rows with 4 searches
+	// SJ+RTP  3 rows with 1 searches
+}

@@ -1,0 +1,53 @@
+package join
+
+import (
+	"textjoin/internal/relation"
+	"textjoin/internal/textidx"
+)
+
+// textidxExpr aliases the search expression type for brevity.
+type textidxExpr = textidx.Expr
+
+// substPreds builds a tuple's conjunct over the given predicates without
+// the text selection. Used by the semi-join batches, which carry the
+// selection once per batch.
+func (s *Spec) substPreds(tuple relation.Tuple, preds []Pred) (textidx.Expr, bool) {
+	var conj textidx.And
+	for _, p := range preds {
+		idx := s.Relation.Schema.ColumnIndex(p.Column)
+		e, err := textidx.MakeExactPred(p.Field, tuple[idx].Text())
+		if err != nil {
+			return nil, false
+		}
+		conj = append(conj, e)
+	}
+	if len(conj) == 1 {
+		return conj[0], true
+	}
+	return conj, true
+}
+
+// orAll builds the disjunction of the expressions (single expressions are
+// returned unwrapped).
+func orAll(es []textidx.Expr) textidx.Expr {
+	if len(es) == 1 {
+		return es[0]
+	}
+	return textidx.Or(es)
+}
+
+// andPair conjoins two expressions, flattening nested Ands.
+func andPair(a, b textidx.Expr) textidx.Expr {
+	var conj textidx.And
+	if aa, ok := a.(textidx.And); ok {
+		conj = append(conj, aa...)
+	} else {
+		conj = append(conj, a)
+	}
+	if bb, ok := b.(textidx.And); ok {
+		conj = append(conj, bb...)
+	} else {
+		conj = append(conj, b)
+	}
+	return conj
+}

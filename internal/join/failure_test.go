@@ -1,0 +1,134 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// flakyService fails every nth Search/Retrieve with errInjected,
+// exercising the methods' error paths.
+type flakyService struct {
+	inner texservice.Service
+	every int
+
+	mu    sync.Mutex
+	calls int
+}
+
+var errInjected = errors.New("injected text-system failure")
+
+func (f *flakyService) tick() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.every > 0 && f.calls%f.every == 0 {
+		return errInjected
+	}
+	return nil
+}
+
+func (f *flakyService) Search(e textidx.Expr, form texservice.Form) (*texservice.Result, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.inner.Search(e, form)
+}
+
+func (f *flakyService) Retrieve(id textidx.DocID) (textidx.Document, error) {
+	if err := f.tick(); err != nil {
+		return textidx.Document{}, err
+	}
+	return f.inner.Retrieve(id)
+}
+
+func (f *flakyService) NumDocs() (int, error)    { return f.inner.NumDocs() }
+func (f *flakyService) MaxTerms() int            { return f.inner.MaxTerms() }
+func (f *flakyService) ShortFields() []string    { return f.inner.ShortFields() }
+func (f *flakyService) Meter() *texservice.Meter { return f.inner.Meter() }
+
+// TestMethodsSurfaceServiceErrors: every method must return the injected
+// error (not panic, not silently drop rows) regardless of when in its
+// execution the failure strikes.
+func TestMethodsSurfaceServiceErrors(t *testing.T) {
+	ix := corpus(t)
+	for _, longForm := range []bool{false, true} {
+		spec := q3Spec(t, longForm)
+		spec.TextSel = textidx.Term{Field: "year", Word: "1994"}
+		methods := []Method{
+			TS{},
+			TS{Workers: 4},
+			RTP{},
+			SJRTP{},
+			SJRTP{OrColumns: []string{"member"}},
+			PTS{ProbeColumns: []string{"name"}},
+			PTS{ProbeColumns: []string{"name"}, Lazy: true},
+			PTS{ProbeColumns: []string{"name"}, Grouped: true},
+			PRTP{ProbeColumns: []string{"name"}},
+			PRTPAdaptive{ProbeColumns: []string{"name"}, DocBudget: 1},
+		}
+		for _, m := range methods {
+			// Fail at several positions: first call, an early call, a
+			// late call.
+			for _, every := range []int{1, 2, 5} {
+				inner := service(t, ix)
+				flaky := &flakyService{inner: inner, every: every}
+				if err := m.Applicable(spec, flaky); err != nil {
+					continue
+				}
+				_, err := m.Execute(spec, flaky)
+				if err == nil {
+					// Some schedules may finish before the nth call when
+					// the method needs fewer than `every` operations;
+					// only every=1 must always fail.
+					if every == 1 {
+						t.Errorf("longForm=%v %s every=1: no error surfaced", longForm, m.Name())
+					}
+					continue
+				}
+				if !errors.Is(err, errInjected) {
+					t.Errorf("longForm=%v %s every=%d: wrong error %v", longForm, m.Name(), every, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTSBatchSurfacesBatchErrors covers the batched path.
+func TestTSBatchSurfacesBatchErrors(t *testing.T) {
+	ix := corpus(t)
+	spec := q3Spec(t, false)
+	inner := service(t, ix)
+	flaky := &flakyBatch{flakyService: flakyService{inner: inner, every: 1}, batcher: inner}
+	if _, err := (TSBatch{}).Execute(spec, flaky); err == nil {
+		t.Fatal("batched failure not surfaced")
+	}
+}
+
+// flakyBatch adds a failing BatchSearch capability.
+type flakyBatch struct {
+	flakyService
+	batcher texservice.BatchSearcher
+}
+
+func (f *flakyBatch) BatchSearch(exprs []textidx.Expr, form texservice.Form) ([]*texservice.Result, error) {
+	if err := f.tick(); err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
+	return f.batcher.BatchSearch(exprs, form)
+}
+
+// TestProbeReduceSurfacesErrors covers the plan-level reducer.
+func TestProbeReduceSurfacesErrors(t *testing.T) {
+	ix := corpus(t)
+	spec := q3Spec(t, false)
+	inner := service(t, ix)
+	flaky := &flakyService{inner: inner, every: 1}
+	if _, _, err := ProbeReduce(spec, []string{"name"}, flaky); !errors.Is(err, errInjected) {
+		t.Fatalf("probe reduce error = %v", err)
+	}
+}

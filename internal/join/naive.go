@@ -1,0 +1,83 @@
+package join
+
+import (
+	"sort"
+	"strings"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// NaiveJoin computes the foreign join by scanning the whole document
+// collection for every tuple, using the shared TermOccursIn semantics. It
+// needs direct access to the index — something the loose integration
+// forbids the real methods — and exists as the correctness oracle: every
+// Method must produce exactly the same multiset of rows.
+func NaiveJoin(spec *Spec, ix *textidx.Index) (*relation.Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	out := relation.NewTable(spec.Relation.Name+"⋈text", spec.OutputSchema())
+	for _, tuple := range spec.Relation.Rows {
+		for id := 0; id < ix.NumDocs(); id++ {
+			doc, err := ix.Doc(textidx.DocID(id))
+			if err != nil {
+				return nil, err
+			}
+			if spec.TextSel != nil && !textidx.MatchesDoc(spec.TextSel, doc) {
+				continue
+			}
+			match := true
+			for _, p := range spec.Preds {
+				idx := spec.Relation.Schema.ColumnIndex(p.Column)
+				if !textidx.TermOccursIn(tuple[idx].Text(), doc.Field(p.Field)) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			row := make(relation.Tuple, 0, out.Schema.Arity())
+			row = append(row, tuple...)
+			row = append(row, value.String(doc.ExtID))
+			if spec.LongForm {
+				for _, f := range spec.DocFields {
+					row = append(row, value.String(doc.Field(f)))
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Canonical renders a table's rows as a sorted slice of strings, usable to
+// compare result multisets across join methods regardless of row order.
+func Canonical(t *relation.Table) []string {
+	out := make([]string, len(t.Rows))
+	for i, row := range t.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.Key()
+		}
+		out[i] = strings.Join(parts, "\x1e")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SameRows reports whether two tables hold the same multiset of rows.
+func SameRows(a, b *relation.Table) bool {
+	ca, cb := Canonical(a), Canonical(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

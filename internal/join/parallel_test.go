@@ -1,0 +1,94 @@
+package join
+
+import (
+	"testing"
+
+	"textjoin/internal/texservice"
+)
+
+func TestParallelTSEquivalent(t *testing.T) {
+	ix := corpus(t)
+	for _, longForm := range []bool{false, true} {
+		spec := q3Spec(t, longForm)
+		want, err := NaiveJoin(spec, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 16} {
+			svc := service(t, ix)
+			res, err := TS{Workers: workers}.Execute(spec, svc)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !SameRows(res.Table, want) {
+				t.Fatalf("workers=%d: result differs from naive", workers)
+			}
+			// Same number of searches regardless of concurrency.
+			if res.Stats.Usage.Searches != 8 {
+				t.Fatalf("workers=%d: %d searches", workers, res.Stats.Usage.Searches)
+			}
+		}
+	}
+}
+
+// TestParallelTSDeterministicOrder: parallel execution must emit rows in
+// the sequential order (binding-major), not completion order.
+func TestParallelTSDeterministicOrder(t *testing.T) {
+	ix := corpus(t)
+	spec := q3Spec(t, true)
+	svcSeq := service(t, ix)
+	seq, err := TS{}.Execute(spec, svcSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		svcPar := service(t, ix)
+		par, err := TS{Workers: 8}.Execute(spec, svcPar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Table.Rows) != len(seq.Table.Rows) {
+			t.Fatal("row counts differ")
+		}
+		for i := range seq.Table.Rows {
+			for j := range seq.Table.Rows[i] {
+				if seq.Table.Rows[i][j].Key() != par.Table.Rows[i][j].Key() {
+					t.Fatalf("trial %d: row %d differs between sequential and parallel", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelTSOverRemote(t *testing.T) {
+	ix := corpus(t)
+	local, err := texservice.NewLocal(ix, texservice.WithShortFields("title", "author", "year"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := texservice.NewServer(local)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := texservice.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	spec := q3Spec(t, false)
+	want, err := NaiveJoin(spec, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TS{Workers: 4}.Execute(spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameRows(res.Table, want) {
+		t.Fatal("parallel remote TS differs from naive")
+	}
+}

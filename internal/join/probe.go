@@ -1,0 +1,401 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+)
+
+// validateProbeColumns checks that the probe columns form a nonempty
+// subset of the join columns.
+func validateProbeColumns(spec *Spec, probeCols []string) error {
+	if len(probeCols) == 0 {
+		return fmt.Errorf("join: no probe columns")
+	}
+	joinCols := map[string]bool{}
+	for _, c := range spec.JoinColumns() {
+		joinCols[c] = true
+	}
+	seen := map[string]bool{}
+	for _, c := range probeCols {
+		if !joinCols[c] {
+			return fmt.Errorf("join: probe column %q is not a join column", c)
+		}
+		if seen[c] {
+			return fmt.Errorf("join: duplicate probe column %q", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// PTS is probing with tuple substitution (§3.3). Three variants are
+// provided:
+//
+//   - The default eager variant probes every distinct probe-column
+//     binding first and substitutes only the tuples whose probe
+//     succeeded. Its cost is exactly the paper's formula
+//     C_{P+TS} = C_P + c_i·R + … (§4.3), so it is what the optimizer's
+//     predictions describe and what it instantiates.
+//   - The lazy variant is §3.3's probe-cache algorithm verbatim: the
+//     substituted query is sent first, and a probe is sent only after a
+//     failed query (never twice per probe binding). It saves the probe
+//     for bindings whose full query succeeds, but when probe bindings are
+//     rarely shared it can cost almost one probe per failing binding on
+//     top of the full queries.
+//   - The grouped variant is the lazy algorithm for relations ordered or
+//     grouped on the probe columns: no cache, and a probe is sent only
+//     when a failed group still has bindings left to skip.
+type PTS struct {
+	// ProbeColumns is the probe set P; it must be a nonempty subset of
+	// the join columns. The optimizer selects it via the cost model (§5).
+	ProbeColumns []string
+	// Lazy selects §3.3's query-first probe-cache algorithm.
+	Lazy bool
+	// Grouped selects the ordered/grouped no-cache variant (implies the
+	// lazy query-first discipline within a probe group).
+	Grouped bool
+}
+
+// Name implements Method.
+func (m PTS) Name() string {
+	switch {
+	case m.Grouped:
+		return "P+TS(grouped)"
+	case m.Lazy:
+		return "P+TS(lazy)"
+	default:
+		return "P+TS"
+	}
+}
+
+// Applicable implements Method: probing needs multiple join predicates so
+// a meaningful probe subset exists (§3.3).
+func (m PTS) Applicable(spec *Spec, svc texservice.Service) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(spec.Preds) < 2 {
+		return fmt.Errorf("join: probing requires multiple join predicates")
+	}
+	return validateProbeColumns(spec, m.ProbeColumns)
+}
+
+// Execute implements Method.
+func (m PTS) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+	if err := m.Applicable(spec, svc); err != nil {
+		return nil, err
+	}
+	switch {
+	case m.Grouped:
+		return m.executeGrouped(spec, svc)
+	case m.Lazy:
+		return m.executeCached(spec, svc)
+	default:
+		return m.executeEager(spec, svc)
+	}
+}
+
+// executeEager probes all distinct probe bindings up front, then
+// substitutes for the tuples whose probe succeeded — the execution the
+// C_{P+TS} formula describes.
+func (m PTS) executeEager(spec *Spec, svc texservice.Service) (*Result, error) {
+	return run(spec, svc, func(ex *execution) error {
+		probePreds := spec.predsOn(m.ProbeColumns)
+		// Phase 1: one probe per distinct probe-column binding.
+		pKeys, pGroups, err := spec.Relation.GroupBy(m.ProbeColumns...)
+		if err != nil {
+			return err
+		}
+		probeSuccess := make(map[string]bool, len(pKeys))
+		for _, pkey := range pKeys {
+			rep := spec.Relation.Rows[pGroups[pkey][0]]
+			pexpr, ok := spec.SubstExpr(rep, probePreds)
+			if !ok {
+				continue
+			}
+			pres, err := svc.Search(pexpr, texservice.FormShort)
+			if err != nil {
+				return err
+			}
+			ex.stats.Probes++
+			probeSuccess[pkey] = !pres.IsEmpty()
+		}
+		// Phase 2: substitution for surviving bindings.
+		cols := spec.JoinColumns()
+		keys, groups, err := spec.Relation.GroupBy(cols...)
+		if err != nil {
+			return err
+		}
+		form := ex.searchForm()
+		for _, key := range keys {
+			members := groups[key]
+			rep := spec.Relation.Rows[members[0]]
+			if !probeSuccess[spec.bindingKey(rep, m.ProbeColumns)] {
+				continue
+			}
+			expr, ok := spec.SubstExpr(rep, spec.Preds)
+			if !ok {
+				continue
+			}
+			res, err := svc.Search(expr, form)
+			if err != nil {
+				return err
+			}
+			for _, rowIdx := range members {
+				for _, hit := range res.Hits {
+					ex.emit(spec.Relation.Rows[rowIdx], hit.ExtID, hit.Fields)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// executeCached is the probe-cache algorithm of §3.3.
+func (m PTS) executeCached(spec *Spec, svc texservice.Service) (*Result, error) {
+	return run(spec, svc, func(ex *execution) error {
+		cols := spec.JoinColumns()
+		keys, groups, err := spec.Relation.GroupBy(cols...)
+		if err != nil {
+			return err
+		}
+		probePreds := spec.predsOn(m.ProbeColumns)
+		form := ex.searchForm()
+		// probeCache maps a probe-column binding key to probe success.
+		probeCache := map[string]bool{}
+		for _, key := range keys {
+			members := groups[key]
+			rep := spec.Relation.Rows[members[0]]
+			pkey := spec.bindingKey(rep, m.ProbeColumns)
+			if success, known := probeCache[pkey]; known && !success {
+				continue // cache has a fail entry: skip without invocation
+			}
+			expr, ok := spec.SubstExpr(rep, spec.Preds)
+			if !ok {
+				continue
+			}
+			res, err := svc.Search(expr, form)
+			if err != nil {
+				return err
+			}
+			if !res.IsEmpty() {
+				// A nonempty query implies the probe would succeed.
+				probeCache[pkey] = true
+				for _, rowIdx := range members {
+					for _, hit := range res.Hits {
+						ex.emit(spec.Relation.Rows[rowIdx], hit.ExtID, hit.Fields)
+					}
+				}
+				continue
+			}
+			if _, known := probeCache[pkey]; known {
+				continue // probe already known (success); no probe resent
+			}
+			// Send the probe and cache its outcome.
+			pexpr, pok := spec.SubstExpr(rep, probePreds)
+			if !pok {
+				probeCache[pkey] = false
+				continue
+			}
+			pres, err := svc.Search(pexpr, texservice.FormShort)
+			if err != nil {
+				return err
+			}
+			ex.stats.Probes++
+			probeCache[pkey] = !pres.IsEmpty()
+		}
+		return nil
+	})
+}
+
+// executeGrouped is the ordered/grouped variant without a cache.
+func (m PTS) executeGrouped(spec *Spec, svc texservice.Service) (*Result, error) {
+	return run(spec, svc, func(ex *execution) error {
+		cols := spec.JoinColumns()
+		keys, groups, err := spec.Relation.GroupBy(cols...)
+		if err != nil {
+			return err
+		}
+		// Regroup the distinct bindings by their probe-column key,
+		// emulating a relation ordered on the probe columns.
+		probeOrder := []string{}
+		byProbe := map[string][]string{}
+		for _, key := range keys {
+			rep := spec.Relation.Rows[groups[key][0]]
+			pkey := spec.bindingKey(rep, m.ProbeColumns)
+			if _, ok := byProbe[pkey]; !ok {
+				probeOrder = append(probeOrder, pkey)
+			}
+			byProbe[pkey] = append(byProbe[pkey], key)
+		}
+		sort.Strings(probeOrder)
+
+		probePreds := spec.predsOn(m.ProbeColumns)
+		form := ex.searchForm()
+		for _, pkey := range probeOrder {
+			bindings := byProbe[pkey]
+			skipGroup := false
+			for bi, key := range bindings {
+				if skipGroup {
+					break
+				}
+				members := groups[key]
+				rep := spec.Relation.Rows[members[0]]
+				expr, ok := spec.SubstExpr(rep, spec.Preds)
+				if !ok {
+					continue
+				}
+				res, err := svc.Search(expr, form)
+				if err != nil {
+					return err
+				}
+				if !res.IsEmpty() {
+					for _, rowIdx := range members {
+						for _, hit := range res.Hits {
+							ex.emit(spec.Relation.Rows[rowIdx], hit.ExtID, hit.Fields)
+						}
+					}
+					continue
+				}
+				// The query failed. Probe only if more bindings of this
+				// probe group remain to be skipped.
+				if bi == len(bindings)-1 {
+					continue
+				}
+				pexpr, pok := spec.SubstExpr(rep, probePreds)
+				if !pok {
+					skipGroup = true
+					continue
+				}
+				pres, err := svc.Search(pexpr, texservice.FormShort)
+				if err != nil {
+					return err
+				}
+				ex.stats.Probes++
+				skipGroup = pres.IsEmpty()
+			}
+		}
+		return nil
+	})
+}
+
+var _ Method = PTS{}
+
+// PRTP is probing with relational text processing (§3.3, Example 3.6):
+// one probe per distinct binding of the probe columns, carrying the text
+// selection and the probe-column predicates and requesting the short form;
+// the remaining join predicates are then evaluated relationally against
+// the probes' result documents.
+type PRTP struct {
+	// ProbeColumns is the probe set P; a nonempty subset of join columns.
+	ProbeColumns []string
+}
+
+// Name implements Method.
+func (PRTP) Name() string { return "P+RTP" }
+
+// Applicable implements Method: the non-probe predicates must be
+// evaluable by SQL string matching over short-form fields.
+func (m PRTP) Applicable(spec *Spec, svc texservice.Service) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(spec.Preds) < 2 {
+		return fmt.Errorf("join: probing requires multiple join predicates")
+	}
+	if err := validateProbeColumns(spec, m.ProbeColumns); err != nil {
+		return err
+	}
+	return requireShortFields(spec.predsNotOn(m.ProbeColumns), svc)
+}
+
+// Execute implements Method.
+func (m PRTP) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+	if err := m.Applicable(spec, svc); err != nil {
+		return nil, err
+	}
+	return run(spec, svc, func(ex *execution) error {
+		keys, groups, err := spec.Relation.GroupBy(m.ProbeColumns...)
+		if err != nil {
+			return err
+		}
+		probePreds := spec.predsOn(m.ProbeColumns)
+		restPreds := spec.predsNotOn(m.ProbeColumns)
+		for _, key := range keys {
+			members := groups[key]
+			rep := spec.Relation.Rows[members[0]]
+			pexpr, ok := spec.SubstExpr(rep, probePreds)
+			if !ok {
+				continue
+			}
+			pres, err := svc.Search(pexpr, texservice.FormShort)
+			if err != nil {
+				return err
+			}
+			ex.stats.Probes++
+			if pres.IsEmpty() {
+				continue
+			}
+			svc.Meter().ChargeRTP(len(pres.Hits))
+			tuples := make([]relation.Tuple, len(members))
+			for i, rowIdx := range members {
+				tuples[i] = spec.Relation.Rows[rowIdx]
+			}
+			if err := matchHitsRelationally(ex, tuples, pres.Hits, restPreds); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+var _ Method = PRTP{}
+
+// ProbeReduce implements the probe-as-semi-join reducer used by PrL trees
+// (§6): it returns the tuples of the spec's relation whose probe on the
+// given columns succeeds, together with the execution stats. The result
+// has the same schema as the input relation.
+func ProbeReduce(spec *Spec, probeCols []string, svc texservice.Service) (*relation.Table, Stats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := validateProbeColumns(spec, probeCols); err != nil {
+		return nil, Stats{}, err
+	}
+	before := svc.Meter().Snapshot()
+	keys, groups, err := spec.Relation.GroupBy(probeCols...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	probePreds := spec.predsOn(probeCols)
+	out := relation.NewTable(spec.Relation.Name, spec.Relation.Schema)
+	probes := 0
+	for _, key := range keys {
+		members := groups[key]
+		rep := spec.Relation.Rows[members[0]]
+		pexpr, ok := spec.SubstExpr(rep, probePreds)
+		if !ok {
+			continue
+		}
+		pres, err := svc.Search(pexpr, texservice.FormShort)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		probes++
+		if pres.IsEmpty() {
+			continue
+		}
+		for _, rowIdx := range members {
+			out.Rows = append(out.Rows, spec.Relation.Rows[rowIdx])
+		}
+	}
+	stats := Stats{
+		Usage:      svc.Meter().Snapshot().Sub(before),
+		Probes:     probes,
+		ResultRows: out.Cardinality(),
+	}
+	return out, stats, nil
+}

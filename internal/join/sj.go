@@ -1,0 +1,173 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"textjoin/internal/texservice"
+)
+
+var errNoSelection = errors.New("join: method requires a text selection")
+
+// SJRTP is the semi-join method with relational text processing (§3.2):
+// the per-tuple conjuncts of tuple substitution are packaged into OR
+// groups, subject to the text system's search-term limit M, so
+// ⌈N_K·t/M⌉-ish batched searches replace N_K individual ones. The batched
+// results come back in short form and are attributed to tuples by
+// relational string matching.
+//
+// By default every join predicate's instantiation enters the OR groups
+// (the strongest variant: only documents matching a full tuple conjunct
+// are shipped). OrColumns restricts the OR groups to the named columns'
+// predicates — the paper's looser generalization in which the remaining
+// predicates are evaluated relationally after fetching; it ships more
+// documents but batches far fewer terms per tuple.
+type SJRTP struct {
+	// OrColumns restricts the batched disjuncts to the predicates on
+	// these columns (empty = all join columns).
+	OrColumns []string
+}
+
+// Name implements Method.
+func (m SJRTP) Name() string {
+	if len(m.OrColumns) > 0 {
+		return "SJ(" + strings.Join(m.OrColumns, ",") + ")+RTP"
+	}
+	return "SJ+RTP"
+}
+
+// orColumns resolves the effective OR column set.
+func (m SJRTP) orColumns(spec *Spec) []string {
+	if len(m.OrColumns) > 0 {
+		return m.OrColumns
+	}
+	return spec.JoinColumns()
+}
+
+// Applicable implements Method: every tuple's OR conjunct (plus the
+// selection) must fit in one search, and the join-predicate fields must be
+// in the short form for the relational matching step.
+func (m SJRTP) Applicable(spec *Spec, svc texservice.Service) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := requireShortFields(spec.Preds, svc); err != nil {
+		return err
+	}
+	if len(m.OrColumns) > 0 {
+		if err := validateProbeColumns(spec, m.OrColumns); err != nil {
+			return err
+		}
+	}
+	selTerms := 0
+	if spec.TextSel != nil {
+		selTerms = spec.TextSel.TermCount()
+	}
+	orPreds := spec.predsOn(m.orColumns(spec))
+	for _, row := range spec.Relation.Rows {
+		if e, ok := spec.substPreds(row, orPreds); ok {
+			if t := e.TermCount(); selTerms+t > svc.MaxTerms() {
+				return fmt.Errorf("join: a tuple's conjunct needs %d terms; limit is %d",
+					selTerms+t, svc.MaxTerms())
+			}
+		}
+	}
+	return nil
+}
+
+// Execute implements Method.
+func (s SJRTP) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+	if err := s.Applicable(spec, svc); err != nil {
+		return nil, err
+	}
+	orCols := s.orColumns(spec)
+	orPreds := spec.predsOn(orCols)
+	return run(spec, svc, func(ex *execution) error {
+		// Distinct bindings over the OR columns only: restricting the OR
+		// set shrinks the number of disjuncts too.
+		keys, groups, err := spec.Relation.GroupBy(orCols...)
+		if err != nil {
+			return err
+		}
+		selTerms := 0
+		if spec.TextSel != nil {
+			selTerms = spec.TextSel.TermCount()
+		}
+		limit := svc.MaxTerms()
+
+		// Greedily pack distinct bindings into batches under the term
+		// limit, then flush each batch as one OR search.
+		var batchKeys []string
+		batchTerms := selTerms
+		flush := func() error {
+			if len(batchKeys) == 0 {
+				return nil
+			}
+			err := ex.runSJBatch(batchKeys, groups, orPreds)
+			batchKeys = batchKeys[:0]
+			batchTerms = selTerms
+			return err
+		}
+		for _, key := range keys {
+			rep := spec.Relation.Rows[groups[key][0]]
+			conj, ok := spec.substPreds(rep, orPreds)
+			if !ok {
+				continue // unsearchable binding: cannot match
+			}
+			t := conj.TermCount()
+			if batchTerms+t > limit {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			batchKeys = append(batchKeys, key)
+			batchTerms += t
+		}
+		return flush()
+	})
+}
+
+// runSJBatch sends one OR-of-conjuncts search for the given bindings and
+// attributes its results to the bindings' tuples relationally (on all
+// join predicates, covering those outside the OR set).
+func (ex *execution) runSJBatch(batchKeys []string, groups map[string][]int, orPreds []Pred) error {
+	spec := ex.spec
+	var disj []textidxExpr
+	for _, key := range batchKeys {
+		rep := spec.Relation.Rows[groups[key][0]]
+		conj, ok := spec.substPreds(rep, orPreds)
+		if !ok {
+			continue
+		}
+		disj = append(disj, conj)
+	}
+	if len(disj) == 0 {
+		return nil
+	}
+	expr := orAll(disj)
+	if spec.TextSel != nil {
+		expr = andPair(spec.TextSel, expr)
+	}
+	res, err := ex.svc.Search(expr, texservice.FormShort)
+	if err != nil {
+		return err
+	}
+	ex.svc.Meter().ChargeRTP(len(res.Hits))
+	for _, key := range batchKeys {
+		for _, rowIdx := range groups[key] {
+			tuple := spec.Relation.Rows[rowIdx]
+			for _, hit := range res.Hits {
+				if !spec.matchesRelationally(tuple, spec.Preds, hit.Fields) {
+					continue
+				}
+				if err := ex.emitHit(tuple, hit, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+var _ Method = SJRTP{}

@@ -1,0 +1,332 @@
+// Package join implements the paper's foreign-join execution methods (§3):
+// tuple substitution (TS), relational text processing (RTP), semi-join with
+// relational text processing (SJ+RTP), probing with tuple substitution
+// (P+TS), and probing with relational text processing (P+RTP) — plus the
+// naive full-scan join used as the correctness oracle and the probe-based
+// semi-join reducer the multi-join optimizer's PrL trees use (§6).
+//
+// Every method evaluates the same logical operation: the join of a
+// relational table with an external text source on a conjunction of
+// "column in field" predicates, optionally under a pure text selection.
+// All methods produce exactly the same result rows; they differ only in
+// how they drive the text service, and therefore in cost.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// Pred is one foreign join predicate: the relation column's value must
+// occur (as word or phrase) in the document field.
+type Pred struct {
+	Column string
+	Field  string
+}
+
+// String renders the predicate in the paper's SQL-ish syntax.
+func (p Pred) String() string { return p.Column + " in " + p.Field }
+
+// Spec describes a foreign join.
+type Spec struct {
+	// Relation is the joining relational input (already reduced by any
+	// relational selections).
+	Relation *relation.Table
+	// Preds are the foreign join predicates; at least one.
+	Preds []Pred
+	// TextSel is the conjunctive text selection on the document side, or
+	// nil (e.g. 'belief update' in mercury.title).
+	TextSel textidx.Expr
+	// LongForm selects whether result rows carry full document fields.
+	// When false only the document identifier column is produced
+	// (a docid-only query such as the paper's Q2).
+	LongForm bool
+	// DocFields are the document fields added to result rows when
+	// LongForm is set.
+	DocFields []string
+}
+
+// DocIDColumn is the name of the document identifier column in results.
+const DocIDColumn = "docid"
+
+// Validate checks the spec against the relation's schema.
+func (s *Spec) Validate() error {
+	if s.Relation == nil {
+		return fmt.Errorf("join: spec has no relation")
+	}
+	if len(s.Preds) == 0 {
+		return fmt.Errorf("join: spec has no join predicates")
+	}
+	for _, p := range s.Preds {
+		if s.Relation.Schema.ColumnIndex(p.Column) < 0 {
+			return fmt.Errorf("join: relation %s has no column %q", s.Relation.Name, p.Column)
+		}
+		if p.Field == "" {
+			return fmt.Errorf("join: predicate on column %q has empty field", p.Column)
+		}
+	}
+	if s.TextSel != nil {
+		if err := textidx.Validate(s.TextSel); err != nil {
+			return fmt.Errorf("join: invalid text selection: %w", err)
+		}
+	}
+	return nil
+}
+
+// JoinColumns returns the distinct relation columns referenced by the join
+// predicates, in first-appearance order.
+func (s *Spec) JoinColumns() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range s.Preds {
+		if !seen[p.Column] {
+			seen[p.Column] = true
+			out = append(out, p.Column)
+		}
+	}
+	return out
+}
+
+// OutputSchema returns the schema of result rows: the relation's columns,
+// the document identifier, and (long form only) the requested document
+// fields.
+func (s *Spec) OutputSchema() *relation.Schema {
+	cols := append([]relation.Column(nil), s.Relation.Schema.Cols...)
+	cols = append(cols, relation.Column{Name: DocIDColumn, Kind: value.KindString})
+	if s.LongForm {
+		for _, f := range s.DocFields {
+			cols = append(cols, relation.Column{Name: f, Kind: value.KindString})
+		}
+	}
+	return &relation.Schema{Cols: cols}
+}
+
+// SubstExpr builds the instantiated search for one tuple: the text
+// selection (if any) in conjunction with one predicate per join condition,
+// each instantiated with the tuple's column value. It returns (nil, false)
+// when some value has no searchable words: such a tuple cannot match any
+// document under Boolean semantics.
+func (s *Spec) SubstExpr(tuple relation.Tuple, preds []Pred) (textidx.Expr, bool) {
+	var conj textidx.And
+	if s.TextSel != nil {
+		conj = append(conj, s.TextSel)
+	}
+	for _, p := range preds {
+		idx := s.Relation.Schema.ColumnIndex(p.Column)
+		v := tuple[idx]
+		e, err := textidx.MakeExactPred(p.Field, v.Text())
+		if err != nil {
+			return nil, false
+		}
+		conj = append(conj, e)
+	}
+	if len(conj) == 1 {
+		return conj[0], true
+	}
+	return conj, true
+}
+
+// TupleTermCount returns the number of basic search terms the tuple's
+// substituted join conjunct uses (excluding the selection), or -1 when the
+// tuple has an unsearchable value.
+func (s *Spec) TupleTermCount(tuple relation.Tuple) int {
+	n := 0
+	for _, p := range s.Preds {
+		idx := s.Relation.Schema.ColumnIndex(p.Column)
+		e, err := textidx.MakeExactPred(p.Field, tuple[idx].Text())
+		if err != nil {
+			return -1
+		}
+		n += e.TermCount()
+	}
+	return n
+}
+
+// bindingKey returns the grouping key of a tuple over the given columns.
+func (s *Spec) bindingKey(tuple relation.Tuple, cols []string) string {
+	vals := make([]value.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = tuple[s.Relation.Schema.ColumnIndex(c)]
+	}
+	return value.KeyOf(vals...)
+}
+
+// predsOn returns the join predicates whose columns are in the given set.
+func (s *Spec) predsOn(cols []string) []Pred {
+	in := map[string]bool{}
+	for _, c := range cols {
+		in[c] = true
+	}
+	var out []Pred
+	for _, p := range s.Preds {
+		if in[p.Column] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// predsNotOn returns the join predicates whose columns are NOT in the set.
+func (s *Spec) predsNotOn(cols []string) []Pred {
+	in := map[string]bool{}
+	for _, c := range cols {
+		in[c] = true
+	}
+	var out []Pred
+	for _, p := range s.Preds {
+		if !in[p.Column] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stats summarises one join execution.
+type Stats struct {
+	// Usage is the resource consumption charged to the service meter
+	// during this execution (searches, postings, transmissions, simulated
+	// cost).
+	Usage texservice.Usage
+	// Probes is the number of probe searches among Usage.Searches.
+	Probes int
+	// ResultRows is the number of rows produced.
+	ResultRows int
+}
+
+// Result is the outcome of executing a join method.
+type Result struct {
+	Table *relation.Table
+	Stats Stats
+}
+
+// Method is a foreign-join execution algorithm.
+type Method interface {
+	// Name returns the paper's abbreviation for the method.
+	Name() string
+	// Applicable returns nil when the method can execute the spec against
+	// the service, or an error explaining why not.
+	Applicable(spec *Spec, svc texservice.Service) error
+	// Execute runs the join. The result's Stats reflect only this
+	// execution (meter deltas).
+	Execute(spec *Spec, svc texservice.Service) (*Result, error)
+}
+
+// run wraps a method body with validation and meter-delta accounting.
+func run(spec *Spec, svc texservice.Service, body func(*execution) error) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ex := &execution{
+		spec:   spec,
+		svc:    svc,
+		out:    relation.NewTable(spec.Relation.Name+"⋈text", spec.OutputSchema()),
+		before: svc.Meter().Snapshot(),
+	}
+	if err := body(ex); err != nil {
+		return nil, err
+	}
+	ex.stats.Usage = svc.Meter().Snapshot().Sub(ex.before)
+	ex.stats.ResultRows = ex.out.Cardinality()
+	return &Result{Table: ex.out, Stats: ex.stats}, nil
+}
+
+// execution carries shared per-run state for the method implementations.
+type execution struct {
+	spec   *Spec
+	svc    texservice.Service
+	out    *relation.Table
+	before texservice.Usage
+	stats  Stats
+	// docCache caches long-form retrievals by docid.
+	docCache map[textidx.DocID]textidx.Document
+}
+
+// searchForm is the form substituted searches request: long when the query
+// needs documents, short otherwise.
+func (ex *execution) searchForm() texservice.Form {
+	if ex.spec.LongForm {
+		return texservice.FormLong
+	}
+	return texservice.FormShort
+}
+
+// emit appends one result row for (tuple, document).
+func (ex *execution) emit(tuple relation.Tuple, extID string, fields map[string]string) {
+	row := make(relation.Tuple, 0, ex.out.Schema.Arity())
+	row = append(row, tuple...)
+	row = append(row, value.String(extID))
+	if ex.spec.LongForm {
+		for _, f := range ex.spec.DocFields {
+			row = append(row, value.String(fields[f]))
+		}
+	}
+	ex.out.Rows = append(ex.out.Rows, row)
+}
+
+// emitHit emits a row from a search hit, fetching the long form through
+// the cache when the hit lacks the needed fields.
+func (ex *execution) emitHit(tuple relation.Tuple, hit texservice.Hit, hitIsLong bool) error {
+	if !ex.spec.LongForm || hitIsLong {
+		ex.emit(tuple, hit.ExtID, hit.Fields)
+		return nil
+	}
+	doc, err := ex.retrieve(hit.ID)
+	if err != nil {
+		return err
+	}
+	ex.emit(tuple, doc.ExtID, doc.Fields)
+	return nil
+}
+
+// retrieve fetches a document long-form, at most once per docid.
+func (ex *execution) retrieve(id textidx.DocID) (textidx.Document, error) {
+	if ex.docCache == nil {
+		ex.docCache = map[textidx.DocID]textidx.Document{}
+	}
+	if doc, ok := ex.docCache[id]; ok {
+		return doc, nil
+	}
+	doc, err := ex.svc.Retrieve(id)
+	if err != nil {
+		return textidx.Document{}, err
+	}
+	ex.docCache[id] = doc
+	return doc, nil
+}
+
+// requireShortFields verifies that relational text processing can evaluate
+// the given predicates: their fields must be transmitted in short form.
+func requireShortFields(preds []Pred, svc texservice.Service) error {
+	short := map[string]bool{}
+	for _, f := range svc.ShortFields() {
+		short[f] = true
+	}
+	var missing []string
+	for _, p := range preds {
+		if !short[p.Field] {
+			missing = append(missing, p.Field)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("join: fields %v are not in the service's short form; relational text processing is inapplicable", missing)
+	}
+	return nil
+}
+
+// matchesRelationally evaluates the predicates against a short-form hit
+// using SQL-style string matching (the shared TermOccursIn semantics).
+func (s *Spec) matchesRelationally(tuple relation.Tuple, preds []Pred, fields map[string]string) bool {
+	for _, p := range preds {
+		idx := s.Relation.Schema.ColumnIndex(p.Column)
+		if !textidx.TermOccursIn(tuple[idx].Text(), fields[p.Field]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,235 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/stats"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+	"textjoin/internal/workload"
+)
+
+// TestDPMatchesExhaustive: on the traditional space the dynamic program
+// must find a plan exactly as cheap as brute-force enumeration of all
+// left-deep orders with all text-join placements.
+func TestDPMatchesExhaustive(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		w, err := workload.Chain(workload.ChainConfig{
+			Relations: n, RowsEach: 25, Docs: 30, Seed: int64(100 + n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := sqlparse.Parse(w.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sqlparse.Analyze(q, w.Catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := w.Service()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := stats.New(svc, stats.WithSampleSize(10000))
+		opts := DefaultOptions()
+		opts.Mode = ModeTraditional
+
+		dpOpt, err := New(a, w.Catalog, svc, est, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := dpOpt.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		exOpt, err := New(a, w.Catalog, svc, est, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := exOpt.OptimizeExhaustive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The DP plan includes a Project on top; the exhaustive result is
+		// the bare join tree — compare join-tree costs.
+		if math.Abs(dp.EstCost-ex.EstCost) > 1e-6*(1+ex.EstCost) {
+			t.Errorf("n=%d: DP cost %v, exhaustive cost %v", n, dp.EstCost, ex.EstCost)
+		}
+	}
+}
+
+// TestDPMatchesExhaustiveQ5 repeats the oracle check on the Q5 workload
+// (a non-equi join plus two foreign predicates).
+func TestDPMatchesExhaustiveQ5(t *testing.T) {
+	cfg := workload.DefaultQ5()
+	cfg.Students, cfg.Faculty, cfg.Docs = 60, 20, 30
+	w, err := workload.Q5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlparse.Parse(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sqlparse.Analyze(q, w.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := w.Service()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.New(svc, stats.WithSampleSize(10000))
+	opts := DefaultOptions()
+	opts.Mode = ModeTraditional
+
+	dpOpt, err := New(a, w.Catalog, svc, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := dpOpt.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exOpt, err := New(a, w.Catalog, svc, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exOpt.OptimizeExhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.EstCost-ex.EstCost) > 1e-6*(1+ex.EstCost) {
+		t.Errorf("DP cost %v, exhaustive cost %v", dp.EstCost, ex.EstCost)
+	}
+}
+
+// TestDPMatchesExhaustiveTwoSources extends the oracle check to a query
+// with two text sources: the DP must still find the cheapest plan over
+// all orders and all source-placement interleavings.
+func TestDPMatchesExhaustiveTwoSources(t *testing.T) {
+	cat, svcA, svcB, query := twoSourceFixture(t)
+	q, err := sqlparse.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sqlparse.Analyze(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := map[string]texservice.Service{"arch": svcA, "pats": svcB}
+	estimators := map[string]*stats.Estimator{
+		"arch": stats.New(svcA, stats.WithSampleSize(10000)),
+		"pats": stats.New(svcB, stats.WithSampleSize(10000)),
+	}
+	opts := DefaultOptions()
+	opts.Mode = ModeTraditional
+
+	dpOpt, err := NewMulti(a, cat, services, estimators, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := dpOpt.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exOpt, err := NewMulti(a, cat, services, estimators, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exOpt.OptimizeExhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.EstCost-ex.EstCost) > 1e-6*(1+ex.EstCost) {
+		t.Errorf("two-source DP cost %v, exhaustive %v", dp.EstCost, ex.EstCost)
+	}
+}
+
+// twoSourceFixture builds a small two-source, two-table environment.
+func twoSourceFixture(t *testing.T) (*sqlparse.Catalog, *texservice.Local, *texservice.Local, string) {
+	t.Helper()
+	mkIx := func(field string, terms []string) *textidx.Index {
+		ix := textidx.NewIndex()
+		for i, w := range terms {
+			ix.MustAdd(textidx.Document{
+				ExtID:  fmt.Sprintf("%s-%d", field, i),
+				Fields: map[string]string{field: w},
+			})
+		}
+		ix.Freeze()
+		return ix
+	}
+	ixA := mkIx("title", []string{"alpha", "beta", "alpha gamma", "delta"})
+	ixB := mkIx("body", []string{"beta", "gamma", "delta epsilon"})
+	svcA, err := texservice.NewLocal(ixA, texservice.WithShortFields("title"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB, err := texservice.NewLocal(ixB, texservice.WithShortFields("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkTable := func(name string, vals []string) *relation.Table {
+		tbl := relation.NewTable(name, relation.MustSchema(
+			relation.Column{Name: "k", Kind: value.KindString},
+			relation.Column{Name: "w", Kind: value.KindString},
+		))
+		for i, v := range vals {
+			tbl.MustInsert(relation.Tuple{
+				value.String(fmt.Sprintf("key%d", i%3)), value.String(v)})
+		}
+		return tbl
+	}
+	cat := &sqlparse.Catalog{
+		Tables: map[string]*relation.Table{
+			"ta": mkTable("ta", []string{"alpha", "beta", "nomatch", "gamma"}),
+			"tb": mkTable("tb", []string{"beta", "delta", "epsilon"}),
+		},
+		Text: map[string]*sqlparse.TextSourceInfo{
+			"arch": {Name: "arch", Fields: []string{"title"}},
+			"pats": {Name: "pats", Fields: []string{"body"}},
+		},
+	}
+	query := `select ta.k, arch.docid, pats.docid from ta, tb, arch, pats
+		where ta.k = tb.k and ta.w in arch.title and tb.w in pats.body`
+	return cat, svcA, svcB, query
+}
+
+// TestExhaustiveGuards: the oracle refuses non-traditional modes and too
+// many tables.
+func TestExhaustiveGuards(t *testing.T) {
+	w, err := workload.Chain(workload.ChainConfig{Relations: 2, RowsEach: 5, Docs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlparse.Parse(w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sqlparse.Analyze(q, w.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := w.Service()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.New(svc)
+	opts := DefaultOptions() // PrL mode
+	o, err := New(a, w.Catalog, svc, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.OptimizeExhaustive(); err == nil {
+		t.Fatal("PrL mode accepted by the exhaustive oracle")
+	}
+}

@@ -1,0 +1,129 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"textjoin/internal/exec"
+	"textjoin/internal/join"
+	"textjoin/internal/plan"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/stats"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// TestFuzzTwoSources: random catalogs with two distinct text sources,
+// random queries joining both, all modes vs the naive oracle.
+func TestFuzzTwoSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(8282))
+	vocab := []string{"alpha", "beta", "gamma", "delta"}
+	word := func() string { return vocab[rng.Intn(len(vocab))] }
+
+	mkIndex := func(field string, docs int) *textidx.Index {
+		ix := textidx.NewIndex()
+		for d := 0; d < docs; d++ {
+			n := 1 + rng.Intn(3)
+			var words []string
+			for i := 0; i < n; i++ {
+				words = append(words, word())
+			}
+			ix.MustAdd(textidx.Document{
+				ExtID:  fmt.Sprintf("%s%03d", field, d),
+				Fields: map[string]string{field: strings.Join(words, " ")},
+			})
+		}
+		ix.Freeze()
+		return ix
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		ixA := mkIndex("title", 1+rng.Intn(15))
+		ixB := mkIndex("body", 1+rng.Intn(15))
+		svcA, err := texservice.NewLocal(ixA, texservice.WithShortFields("title"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcB, err := texservice.NewLocal(ixB, texservice.WithShortFields("body"))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		nTables := 1 + rng.Intn(2)
+		cat := &sqlparse.Catalog{
+			Tables: map[string]*relation.Table{},
+			Text: map[string]*sqlparse.TextSourceInfo{
+				"arch": {Name: "arch", Fields: []string{"title"}},
+				"pats": {Name: "pats", Fields: []string{"body"}},
+			},
+		}
+		var from []string
+		for ti := 0; ti < nTables; ti++ {
+			name := fmt.Sprintf("t%d", ti)
+			from = append(from, name)
+			tbl := relation.NewTable(name, relation.MustSchema(
+				relation.Column{Name: "k", Kind: value.KindString},
+				relation.Column{Name: "w", Kind: value.KindString},
+			))
+			for r := 0; r < 1+rng.Intn(10); r++ {
+				tbl.MustInsert(relation.Tuple{value.String(word()), value.String(word())})
+			}
+			cat.Tables[name] = tbl
+		}
+		var conds []string
+		for ti := 1; ti < nTables; ti++ {
+			conds = append(conds, fmt.Sprintf("t%d.k = t%d.k", ti-1, ti))
+		}
+		conds = append(conds,
+			fmt.Sprintf("t0.w in arch.title"),
+			fmt.Sprintf("t%d.w in pats.body", rng.Intn(nTables)))
+		if rng.Intn(2) == 0 {
+			conds = append(conds, fmt.Sprintf("'%s' in arch.title", word()))
+		}
+		query := fmt.Sprintf("select t0.k, arch.docid, pats.docid from %s, arch, pats where %s",
+			strings.Join(from, ", "), strings.Join(conds, " and "))
+
+		q, err := sqlparse.Parse(query)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		a, err := sqlparse.Analyze(q, cat)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := exec.NaiveQueryMulti(a, cat, map[string]*textidx.Index{"arch": ixA, "pats": ixB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		services := map[string]texservice.Service{"arch": svcA, "pats": svcB}
+		estimators := map[string]*stats.Estimator{
+			"arch": stats.New(svcA, stats.WithSampleSize(10000)),
+			"pats": stats.New(svcB, stats.WithSampleSize(10000)),
+		}
+		for _, mode := range []Mode{ModeTraditional, ModePrL, ModePrLGreedy} {
+			opts := DefaultOptions()
+			opts.Mode = mode
+			o, err := NewMulti(a, cat, services, estimators, opts)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, mode, err)
+			}
+			res, err := o.Optimize()
+			if err != nil {
+				t.Fatalf("trial %d %v: %v\nquery: %s", trial, mode, err, query)
+			}
+			ex := &exec.Executor{Cat: cat, Services: services}
+			got, _, err := ex.Run(res.Plan)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v\nplan:\n%s", trial, mode, err, plan.String(res.Plan))
+			}
+			if !join.SameRows(got, want) {
+				t.Fatalf("trial %d %v: %d rows, naive %d\nquery: %s\nplan:\n%s",
+					trial, mode, got.Cardinality(), want.Cardinality(), query, plan.String(res.Plan))
+			}
+		}
+	}
+}

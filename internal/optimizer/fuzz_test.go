@@ -1,0 +1,153 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"textjoin/internal/exec"
+	"textjoin/internal/join"
+	"textjoin/internal/plan"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/stats"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// randomEnvironment builds a random catalog (2–3 tables), corpus and a
+// random valid conjunctive query against them.
+func randomEnvironment(rng *rand.Rand) (*sqlparse.Catalog, *texservice.Local, string, error) {
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	word := func() string { return vocab[rng.Intn(len(vocab))] }
+
+	nTables := 2 + rng.Intn(2)
+	cat := &sqlparse.Catalog{
+		Tables: map[string]*relation.Table{},
+		Text: map[string]*sqlparse.TextSourceInfo{
+			"docs": {Name: "docs", Fields: []string{"title", "body"}},
+		},
+	}
+	var tableNames []string
+	for ti := 0; ti < nTables; ti++ {
+		name := fmt.Sprintf("t%d", ti)
+		tableNames = append(tableNames, name)
+		tbl := relation.NewTable(name, relation.MustSchema(
+			relation.Column{Name: "k", Kind: value.KindString},
+			relation.Column{Name: "w", Kind: value.KindString},
+			relation.Column{Name: "num", Kind: value.KindInt},
+		))
+		rows := 1 + rng.Intn(12)
+		for r := 0; r < rows; r++ {
+			k := word()
+			w := word()
+			if rng.Intn(4) == 0 {
+				w = "missing" + word() // non-matching value
+			}
+			tbl.MustInsert(relation.Tuple{
+				value.String(k), value.String(w), value.Int(int64(rng.Intn(5)))})
+		}
+		cat.Tables[name] = tbl
+	}
+
+	ix := textidx.NewIndex()
+	nDocs := 1 + rng.Intn(20)
+	for d := 0; d < nDocs; d++ {
+		nw := 1 + rng.Intn(4)
+		var title, body []string
+		for i := 0; i < nw; i++ {
+			title = append(title, word())
+			body = append(body, word())
+		}
+		ix.MustAdd(textidx.Document{
+			ExtID: fmt.Sprintf("d%03d", d),
+			Fields: map[string]string{
+				"title": strings.Join(title, " "),
+				"body":  strings.Join(body, " "),
+			},
+		})
+	}
+	ix.Freeze()
+	svc, err := texservice.NewLocal(ix, texservice.WithShortFields("title", "body"))
+	if err != nil {
+		return nil, nil, "", err
+	}
+
+	// Build the query: chain joins + selections + foreign predicates.
+	var conds []string
+	for ti := 1; ti < nTables; ti++ {
+		op := "="
+		if rng.Intn(4) == 0 {
+			op = "!="
+		}
+		conds = append(conds, fmt.Sprintf("t%d.k %s t%d.k", ti-1, op, ti))
+	}
+	if rng.Intn(2) == 0 {
+		conds = append(conds, fmt.Sprintf("t0.num > %d", rng.Intn(3)))
+	}
+	if rng.Intn(2) == 0 {
+		conds = append(conds, fmt.Sprintf("'%s' in docs.title", word()))
+	}
+	// 1–2 foreign predicates on random tables.
+	nForeign := 1 + rng.Intn(2)
+	fields := []string{"title", "body"}
+	for i := 0; i < nForeign; i++ {
+		conds = append(conds, fmt.Sprintf("t%d.w in docs.%s",
+			rng.Intn(nTables), fields[rng.Intn(2)]))
+	}
+	sel := "t0.k, docs.docid"
+	if rng.Intn(3) == 0 {
+		sel = "t0.k, docs.docid, docs.title" // long form
+	}
+	query := fmt.Sprintf("select %s from %s, docs where %s",
+		sel, strings.Join(tableNames, ", "), strings.Join(conds, " and "))
+	return cat, svc, query, nil
+}
+
+// TestFuzzMultiJoinAllModes: random catalogs and queries, optimized in
+// every mode, executed, and compared with the whole-query naive oracle.
+func TestFuzzMultiJoinAllModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 40; trial++ {
+		cat, svc, query, err := randomEnvironment(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := sqlparse.Parse(query)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, query, err)
+		}
+		a, err := sqlparse.Analyze(q, cat)
+		if err != nil {
+			t.Fatalf("trial %d: Analyze(%q): %v", trial, query, err)
+		}
+		want, err := exec.NaiveQuery(a, cat, svc.Index())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeTraditional, ModePrL, ModePrLGreedy} {
+			est := stats.New(svc, stats.WithSampleSize(10000))
+			opts := DefaultOptions()
+			opts.Mode = mode
+			o, err := New(a, cat, svc, est, opts)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, mode, err)
+			}
+			res, err := o.Optimize()
+			if err != nil {
+				t.Fatalf("trial %d %v: optimize %q: %v", trial, mode, query, err)
+			}
+			ex := &exec.Executor{Cat: cat, Svc: svc}
+			got, _, err := ex.Run(res.Plan)
+			if err != nil {
+				t.Fatalf("trial %d %v: execute: %v\nplan:\n%s", trial, mode, err, plan.String(res.Plan))
+			}
+			if !join.SameRows(got, want) {
+				t.Fatalf("trial %d %v: %d rows, naive %d rows\nquery: %s\nplan:\n%s",
+					trial, mode, got.Cardinality(), want.Cardinality(), query, plan.String(res.Plan))
+			}
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"textjoin/internal/exec"
+	"textjoin/internal/join"
+	"textjoin/internal/plan"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/stats"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// fixture builds a department database + bibliographic corpus in the
+// spirit of the paper's experimental setup. Few students publish; faculty
+// publish a lot; dept inequality is unselective — the Example 6.1 regime.
+func fixture(t testing.TB, seed int64) (*sqlparse.Catalog, *texservice.Local) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	student := relation.NewTable("student", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+		relation.Column{Name: "year", Kind: value.KindInt},
+	))
+	faculty := relation.NewTable("faculty", relation.MustSchema(
+		relation.Column{Name: "fname", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+	))
+	depts := []string{"cs", "ee", "me"}
+	facultyNames := []string{"garcia", "ullman", "widom", "motwani"}
+	for i, f := range facultyNames {
+		faculty.MustInsert(relation.Tuple{value.String(f), value.String(depts[i%len(depts)])})
+	}
+	// 40 students; only the first few publish.
+	var publishing []string
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("student%02d", i)
+		if i < 4 {
+			publishing = append(publishing, name)
+		}
+		student.MustInsert(relation.Tuple{
+			value.String(name),
+			value.String(depts[rng.Intn(len(depts))]),
+			value.Int(int64(1 + rng.Intn(6))),
+		})
+	}
+
+	ix := textidx.NewIndex()
+	topics := []string{"belief update", "text retrieval", "query optimization", "filtering"}
+	years := []string{"1993", "1994", "1995"}
+	for d := 0; d < 30; d++ {
+		var authors []string
+		authors = append(authors, facultyNames[rng.Intn(len(facultyNames))])
+		if rng.Intn(3) == 0 {
+			authors = append(authors, publishing[rng.Intn(len(publishing))])
+		}
+		ix.MustAdd(textidx.Document{
+			ExtID: fmt.Sprintf("rep%03d", d),
+			Fields: map[string]string{
+				"title":  topics[rng.Intn(len(topics))],
+				"author": strings.Join(authors, " "),
+				"year":   years[rng.Intn(len(years))],
+			},
+		})
+	}
+	ix.Freeze()
+	svc, err := texservice.NewLocal(ix, texservice.WithShortFields("title", "author", "year"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := &sqlparse.Catalog{
+		Tables: map[string]*relation.Table{"student": student, "faculty": faculty},
+		Text: map[string]*sqlparse.TextSourceInfo{
+			"mercury": {Name: "mercury", Fields: []string{"title", "author", "year"}},
+		},
+	}
+	return cat, svc
+}
+
+func mustAnalyze(t testing.TB, cat *sqlparse.Catalog, src string) *sqlparse.Analyzed {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	a, err := sqlparse.Analyze(q, cat)
+	if err != nil {
+		t.Fatalf("Analyze(%q): %v", src, err)
+	}
+	return a
+}
+
+func optimize(t testing.TB, a *sqlparse.Analyzed, cat *sqlparse.Catalog, svc *texservice.Local, mode Mode) *Result {
+	t.Helper()
+	est := stats.New(svc, stats.WithSampleSize(1000), stats.WithSeed(1))
+	opts := DefaultOptions()
+	opts.Mode = mode
+	o, err := New(a, cat, svc, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const q5src = `select student.name, mercury.docid
+	from student, faculty, mercury
+	where student.name in mercury.author
+	and faculty.fname in mercury.author
+	and faculty.dept != student.dept
+	and '1993' in mercury.year`
+
+func TestSingleJoinPlanExecutes(t *testing.T) {
+	cat, svc := fixture(t, 1)
+	a := mustAnalyze(t, cat, `select student.name, mercury.docid, mercury.title
+		from student, mercury
+		where student.year > 2 and student.name in mercury.author`)
+	for _, mode := range []Mode{ModeTraditional, ModePrL, ModePrLGreedy} {
+		res := optimize(t, a, cat, svc, mode)
+		tj := plan.FindTextJoin(res.Plan)
+		if tj == nil {
+			t.Fatalf("%v: plan has no text join:\n%s", mode, plan.String(res.Plan))
+		}
+		ex := &exec.Executor{Cat: cat, Svc: svc}
+		got, _, err := ex.Run(res.Plan)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		want, err := exec.NaiveQuery(a, cat, svc.Index())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !join.SameRows(got, want) {
+			t.Fatalf("%v: plan result (%d rows) differs from naive (%d rows)\nplan:\n%s",
+				mode, got.Cardinality(), want.Cardinality(), plan.String(res.Plan))
+		}
+	}
+}
+
+func TestQ5AllModesCorrect(t *testing.T) {
+	cat, svc := fixture(t, 2)
+	a := mustAnalyze(t, cat, q5src)
+	want, err := exec.NaiveQuery(a, cat, svc.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeTraditional, ModePrL, ModePrLGreedy} {
+		res := optimize(t, a, cat, svc, mode)
+		ex := &exec.Executor{Cat: cat, Svc: svc}
+		got, _, err := ex.Run(res.Plan)
+		if err != nil {
+			t.Fatalf("%v: %v\nplan:\n%s", mode, err, plan.String(res.Plan))
+		}
+		if !join.SameRows(got, want) {
+			t.Fatalf("%v: result (%d rows) differs from naive (%d)\nplan:\n%s",
+				mode, got.Cardinality(), want.Cardinality(), plan.String(res.Plan))
+		}
+		if mode == ModeTraditional && plan.CountProbes(res.Plan) != 0 {
+			t.Fatalf("traditional plan contains probe nodes:\n%s", plan.String(res.Plan))
+		}
+	}
+}
+
+// TestPrLNeverWorseThanTraditional is the paper's desideratum (1): the
+// extended space's plan costs no more than the traditional space's.
+func TestPrLNeverWorseThanTraditional(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cat, svc := fixture(t, seed)
+		a := mustAnalyze(t, cat, q5src)
+		trad := optimize(t, a, cat, svc, ModeTraditional)
+		prl := optimize(t, a, cat, svc, ModePrL)
+		if prl.EstCost > trad.EstCost*(1+1e-9) {
+			t.Fatalf("seed %d: PrL cost %v > traditional %v\nPrL:\n%s\ntrad:\n%s",
+				seed, prl.EstCost, trad.EstCost, plan.String(prl.Plan), plan.String(trad.Plan))
+		}
+	}
+}
+
+// example61Fixture builds the regime of Example 6.1 amplified: both
+// foreign predicates are selective ("few of the students write
+// articles"), the dept inequality join is unselective, the author field
+// is not in the short form (ruling out the RTP family), and the tables
+// are large enough that substituting the unreduced student×faculty
+// product into the text system is hopeless. Probe-as-semi-join nodes are
+// then the winning strategy.
+func example61Fixture(t testing.TB) (*sqlparse.Catalog, *texservice.Local) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	student := relation.NewTable("student", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+	))
+	faculty := relation.NewTable("faculty", relation.MustSchema(
+		relation.Column{Name: "fname", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+	))
+	depts := []string{"cs", "ee", "me", "ce"}
+	nStudents, nFaculty := 400, 60
+	var pubStudents, pubFaculty []string
+	for i := 0; i < nStudents; i++ {
+		name := fmt.Sprintf("student%03d", i)
+		if i < 8 {
+			pubStudents = append(pubStudents, name)
+		}
+		student.MustInsert(relation.Tuple{value.String(name), value.String(depts[rng.Intn(len(depts))])})
+	}
+	for i := 0; i < nFaculty; i++ {
+		name := fmt.Sprintf("prof%02d", i)
+		if i < 6 {
+			pubFaculty = append(pubFaculty, name)
+		}
+		faculty.MustInsert(relation.Tuple{value.String(name), value.String(depts[rng.Intn(len(depts))])})
+	}
+	ix := textidx.NewIndex()
+	for d := 0; d < 50; d++ {
+		ix.MustAdd(textidx.Document{
+			ExtID: fmt.Sprintf("rep%03d", d),
+			Fields: map[string]string{
+				"title":  "report",
+				"author": pubFaculty[rng.Intn(len(pubFaculty))] + " " + pubStudents[rng.Intn(len(pubStudents))],
+				"year":   "1993",
+			},
+		})
+	}
+	ix.Freeze()
+	svc, err := texservice.NewLocal(ix, texservice.WithShortFields("title", "year"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := &sqlparse.Catalog{
+		Tables: map[string]*relation.Table{"student": student, "faculty": faculty},
+		Text: map[string]*sqlparse.TextSourceInfo{
+			"mercury": {Name: "mercury", Fields: []string{"title", "author", "year"}},
+		},
+	}
+	return cat, svc
+}
+
+// TestPrLUsesProbeInExample61Regime: in the Example 6.1 regime the PrL
+// plan reduces the relations with probe nodes before the relational join
+// and the foreign join, and strictly beats the best traditional plan.
+func TestPrLUsesProbeInExample61Regime(t *testing.T) {
+	cat, svc := example61Fixture(t)
+	a := mustAnalyze(t, cat, q5src)
+	trad := optimize(t, a, cat, svc, ModeTraditional)
+	prl := optimize(t, a, cat, svc, ModePrL)
+	if plan.CountProbes(prl.Plan) == 0 {
+		t.Fatalf("PrL plan has no probe nodes in the Example 6.1 regime:\ntraditional (%.1f):\n%s\nPrL (%.1f):\n%s",
+			trad.EstCost, plan.String(trad.Plan), prl.EstCost, plan.String(prl.Plan))
+	}
+	if prl.EstCost >= trad.EstCost {
+		t.Fatalf("PrL (%v) does not beat traditional (%v)\nPrL:\n%s",
+			prl.EstCost, trad.EstCost, plan.String(prl.Plan))
+	}
+	// The probed plan must still execute correctly.
+	ex := &exec.Executor{Cat: cat, Svc: svc}
+	got, st, err := ex.Run(prl.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.NaiveQuery(a, cat, svc.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(got, want) {
+		t.Fatal("probed plan result differs from naive")
+	}
+	if st.Probes == 0 {
+		t.Fatal("execution sent no probes despite probe nodes")
+	}
+	t.Logf("traditional cost %.2f, PrL cost %.2f, probes %d",
+		trad.EstCost, prl.EstCost, plan.CountProbes(prl.Plan))
+}
+
+// TestGreedyBetweenBounds: the paper's single-plan-per-state variant must
+// not beat the Pareto search and must not lose to it by construction
+// errors (it may tie).
+func TestGreedyWithinBounds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cat, svc := fixture(t, seed)
+		a := mustAnalyze(t, cat, q5src)
+		prl := optimize(t, a, cat, svc, ModePrL)
+		greedy := optimize(t, a, cat, svc, ModePrLGreedy)
+		if greedy.EstCost < prl.EstCost*(1-1e-9) {
+			t.Fatalf("seed %d: greedy (%v) beat Pareto (%v)", seed, greedy.EstCost, prl.EstCost)
+		}
+	}
+}
+
+func TestJoinTasksCounted(t *testing.T) {
+	cat, svc := fixture(t, 4)
+	a := mustAnalyze(t, cat, q5src)
+	trad := optimize(t, a, cat, svc, ModeTraditional)
+	prl := optimize(t, a, cat, svc, ModePrL)
+	if trad.JoinTasks <= 0 {
+		t.Fatal("traditional counted no join tasks")
+	}
+	if prl.JoinTasks < trad.JoinTasks {
+		t.Fatalf("PrL (%d tasks) did less work than traditional (%d)", prl.JoinTasks, trad.JoinTasks)
+	}
+}
+
+func TestPureRelationalQuery(t *testing.T) {
+	cat, svc := fixture(t, 5)
+	a := mustAnalyze(t, cat, `select student.name from student, faculty
+		where student.dept = faculty.dept and student.year > 3`)
+	res := optimize(t, a, cat, svc, ModePrL)
+	ex := &exec.Executor{Cat: cat, Svc: svc}
+	got, _, err := ex.Run(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.NaiveQuery(a, cat, svc.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(got, want) {
+		t.Fatalf("pure relational plan wrong:\n%s", plan.String(res.Plan))
+	}
+	if plan.FindTextJoin(res.Plan) != nil {
+		t.Fatal("pure relational plan contains a text join")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeTraditional.String() != "traditional" || ModePrL.String() != "prl" ||
+		ModePrLGreedy.String() != "prl-greedy" || Mode(9).String() == "" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	cat, svc := fixture(t, 6)
+	a := mustAnalyze(t, cat, q5src)
+	res := optimize(t, a, cat, svc, ModePrL)
+	s := plan.String(res.Plan)
+	for _, want := range []string{"Project", "TextJoin", "Scan"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFrontierCapOne: even with the Pareto frontier degenerated to a
+// single plan per state, optimization completes and the plan executes
+// correctly (it may just cost more).
+func TestFrontierCapOne(t *testing.T) {
+	cat, svc := fixture(t, 12)
+	a := mustAnalyze(t, cat, q5src)
+	est := stats.New(svc, stats.WithSampleSize(1000))
+	opts := DefaultOptions()
+	opts.FrontierCap = 1
+	o, err := New(a, cat, svc, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &exec.Executor{Cat: cat, Svc: svc}
+	got, _, err := ex.Run(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.NaiveQuery(a, cat, svc.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(got, want) {
+		t.Fatal("capped-frontier plan result differs from naive")
+	}
+}

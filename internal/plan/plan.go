@@ -1,0 +1,223 @@
+// Package plan defines the physical plan trees the optimizer produces and
+// the executor runs: PrL trees (§6) — left-deep join trees over relational
+// scans, optionally augmented with probe (semi-join reducer) nodes, with a
+// single foreign-join node against the external text source annotated with
+// the join method of §3 and its probe columns.
+package plan
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"textjoin/internal/cost"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/textidx"
+)
+
+// Node is one operator of a physical plan.
+type Node interface {
+	// Card returns the optimizer's estimated output cardinality.
+	Card() float64
+	// Cost returns the estimated cumulative cost of the subtree, in the
+	// cost model's seconds.
+	Cost() float64
+	// Children returns the operator's inputs.
+	Children() []Node
+	// Describe renders the operator itself (one line, no children).
+	Describe() string
+}
+
+// Est carries the optimizer's estimates; embedded by every node.
+type Est struct {
+	EstCard float64
+	EstCost float64
+}
+
+// Card implements Node.
+func (e Est) Card() float64 { return e.EstCard }
+
+// Cost implements Node.
+func (e Est) Cost() float64 { return e.EstCost }
+
+// Scan reads a base table and applies its selection predicates.
+type Scan struct {
+	Est
+	Table string
+	Pred  relation.Predicate // over qualified names; True when none
+}
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Describe implements Node.
+func (s *Scan) Describe() string {
+	p := ""
+	if s.Pred != nil {
+		if _, isTrue := s.Pred.(relation.True); !isTrue {
+			p = " [" + s.Pred.String() + "]"
+		}
+	}
+	return fmt.Sprintf("Scan(%s)%s", s.Table, p)
+}
+
+// Probe is the probe-as-semi-join reducer of PrL trees (§6): it keeps the
+// input tuples whose probe on the given foreign predicates succeeds.
+type Probe struct {
+	Est
+	Input Node
+	// Source is the probed text source's name.
+	Source string
+	// Preds are the foreign predicates probed (the probe columns are
+	// their relation columns).
+	Preds []sqlparse.ForeignPred
+	// TextSel is the source's text selection; probes carry it (§3.3).
+	TextSel textidx.Expr
+}
+
+// Children implements Node.
+func (p *Probe) Children() []Node { return []Node{p.Input} }
+
+// Describe implements Node.
+func (p *Probe) Describe() string {
+	cols := make([]string, len(p.Preds))
+	for i, f := range p.Preds {
+		cols[i] = f.Column
+	}
+	return fmt.Sprintf("Probe(%s)", strings.Join(cols, ", "))
+}
+
+// Join is a relational join between the accumulated left input and a base
+// table's scan on the right (left-deep).
+type Join struct {
+	Est
+	Left, Right Node
+	Equi        []relation.EquiJoinCond
+	Residual    relation.Predicate // nil when none
+	// Algorithm is "hash" (equi conditions present) or "nested-loop".
+	Algorithm string
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Describe implements Node.
+func (j *Join) Describe() string {
+	var conds []string
+	for _, e := range j.Equi {
+		conds = append(conds, e.Left+" = "+e.Right)
+	}
+	if j.Residual != nil {
+		if _, isTrue := j.Residual.(relation.True); !isTrue {
+			conds = append(conds, j.Residual.String())
+		}
+	}
+	cond := strings.Join(conds, " and ")
+	if cond == "" {
+		cond = "cross"
+	}
+	return fmt.Sprintf("Join[%s](%s)", j.Algorithm, cond)
+}
+
+// TextJoin is the foreign join with the text source: it joins its input
+// with the external documents on the foreign predicates, under the text
+// selection, using the chosen execution method of §3.
+type TextJoin struct {
+	Est
+	Input Node
+	// Source is the text source's name (e.g. "mercury").
+	Source string
+	// Method is the chosen join method.
+	Method cost.Method
+	// ProbeColumns are the method's probe columns (probe methods only),
+	// as qualified relation column names.
+	ProbeColumns []string
+	// Preds are all the query's foreign join predicates.
+	Preds []sqlparse.ForeignPred
+	// TextSel is the text selection (nil when none).
+	TextSel textidx.Expr
+	// LongForm and DocFields describe the document output needed.
+	LongForm  bool
+	DocFields []string
+}
+
+// Children implements Node.
+func (t *TextJoin) Children() []Node { return []Node{t.Input} }
+
+// Describe implements Node.
+func (t *TextJoin) Describe() string {
+	preds := make([]string, len(t.Preds))
+	for i, f := range t.Preds {
+		preds[i] = f.String()
+	}
+	s := fmt.Sprintf("TextJoin[%s](%s: %s", t.Method, t.Source, strings.Join(preds, ", "))
+	if t.TextSel != nil {
+		s += "; sel: " + t.TextSel.String()
+	}
+	if len(t.ProbeColumns) > 0 {
+		s += "; probe on " + strings.Join(t.ProbeColumns, ", ")
+	}
+	return s + ")"
+}
+
+// Project restricts the output to the query's select list.
+type Project struct {
+	Est
+	Input   Node
+	Columns []string
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Input} }
+
+// Describe implements Node.
+func (p *Project) Describe() string {
+	return "Project(" + strings.Join(p.Columns, ", ") + ")"
+}
+
+// Explain writes an indented rendering of the plan tree with estimates.
+func Explain(w io.Writer, n Node) {
+	explain(w, n, 0)
+}
+
+func explain(w io.Writer, n Node, depth int) {
+	fmt.Fprintf(w, "%s%s  (card=%.1f cost=%.2f)\n",
+		strings.Repeat("  ", depth), n.Describe(), n.Card(), n.Cost())
+	for _, c := range n.Children() {
+		explain(w, c, depth+1)
+	}
+}
+
+// String renders the plan as a string.
+func String(n Node) string {
+	var b strings.Builder
+	Explain(&b, n)
+	return b.String()
+}
+
+// CountProbes returns the number of Probe nodes in the tree (TextJoin-
+// internal probing not included).
+func CountProbes(n Node) int {
+	count := 0
+	if _, ok := n.(*Probe); ok {
+		count++
+	}
+	for _, c := range n.Children() {
+		count += CountProbes(c)
+	}
+	return count
+}
+
+// FindTextJoin returns the plan's TextJoin node, or nil.
+func FindTextJoin(n Node) *TextJoin {
+	if t, ok := n.(*TextJoin); ok {
+		return t
+	}
+	for _, c := range n.Children() {
+		if t := FindTextJoin(c); t != nil {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"textjoin/internal/cost"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+func samplePlan() Node {
+	scanS := &Scan{Est: Est{EstCard: 40, EstCost: 0.1}, Table: "student",
+		Pred: relation.ColConst{Col: "student.year", Op: relation.OpGt, Const: value.Int(3)}}
+	probe := &Probe{Est: Est{EstCard: 4, EstCost: 10}, Input: scanS,
+		Preds:   []sqlparse.ForeignPred{{Table: "student", Column: "student.name", Field: "author"}},
+		TextSel: textidx.Term{Field: "year", Word: "1993"}}
+	scanF := &Scan{Est: Est{EstCard: 4, EstCost: 0.01}, Table: "faculty", Pred: relation.True{}}
+	j := &Join{Est: Est{EstCard: 14, EstCost: 11}, Left: probe, Right: scanF,
+		Equi:      []relation.EquiJoinCond{{Left: "student.dept", Right: "faculty.dept"}},
+		Residual:  relation.ColCol{Left: "faculty.dept", Op: relation.OpNe, Right: "student.dept"},
+		Algorithm: "hash"}
+	tj := &TextJoin{Est: Est{EstCard: 20, EstCost: 60}, Input: j, Source: "mercury",
+		Method:       cost.MethodPTS,
+		ProbeColumns: []string{"student.name"},
+		Preds: []sqlparse.ForeignPred{
+			{Table: "student", Column: "student.name", Field: "author"},
+			{Table: "faculty", Column: "faculty.fname", Field: "author"},
+		},
+		TextSel:  textidx.Term{Field: "year", Word: "1993"},
+		LongForm: false}
+	return &Project{Est: Est{EstCard: 20, EstCost: 60}, Input: tj,
+		Columns: []string{"student.name", "mercury.docid"}}
+}
+
+func TestExplainRendersEveryNode(t *testing.T) {
+	out := String(samplePlan())
+	for _, want := range []string{
+		"Project(student.name, mercury.docid)",
+		"TextJoin[P+TS](mercury:",
+		"probe on student.name",
+		"sel: year='1993'",
+		"Join[hash](student.dept = faculty.dept and faculty.dept != student.dept)",
+		"Probe(student.name)",
+		"Scan(student) [student.year > 3]",
+		"Scan(faculty)",
+		"card=40.0",
+		"cost=60.00",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation: the deepest scans are indented more than the project.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "Project") {
+		t.Errorf("first line = %q", lines[0])
+	}
+}
+
+func TestCountProbesAndFindTextJoin(t *testing.T) {
+	p := samplePlan()
+	if CountProbes(p) != 1 {
+		t.Fatalf("CountProbes = %d", CountProbes(p))
+	}
+	tj := FindTextJoin(p)
+	if tj == nil || tj.Source != "mercury" {
+		t.Fatalf("FindTextJoin = %v", tj)
+	}
+	scan := &Scan{Table: "x"}
+	if CountProbes(scan) != 0 || FindTextJoin(scan) != nil {
+		t.Fatal("scan-only plan misreported")
+	}
+}
+
+func TestDescribeEdgeCases(t *testing.T) {
+	s := &Scan{Table: "t", Pred: relation.True{}}
+	if strings.Contains(s.Describe(), "[") {
+		t.Errorf("True predicate rendered: %s", s.Describe())
+	}
+	s2 := &Scan{Table: "t"}
+	if s2.Describe() != "Scan(t)" {
+		t.Errorf("nil predicate rendering: %s", s2.Describe())
+	}
+	j := &Join{Algorithm: "nested-loop"}
+	if !strings.Contains(j.Describe(), "cross") {
+		t.Errorf("cross join rendering: %s", j.Describe())
+	}
+	tj := &TextJoin{Source: "m", Method: cost.MethodTS}
+	if strings.Contains(tj.Describe(), "probe on") || strings.Contains(tj.Describe(), "sel:") {
+		t.Errorf("bare text join rendering: %s", tj.Describe())
+	}
+	if len(j.Children()) != 2 || len(tj.Children()) != 1 {
+		t.Fatal("children wrong")
+	}
+}
+
+func TestEstAccessors(t *testing.T) {
+	e := Est{EstCard: 5, EstCost: 7}
+	if e.Card() != 5 || e.Cost() != 7 {
+		t.Fatal("Est accessors wrong")
+	}
+}

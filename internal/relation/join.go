@@ -1,0 +1,135 @@
+package relation
+
+import (
+	"fmt"
+
+	"textjoin/internal/value"
+)
+
+// EquiJoinCond is one equality join condition between a column of the left
+// table and a column of the right table.
+type EquiJoinCond struct {
+	Left  string
+	Right string
+}
+
+// NestedLoopJoin joins left and right with an arbitrary join predicate that
+// is evaluated over the concatenated schema. It is the general (theta) join
+// used when no equality condition is available, e.g. Q5's
+// "faculty.dept != student.dept".
+func NestedLoopJoin(left, right *Table, pred Predicate) (*Table, error) {
+	schema := left.Schema.Concat(right.Schema)
+	out := NewTable(left.Name+"⋈"+right.Name, schema)
+	for _, lr := range left.Rows {
+		for _, rr := range right.Rows {
+			row := lr.Concat(rr)
+			ok, err := pred.Eval(schema, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// HashJoin joins left and right on the conjunction of equality conditions,
+// optionally filtering with an extra residual predicate over the
+// concatenated schema (pass nil for none). It builds on the smaller input.
+func HashJoin(left, right *Table, conds []EquiJoinCond, residual Predicate) (*Table, error) {
+	if len(conds) == 0 {
+		p := residual
+		if p == nil {
+			p = True{}
+		}
+		return NestedLoopJoin(left, right, p)
+	}
+	lIdx := make([]int, len(conds))
+	rIdx := make([]int, len(conds))
+	for i, c := range conds {
+		li := left.Schema.ColumnIndex(c.Left)
+		if li < 0 {
+			return nil, fmt.Errorf("relation: %s has no column %q", left.Name, c.Left)
+		}
+		ri := right.Schema.ColumnIndex(c.Right)
+		if ri < 0 {
+			return nil, fmt.Errorf("relation: %s has no column %q", right.Name, c.Right)
+		}
+		lIdx[i], rIdx[i] = li, ri
+	}
+
+	schema := left.Schema.Concat(right.Schema)
+	out := NewTable(left.Name+"⋈"+right.Name, schema)
+
+	// Build on right, probe with left, preserving left-major output order
+	// (same order as the nested-loop formulation, which keeps results
+	// comparable across join algorithms in tests).
+	build := map[string][]int{}
+	key := make([]value.Value, len(conds))
+	for i, rr := range right.Rows {
+		for j, idx := range rIdx {
+			key[j] = rr[idx]
+		}
+		k := value.KeyOf(key...)
+		build[k] = append(build[k], i)
+	}
+	for _, lr := range left.Rows {
+		for j, idx := range lIdx {
+			key[j] = lr[idx]
+		}
+		k := value.KeyOf(key...)
+		for _, ri := range build[k] {
+			row := lr.Concat(right.Rows[ri])
+			if residual != nil {
+				ok, err := residual.Eval(schema, row)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// SemiJoin returns the left tuples that have at least one match in right
+// under the equality conditions. It is the classical distributed-database
+// reducer the paper's probe nodes emulate against the text source.
+func SemiJoin(left, right *Table, conds []EquiJoinCond) (*Table, error) {
+	lIdx := make([]int, len(conds))
+	rIdx := make([]int, len(conds))
+	for i, c := range conds {
+		li := left.Schema.ColumnIndex(c.Left)
+		if li < 0 {
+			return nil, fmt.Errorf("relation: %s has no column %q", left.Name, c.Left)
+		}
+		ri := right.Schema.ColumnIndex(c.Right)
+		if ri < 0 {
+			return nil, fmt.Errorf("relation: %s has no column %q", right.Name, c.Right)
+		}
+		lIdx[i], rIdx[i] = li, ri
+	}
+	present := map[string]bool{}
+	key := make([]value.Value, len(conds))
+	for _, rr := range right.Rows {
+		for j, idx := range rIdx {
+			key[j] = rr[idx]
+		}
+		present[value.KeyOf(key...)] = true
+	}
+	out := NewTable(left.Name, left.Schema)
+	for _, lr := range left.Rows {
+		for j, idx := range lIdx {
+			key[j] = lr[idx]
+		}
+		if present[value.KeyOf(key...)] {
+			out.Rows = append(out.Rows, lr)
+		}
+	}
+	return out, nil
+}

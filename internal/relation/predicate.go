@@ -1,0 +1,214 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"textjoin/internal/value"
+)
+
+// CmpOp enumerates the comparison operators of the SQL surface syntax.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// apply evaluates "a op b" using value.Compare semantics. Comparisons with
+// NULL are false except NULL = NULL and NULL <= ... per Compare's total
+// order; conjunctive queries in the paper never rely on three-valued logic.
+func (op CmpOp) apply(a, b value.Value) bool {
+	c := value.Compare(a, b)
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate evaluates to a boolean over a tuple of a given schema.
+type Predicate interface {
+	Eval(s *Schema, t Tuple) (bool, error)
+	String() string
+}
+
+// ColConst compares a column against a constant: "col op const".
+type ColConst struct {
+	Col   string
+	Op    CmpOp
+	Const value.Value
+}
+
+// Eval implements Predicate.
+func (p ColConst) Eval(s *Schema, t Tuple) (bool, error) {
+	idx := s.ColumnIndex(p.Col)
+	if idx < 0 {
+		return false, fmt.Errorf("relation: unknown column %q in predicate", p.Col)
+	}
+	return p.Op.apply(t[idx], p.Const), nil
+}
+
+func (p ColConst) String() string {
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Const)
+}
+
+// ColCol compares two columns: "left op right".
+type ColCol struct {
+	Left  string
+	Op    CmpOp
+	Right string
+}
+
+// Eval implements Predicate.
+func (p ColCol) Eval(s *Schema, t Tuple) (bool, error) {
+	li := s.ColumnIndex(p.Left)
+	ri := s.ColumnIndex(p.Right)
+	if li < 0 {
+		return false, fmt.Errorf("relation: unknown column %q in predicate", p.Left)
+	}
+	if ri < 0 {
+		return false, fmt.Errorf("relation: unknown column %q in predicate", p.Right)
+	}
+	return p.Op.apply(t[li], t[ri]), nil
+}
+
+func (p ColCol) String() string {
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// And is the conjunction of its parts; the empty conjunction is true.
+type And []Predicate
+
+// Eval implements Predicate.
+func (p And) Eval(s *Schema, t Tuple) (bool, error) {
+	for _, sub := range p {
+		ok, err := sub.Eval(s, t)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (p And) String() string {
+	if len(p) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(p))
+	for i, sub := range p {
+		parts[i] = sub.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Or is the disjunction of its parts; the empty disjunction is false.
+type Or []Predicate
+
+// Eval implements Predicate.
+func (p Or) Eval(s *Schema, t Tuple) (bool, error) {
+	for _, sub := range p {
+		ok, err := sub.Eval(s, t)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (p Or) String() string {
+	if len(p) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(p))
+	for i, sub := range p {
+		parts[i] = "(" + sub.String() + ")"
+	}
+	return strings.Join(parts, " or ")
+}
+
+// Not negates its operand.
+type Not struct{ P Predicate }
+
+// Eval implements Predicate.
+func (p Not) Eval(s *Schema, t Tuple) (bool, error) {
+	ok, err := p.P.Eval(s, t)
+	return !ok, err
+}
+
+func (p Not) String() string { return "not (" + p.P.String() + ")" }
+
+// True is the always-true predicate.
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(*Schema, Tuple) (bool, error) { return true, nil }
+
+func (True) String() string { return "TRUE" }
+
+// Contains is the SQL-supported substring match used by relational text
+// processing (RTP, §3.2): true when the column's text contains the constant
+// as a word-boundary-insensitive substring (SQL LIKE '%c%' semantics).
+type Contains struct {
+	Col    string
+	Needle string
+}
+
+// Eval implements Predicate.
+func (p Contains) Eval(s *Schema, t Tuple) (bool, error) {
+	idx := s.ColumnIndex(p.Col)
+	if idx < 0 {
+		return false, fmt.Errorf("relation: unknown column %q in predicate", p.Col)
+	}
+	v := t[idx]
+	if v.IsNull() {
+		return false, nil
+	}
+	return strings.Contains(strings.ToLower(v.Text()), strings.ToLower(p.Needle)), nil
+}
+
+func (p Contains) String() string {
+	return fmt.Sprintf("%s like '%%%s%%'", p.Col, p.Needle)
+}

@@ -1,0 +1,99 @@
+package sqlparse
+
+import (
+	"strings"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/value"
+)
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Qualified returns the canonical "table.column" form (Table must be set).
+func (c ColRef) Qualified() string { return c.Table + "." + c.Column }
+
+// Comparison is "left op right" where right is a column or a literal.
+type Comparison struct {
+	Left       ColRef
+	Op         relation.CmpOp
+	RightIsCol bool
+	RightCol   ColRef
+	RightLit   value.Value
+}
+
+// String renders the conjunct.
+func (c Comparison) String() string {
+	right := c.RightLit.String()
+	if c.RightIsCol {
+		right = c.RightCol.String()
+	}
+	return c.Left.String() + " " + c.Op.String() + " " + right
+}
+
+// TextPred is "<term> in <field>" — a text selection when the left side is
+// a string constant, a foreign join predicate when it is a column.
+type TextPred struct {
+	ConstTerm string // set when IsConst
+	IsConst   bool
+	Col       ColRef // set when !IsConst
+	Field     ColRef // the text source field, e.g. mercury.title
+}
+
+// String renders the conjunct.
+func (p TextPred) String() string {
+	if p.IsConst {
+		return "'" + p.ConstTerm + "' in " + p.Field.String()
+	}
+	return p.Col.String() + " in " + p.Field.String()
+}
+
+// Conjunct is one AND-ed condition of the where clause.
+type Conjunct interface{ String() string }
+
+// Query is the parsed form of a select-from-where query.
+type Query struct {
+	Star      bool
+	Select    []ColRef
+	From      []string
+	Conjuncts []Conjunct
+}
+
+// String renders the query in canonical form.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		for i, c := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString(" from ")
+	b.WriteString(strings.Join(q.From, ", "))
+	if len(q.Conjuncts) > 0 {
+		b.WriteString(" where ")
+		for i, c := range q.Conjuncts {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}

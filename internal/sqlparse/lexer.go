@@ -1,0 +1,147 @@
+// Package sqlparse implements the paper's SQL-ish surface syntax for
+// conjunctive queries over relational tables and external text sources:
+//
+//	select student.name, mercury.docid
+//	from student, faculty, mercury
+//	where student.area = 'AI'
+//	  and student.year > 3
+//	  and faculty.dept != student.dept
+//	  and 'belief update' in mercury.title
+//	  and student.name in mercury.author
+//
+// The package provides a lexer, a recursive-descent parser producing an
+// AST, and a semantic analyzer that resolves names against a catalog and
+// classifies each conjunct as a relational selection, a relational join, a
+// text selection, or a foreign join predicate — the classification the
+// optimizer of §6 consumes.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tComma
+	tDot
+	tStar
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tKeyword // select, from, where, and, in
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "in": true,
+}
+
+// lex tokenizes a query string.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == ',':
+			toks = append(toks, token{tComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tNe, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: stray '!' at %d", i)
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tLe, "<=", i})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tNe, "<>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tGt, ">", i})
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sqlparse: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tString, src[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], i})
+			i = j
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && (isIdentByte(src[j]) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			word := src[i:j]
+			if keywords[strings.ToLower(word)] {
+				toks = append(toks, token{tKeyword, strings.ToLower(word), i})
+			} else {
+				toks = append(toks, token{tIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

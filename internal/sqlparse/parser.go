@@ -1,0 +1,213 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/value"
+)
+
+// Parse parses a conjunctive select-from-where query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, fmt.Errorf("sqlparse: unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tKeyword || t.text != kw {
+		return fmt.Errorf("sqlparse: expected %q, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.peek().kind == tStar {
+		p.next()
+		q.Star = true
+	} else {
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, c)
+			if p.peek().kind != tComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tIdent {
+			return nil, fmt.Errorf("sqlparse: expected table name, got %s", t)
+		}
+		q.From = append(q.From, strings.ToLower(t.text))
+		if p.peek().kind != tComma {
+			break
+		}
+		p.next()
+	}
+	if p.peek().kind == tEOF {
+		return q, nil
+	}
+	if err := p.expectKeyword("where"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.parseConjunct()
+		if err != nil {
+			return nil, err
+		}
+		q.Conjuncts = append(q.Conjuncts, c)
+		if p.peek().kind == tKeyword && p.peek().text == "and" {
+			p.next()
+			continue
+		}
+		break
+	}
+	return q, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return ColRef{}, fmt.Errorf("sqlparse: expected column reference, got %s", t)
+	}
+	ref := ColRef{Column: strings.ToLower(t.text)}
+	if p.peek().kind == tDot {
+		p.next()
+		col := p.next()
+		if col.kind != tIdent {
+			return ColRef{}, fmt.Errorf("sqlparse: expected column after '.', got %s", col)
+		}
+		ref.Table = ref.Column
+		ref.Column = strings.ToLower(col.text)
+	}
+	return ref, nil
+}
+
+// parseConjunct parses one where-clause condition.
+func (p *parser) parseConjunct() (Conjunct, error) {
+	// String constant on the left: must be "'term' in field".
+	if p.peek().kind == tString {
+		term := p.next().text
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		field, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return TextPred{ConstTerm: term, IsConst: true, Field: field}, nil
+	}
+	left, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	switch t.kind {
+	case tKeyword:
+		if t.text != "in" {
+			return nil, fmt.Errorf("sqlparse: expected comparison or 'in', got %s", t)
+		}
+		field, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return TextPred{Col: left, Field: field}, nil
+	case tEq, tNe, tLt, tLe, tGt, tGe:
+		op := cmpOpOf(t.kind)
+		right := p.peek()
+		switch right.kind {
+		case tString:
+			p.next()
+			return Comparison{Left: left, Op: op, RightLit: value.String(right.text)}, nil
+		case tNumber:
+			p.next()
+			lit, err := parseNumber(right.text)
+			if err != nil {
+				return nil, err
+			}
+			return Comparison{Left: left, Op: op, RightLit: lit}, nil
+		case tIdent:
+			rc, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			return Comparison{Left: left, Op: op, RightIsCol: true, RightCol: rc}, nil
+		default:
+			return nil, fmt.Errorf("sqlparse: expected literal or column, got %s", right)
+		}
+	default:
+		return nil, fmt.Errorf("sqlparse: expected comparison or 'in', got %s", t)
+	}
+}
+
+func cmpOpOf(k tokKind) relation.CmpOp {
+	switch k {
+	case tEq:
+		return relation.OpEq
+	case tNe:
+		return relation.OpNe
+	case tLt:
+		return relation.OpLt
+	case tLe:
+		return relation.OpLe
+	case tGt:
+		return relation.OpGt
+	default:
+		return relation.OpGe
+	}
+}
+
+func parseNumber(text string) (value.Value, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("sqlparse: bad number %q", text)
+		}
+		return value.Float(f), nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return value.Null(), fmt.Errorf("sqlparse: bad number %q", text)
+	}
+	return value.Int(i), nil
+}

@@ -1,0 +1,108 @@
+package texservice
+
+import (
+	"container/list"
+	"sync"
+
+	"textjoin/internal/textidx"
+)
+
+// Cached decorates a Service with an LRU cache of search results, the
+// cross-query generalization of §3.1's observation that repeated
+// instantiations need not be resent ("caching the values of join columns
+// for previous queries"). A cache hit answers locally, charging nothing —
+// the decorated meter only sees misses. Retrievals and metadata pass
+// through.
+//
+// The cache is only sound while the underlying collection is immutable,
+// which holds for frozen indexes (and for the paper's setting: the
+// optimizer's statistics assume a stable collection too).
+type Cached struct {
+	inner Service
+
+	mu      sync.Mutex
+	lru     *list.List // of *cacheEntry, front = most recent
+	entries map[string]*list.Element
+	cap     int
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewCached wraps a service with an LRU of the given capacity (entries).
+func NewCached(inner Service, capacity int) *Cached {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cached{
+		inner:   inner,
+		lru:     list.New(),
+		entries: map[string]*list.Element{},
+		cap:     capacity,
+	}
+}
+
+// Search implements Service, serving repeats from the cache.
+func (c *Cached) Search(e textidx.Expr, form Form) (*Result, error) {
+	key := form.String() + "\x00" + e.String()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.hits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.mu.Unlock()
+
+	res, err := c.inner.Search(e, form)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.misses++
+	if el, ok := c.entries[key]; ok {
+		// Raced with another miss; keep the existing entry.
+		c.lru.MoveToFront(el)
+	} else {
+		el := c.lru.PushFront(&cacheEntry{key: key, res: res})
+		c.entries[key] = el
+		if c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Retrieve implements Service (pass-through).
+func (c *Cached) Retrieve(id textidx.DocID) (textidx.Document, error) {
+	return c.inner.Retrieve(id)
+}
+
+// NumDocs implements Service.
+func (c *Cached) NumDocs() (int, error) { return c.inner.NumDocs() }
+
+// MaxTerms implements Service.
+func (c *Cached) MaxTerms() int { return c.inner.MaxTerms() }
+
+// ShortFields implements Service.
+func (c *Cached) ShortFields() []string { return c.inner.ShortFields() }
+
+// Meter implements Service: the inner meter, which cache hits never touch.
+func (c *Cached) Meter() *Meter { return c.inner.Meter() }
+
+// Stats reports cache hits and misses.
+func (c *Cached) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+var _ Service = (*Cached)(nil)

@@ -1,0 +1,165 @@
+package texservice
+
+import (
+	"sync"
+	"testing"
+
+	"textjoin/internal/textidx"
+)
+
+func TestCachedServesRepeats(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(local, 10)
+	q := textidx.Term{Field: "title", Word: "text"}
+
+	first, err := c.Search(q, FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Search(q, FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Hits) != len(second.Hits) {
+		t.Fatal("cached result differs")
+	}
+	// Only the miss charged the meter.
+	if u := c.Meter().Snapshot(); u.Searches != 1 {
+		t.Fatalf("searches = %d, want 1", u.Searches)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	// Different form is a different cache key.
+	if _, err := c.Search(q, FormLong); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.Meter().Snapshot(); u.Searches != 2 {
+		t.Fatalf("long form not treated as distinct: %d searches", u.Searches)
+	}
+}
+
+func TestCachedEvicts(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(local, 2)
+	qs := []textidx.Expr{
+		textidx.Term{Field: "title", Word: "text"},
+		textidx.Term{Field: "title", Word: "belief"},
+		textidx.Term{Field: "author", Word: "kao"},
+	}
+	for _, q := range qs {
+		if _, err := c.Search(q, FormShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// qs[0] was evicted (capacity 2): searching it again misses.
+	if _, err := c.Search(qs[0], FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.Meter().Snapshot(); u.Searches != 4 {
+		t.Fatalf("searches = %d, want 4 (eviction)", u.Searches)
+	}
+	// qs[2] is still cached.
+	if _, err := c.Search(qs[2], FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.Meter().Snapshot(); u.Searches != 4 {
+		t.Fatalf("searches = %d, want 4 (hit)", u.Searches)
+	}
+}
+
+func TestCachedPassThrough(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(local, 4)
+	if c.MaxTerms() != local.MaxTerms() {
+		t.Fatal("MaxTerms not passed through")
+	}
+	if n, _ := c.NumDocs(); n != 3 {
+		t.Fatal("NumDocs not passed through")
+	}
+	if len(c.ShortFields()) == 0 {
+		t.Fatal("ShortFields not passed through")
+	}
+	if _, err := c.Retrieve(0); err != nil {
+		t.Fatal(err)
+	}
+	// Errors are not cached.
+	bad := textidx.And{}
+	if _, err := c.Search(bad, FormShort); err == nil {
+		t.Fatal("invalid search accepted")
+	}
+	if _, err := c.Search(bad, FormShort); err == nil {
+		t.Fatal("invalid search cached as success")
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(local, 8)
+	qs := []textidx.Expr{
+		textidx.Term{Field: "title", Word: "text"},
+		textidx.Term{Field: "title", Word: "belief"},
+		textidx.Term{Field: "author", Word: "gravano"},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := qs[(seed+i)%len(qs)]
+				if _, err := c.Search(q, FormShort); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 400 {
+		t.Fatalf("hits+misses = %d", hits+misses)
+	}
+	if misses > 3*8 { // at most a few races beyond the 3 distinct queries
+		t.Fatalf("misses = %d", misses)
+	}
+}
+
+// TestCachedWithJoinMethods: running the same join twice through a cached
+// service makes the second run free.
+func TestCachedJoinRepeatIsFree(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(local, 100)
+	q := textidx.And{
+		textidx.Term{Field: "title", Word: "text"},
+		textidx.Term{Field: "author", Word: "gravano"},
+	}
+	if _, err := c.Search(q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Meter().Snapshot()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Search(q, FormShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := c.Meter().Snapshot(); after != before {
+		t.Fatalf("repeats charged the meter: %+v", after.Sub(before))
+	}
+}

@@ -1,0 +1,169 @@
+package texservice
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"textjoin/internal/textidx"
+)
+
+// Remote is a Service backed by a text server over TCP. It demonstrates
+// the fully loose integration: every Search really is a network round
+// trip, so the invocation overhead the paper's c_i models is physically
+// present, and the simulated meter is charged identically to Local so
+// experiments are backend-independent.
+type Remote struct {
+	mu          sync.Mutex
+	conn        net.Conn
+	numDocs     int
+	maxTerms    int
+	shortFields []string
+	meter       *Meter
+}
+
+// Dial connects to a text server and fetches its collection info.
+func Dial(addr string, meter *Meter) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if meter == nil {
+		meter = NewMeter(DefaultCosts())
+	}
+	r := &Remote{conn: conn, meter: meter}
+	var resp wireResponse
+	if err := r.roundTrip(wireRequest{Op: "info"}, &resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Error != "" {
+		conn.Close()
+		return nil, fmt.Errorf("texservice: info: %s", resp.Error)
+	}
+	r.numDocs = resp.NumDocs
+	r.maxTerms = resp.MaxTerms
+	r.shortFields = resp.Short
+	return r, nil
+}
+
+// Close releases the connection.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conn.Close()
+}
+
+func (r *Remote) roundTrip(req wireRequest, resp *wireResponse) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := writeMessage(r.conn, req); err != nil {
+		return err
+	}
+	return readMessage(r.conn, resp)
+}
+
+// Search implements Service.
+func (r *Remote) Search(e textidx.Expr, form Form) (*Result, error) {
+	if tc := e.TermCount(); tc > r.maxTerms {
+		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, r.maxTerms)
+	}
+	var resp wireResponse
+	req := wireRequest{Op: "search", Query: e.String(), Form: form.String()}
+	if err := r.roundTrip(req, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("texservice: search: %s", resp.Error)
+	}
+	out := &Result{Postings: resp.Postings, Hits: make([]Hit, len(resp.Hits))}
+	for i, h := range resp.Hits {
+		out.Hits[i] = Hit{ID: textidx.DocID(h.ID), ExtID: h.ExtID, Fields: h.Fields}
+	}
+	// The server's own meter is also charged; the client meter is the one
+	// the experiments read, since the cost model describes the integrated
+	// system from the database side.
+	r.meter.ChargeSearch(resp.Postings, len(out.Hits), form)
+	return out, nil
+}
+
+// Retrieve implements Service.
+func (r *Remote) Retrieve(id textidx.DocID) (textidx.Document, error) {
+	var resp wireResponse
+	if err := r.roundTrip(wireRequest{Op: "retrieve", ID: int32(id)}, &resp); err != nil {
+		return textidx.Document{}, err
+	}
+	if resp.Error != "" {
+		return textidx.Document{}, fmt.Errorf("texservice: retrieve: %s", resp.Error)
+	}
+	r.meter.ChargeRetrieve()
+	return textidx.Document{ExtID: resp.DocExt, Fields: resp.DocField}, nil
+}
+
+// BatchSearch implements BatchSearcher over the wire: the whole batch is
+// one network round trip and is charged one invocation cost.
+func (r *Remote) BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error) {
+	total := 0
+	queries := make([]string, len(exprs))
+	for i, e := range exprs {
+		total += e.TermCount()
+		queries[i] = e.String()
+	}
+	if total > r.maxTerms {
+		return nil, &TermLimitError{Terms: total, Limit: r.maxTerms}
+	}
+	var resp wireResponse
+	req := wireRequest{Op: "batchsearch", Queries: queries, Form: form.String()}
+	if err := r.roundTrip(req, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("texservice: batch search: %s", resp.Error)
+	}
+	if len(resp.Batch) != len(exprs) {
+		return nil, fmt.Errorf("texservice: batch search returned %d results for %d queries",
+			len(resp.Batch), len(exprs))
+	}
+	out := make([]*Result, len(resp.Batch))
+	postings, docs := 0, 0
+	for i, b := range resp.Batch {
+		res := &Result{Postings: b.Postings, Hits: make([]Hit, len(b.Hits))}
+		for j, h := range b.Hits {
+			res.Hits[j] = Hit{ID: textidx.DocID(h.ID), ExtID: h.ExtID, Fields: h.Fields}
+		}
+		out[i] = res
+		postings += b.Postings
+		docs += len(b.Hits)
+	}
+	// One invocation for the batch (the server's local meter double-
+	// charges its own side; the client meter is authoritative for the
+	// integrated system's experiments).
+	r.meter.ChargeSearch(postings, docs, form)
+	return out, nil
+}
+
+// TermDocFrequency implements StatsProvider over the wire.
+func (r *Remote) TermDocFrequency(field, term string) (int, error) {
+	var resp wireResponse
+	if err := r.roundTrip(wireRequest{Op: "docfreq", Field: field, Term: term}, &resp); err != nil {
+		return 0, err
+	}
+	if resp.Error != "" {
+		return 0, fmt.Errorf("texservice: docfreq: %s", resp.Error)
+	}
+	return resp.DocFreq, nil
+}
+
+// NumDocs implements Service.
+func (r *Remote) NumDocs() (int, error) { return r.numDocs, nil }
+
+// MaxTerms implements Service.
+func (r *Remote) MaxTerms() int { return r.maxTerms }
+
+// ShortFields implements Service.
+func (r *Remote) ShortFields() []string { return append([]string(nil), r.shortFields...) }
+
+// Meter implements Service.
+func (r *Remote) Meter() *Meter { return r.meter }
+
+var _ Service = (*Remote)(nil)

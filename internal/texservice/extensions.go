@@ -1,0 +1,118 @@
+package texservice
+
+import (
+	"fmt"
+
+	"textjoin/internal/textidx"
+)
+
+// This file implements the text-system features §8 of the paper proposes
+// to make text systems better suited for loose integration:
+//
+//   - exported statistics ("the text system can help the optimizer by
+//     making available statistics such as distribution of fanout of the
+//     words in the vocabulary. Such information will eliminate the need
+//     for sending all single-column probes"), and
+//   - batched invocation ("if text systems provide the ability to accept
+//     multiple queries in one invocation and can return answers in a
+//     batched mode while maintaining the correspondence between each
+//     query and its answers, then invocation and possibly transmission
+//     costs for the queries will be reduced").
+//
+// Both are optional capabilities discovered by interface assertion, so
+// integration code degrades gracefully against systems without them.
+
+// StatsProvider is the exported-statistics capability: the document
+// frequency of a term can be fetched directly instead of being measured
+// with a probe search. Implementations charge no search cost for it
+// (catalog lookups are metadata traffic, not query processing).
+type StatsProvider interface {
+	// TermDocFrequency returns the number of documents whose field
+	// contains the (single-word or phrase) term.
+	TermDocFrequency(field, term string) (int, error)
+}
+
+// BatchSearcher is the batched-invocation capability: several searches
+// travel in one invocation, and the answers come back in order. One
+// invocation cost c_i is charged for the whole batch; processing and
+// transmission are charged per query as usual.
+type BatchSearcher interface {
+	// BatchSearch evaluates the expressions in order. Results align with
+	// the input: len(results) == len(exprs). The total term count across
+	// the batch must respect MaxTerms.
+	BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error)
+}
+
+// TermDocFrequency implements StatsProvider on the local service: it
+// consults the index directly, charging nothing — the statistic export
+// the paper wishes for.
+func (l *Local) TermDocFrequency(field, term string) (int, error) {
+	words := textidx.Tokenize(term)
+	switch len(words) {
+	case 0:
+		return 0, nil
+	case 1:
+		return l.index.DocFrequency(field, words[0]), nil
+	default:
+		// Phrase frequencies need evaluation; do it against the index
+		// without charging the meter (metadata traffic).
+		e, err := textidx.MakeExactPred(field, term)
+		if err != nil {
+			return 0, nil
+		}
+		res, err := l.index.Eval(e)
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Docs), nil
+	}
+}
+
+// BatchSearch implements BatchSearcher on the local service.
+func (l *Local) BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error) {
+	total := 0
+	for _, e := range exprs {
+		total += e.TermCount()
+	}
+	if total > l.maxTerms {
+		return nil, &TermLimitError{Terms: total, Limit: l.maxTerms}
+	}
+	out := make([]*Result, len(exprs))
+	postings := 0
+	docs := 0
+	for i, e := range exprs {
+		res, err := l.index.Eval(e)
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{Postings: res.Postings, Hits: make([]Hit, 0, len(res.Docs))}
+		for _, id := range res.Docs {
+			doc, err := l.index.Doc(id)
+			if err != nil {
+				return nil, err
+			}
+			r.Hits = append(r.Hits, Hit{ID: id, ExtID: doc.ExtID, Fields: l.formFields(doc, form)})
+		}
+		out[i] = r
+		postings += res.Postings
+		docs += len(r.Hits)
+	}
+	// One invocation for the whole batch: charge c_i once by reporting
+	// the batch as a single search.
+	l.meter.ChargeSearch(postings, docs, form)
+	return out, nil
+}
+
+// TermLimitError reports a search exceeding the per-invocation term limit.
+type TermLimitError struct {
+	Terms, Limit int
+}
+
+func (e *TermLimitError) Error() string {
+	return fmt.Sprintf("texservice: search uses %d terms, limit is %d", e.Terms, e.Limit)
+}
+
+var (
+	_ StatsProvider = (*Local)(nil)
+	_ BatchSearcher = (*Local)(nil)
+)

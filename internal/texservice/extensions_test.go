@@ -1,0 +1,199 @@
+package texservice
+
+import (
+	"testing"
+
+	"textjoin/internal/textidx"
+)
+
+func TestLocalTermDocFrequency(t *testing.T) {
+	svc, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		field, term string
+		want        int
+	}{
+		{"title", "text", 2},
+		{"title", "TEXT", 2},
+		{"title", "belief update", 1}, // phrase
+		{"title", "update belief", 0}, // order matters
+		{"title", "zebra", 0},
+		{"nosuch", "text", 0},
+		{"title", "  ", 0}, // unsearchable
+	}
+	before := svc.Meter().Snapshot()
+	for _, c := range cases {
+		got, err := svc.TermDocFrequency(c.field, c.term)
+		if err != nil {
+			t.Fatalf("TermDocFrequency(%q, %q): %v", c.field, c.term, err)
+		}
+		if got != c.want {
+			t.Errorf("TermDocFrequency(%q, %q) = %d, want %d", c.field, c.term, got, c.want)
+		}
+	}
+	// Statistics are metadata: no meter charges.
+	if after := svc.Meter().Snapshot(); after != before {
+		t.Errorf("statistics charged the meter: %+v", after.Sub(before))
+	}
+}
+
+func TestLocalBatchSearch(t *testing.T) {
+	svc, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := []textidx.Expr{
+		textidx.Term{Field: "title", Word: "text"},
+		textidx.Term{Field: "title", Word: "zebra"},
+		textidx.Term{Field: "author", Word: "gravano"},
+	}
+	results, err := svc.BatchSearch(exprs, FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if len(results[0].Hits) != 2 || len(results[1].Hits) != 0 || len(results[2].Hits) != 2 {
+		t.Fatalf("hit counts: %d/%d/%d",
+			len(results[0].Hits), len(results[1].Hits), len(results[2].Hits))
+	}
+	// Correspondence: batch results equal individual searches.
+	for i, e := range exprs {
+		single, err := svc.Search(e, FormShort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single.Hits) != len(results[i].Hits) || single.Postings != results[i].Postings {
+			t.Errorf("query %d: batch %d/%d, single %d/%d", i,
+				len(results[i].Hits), results[i].Postings, len(single.Hits), single.Postings)
+		}
+	}
+	// One invocation for the batch, three for the singles.
+	if u := svc.Meter().Snapshot(); u.Searches != 4 {
+		t.Fatalf("searches = %d, want 4", u.Searches)
+	}
+}
+
+func TestBatchSearchLimit(t *testing.T) {
+	svc, err := NewLocal(testIndex(t), WithMaxTerms(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := []textidx.Expr{
+		textidx.Term{Field: "title", Word: "text"},
+		textidx.Term{Field: "title", Word: "belief"},
+		textidx.Term{Field: "title", Word: "retrieval"},
+	}
+	_, err = svc.BatchSearch(exprs, FormShort)
+	if err == nil {
+		t.Fatal("over-limit batch accepted")
+	}
+	if _, ok := err.(*TermLimitError); !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestRemoteExtensions(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(local)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// Batch over the wire agrees with local.
+	exprs := []textidx.Expr{
+		textidx.Term{Field: "title", Word: "text"},
+		textidx.Term{Field: "author", Word: "kao"},
+	}
+	rres, err := remote.BatchSearch(exprs, FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := local.BatchSearch(exprs, FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exprs {
+		if len(rres[i].Hits) != len(lres[i].Hits) {
+			t.Errorf("query %d: remote %d hits, local %d", i, len(rres[i].Hits), len(lres[i].Hits))
+		}
+	}
+	// One client-side invocation charge for the whole batch.
+	if u := remote.Meter().Snapshot(); u.Searches != 1 {
+		t.Fatalf("remote batch charged %d invocations", u.Searches)
+	}
+
+	// Doc frequency over the wire.
+	df, err := remote.TermDocFrequency("title", "text")
+	if err != nil || df != 2 {
+		t.Fatalf("remote doc frequency = %d, %v", df, err)
+	}
+
+	// Remote batch errors: unparsable queries are rejected server-side;
+	// term limits client-side.
+	if resp := srv.handle(wireRequest{Op: "batchsearch", Queries: []string{"((("}, Form: "short"}); resp.Error == "" {
+		t.Fatal("bad batch query accepted")
+	}
+	if resp := srv.handle(wireRequest{Op: "batchsearch", Queries: []string{"t='x'"}, Form: "huge"}); resp.Error == "" {
+		t.Fatal("bad batch form accepted")
+	}
+	big := make([]textidx.Expr, 0, DefaultMaxTerms+1)
+	for i := 0; i <= DefaultMaxTerms; i++ {
+		big = append(big, textidx.Term{Field: "title", Word: "text"})
+	}
+	if _, err := remote.BatchSearch(big, FormShort); err == nil {
+		t.Fatal("over-limit remote batch accepted")
+	}
+}
+
+func TestMeterCostsAccessor(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	if m.Costs() != DefaultCosts() {
+		t.Fatal("Costs accessor wrong")
+	}
+}
+
+func TestRemoteShortFields(t *testing.T) {
+	local, err := NewLocal(testIndex(t), WithShortFields("title", "author"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(local)
+	srv.Logf = t.Logf
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	got := remote.ShortFields()
+	if len(got) != 2 {
+		t.Fatalf("remote short fields = %v", got)
+	}
+	// The returned slice is a copy.
+	got[0] = "mutated"
+	if remote.ShortFields()[0] == "mutated" {
+		t.Fatal("ShortFields exposed internal state")
+	}
+}

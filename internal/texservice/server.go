@@ -1,0 +1,194 @@
+package texservice
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"textjoin/internal/textidx"
+)
+
+// Server exposes a Local service over TCP so the database side can
+// integrate with the text system the way the paper's OpenODB integrated
+// with the remote Mercury server.
+type Server struct {
+	local *Local
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Logf, when set, receives connection-level error logs. Defaults to
+	// log.Printf.
+	Logf func(format string, args ...interface{})
+	// Latency, when positive, delays every request by that duration —
+	// simulating the WAN round trip that made the paper's invocation
+	// cost c_i dominate, so wall-clock benchmarks reproduce the regime
+	// physically.
+	Latency time.Duration
+}
+
+// NewServer wraps a Local service.
+func NewServer(local *Local) *Server {
+	return &Server{local: local, conns: map[net.Conn]bool{}, Logf: log.Printf}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines;
+// call Close to stop.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req wireRequest
+		if err := readMessage(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.Logf("texservice: read: %v", err)
+			}
+			return
+		}
+		if s.Latency > 0 {
+			time.Sleep(s.Latency)
+		}
+		resp := s.handle(req)
+		if err := writeMessage(conn, resp); err != nil {
+			s.Logf("texservice: write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req wireRequest) wireResponse {
+	switch req.Op {
+	case "search":
+		return s.handleSearch(req)
+	case "batchsearch":
+		return s.handleBatchSearch(req)
+	case "docfreq":
+		df, err := s.local.TermDocFrequency(req.Field, req.Term)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{DocFreq: df}
+	case "retrieve":
+		doc, err := s.local.Retrieve(textidx.DocID(req.ID))
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{DocExt: doc.ExtID, DocField: doc.Fields}
+	case "info":
+		n, _ := s.local.NumDocs()
+		return wireResponse{NumDocs: n, MaxTerms: s.local.MaxTerms(), Short: s.local.ShortFields()}
+	default:
+		return wireResponse{Error: fmt.Sprintf("texservice: unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) handleBatchSearch(req wireRequest) wireResponse {
+	form, err := parseForm(req.Form)
+	if err != nil {
+		return wireResponse{Error: err.Error()}
+	}
+	exprs := make([]textidx.Expr, len(req.Queries))
+	for i, q := range req.Queries {
+		e, err := textidx.Parse(q, nil)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		exprs[i] = e
+	}
+	results, err := s.local.BatchSearch(exprs, form)
+	if err != nil {
+		return wireResponse{Error: err.Error()}
+	}
+	batch := make([]wireBatchResult, len(results))
+	for i, r := range results {
+		hits := make([]wireHit, len(r.Hits))
+		for j, h := range r.Hits {
+			hits[j] = wireHit{ID: int32(h.ID), ExtID: h.ExtID, Fields: h.Fields}
+		}
+		batch[i] = wireBatchResult{Hits: hits, Postings: r.Postings}
+	}
+	return wireResponse{Batch: batch}
+}
+
+func (s *Server) handleSearch(req wireRequest) wireResponse {
+	expr, err := textidx.Parse(req.Query, nil)
+	if err != nil {
+		return wireResponse{Error: err.Error()}
+	}
+	form, err := parseForm(req.Form)
+	if err != nil {
+		return wireResponse{Error: err.Error()}
+	}
+	res, err := s.local.Search(expr, form)
+	if err != nil {
+		return wireResponse{Error: err.Error()}
+	}
+	hits := make([]wireHit, len(res.Hits))
+	for i, h := range res.Hits {
+		hits[i] = wireHit{ID: int32(h.ID), ExtID: h.ExtID, Fields: h.Fields}
+	}
+	return wireResponse{Hits: hits, Postings: res.Postings}
+}

@@ -1,0 +1,316 @@
+// Package texservice is the loose-integration boundary between the
+// database system and the external text retrieval system. The database
+// side sees only this interface — search and retrieve operations — exactly
+// as §2.3 of the paper assumes: the text system's internal structures are
+// inaccessible, and joins with text data must be executed as instantiated
+// selections through Search.
+//
+// Every operation is charged to a Meter using the paper's calibrated cost
+// model (§4.1): invocation cost c_i per search, processing cost c_p per
+// posting, and transmission cost c_s / c_l per short-form / long-form
+// document. The meter gives deterministic "seconds" that reproduce the
+// paper's experiment shapes independent of the machine the code runs on.
+package texservice
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"textjoin/internal/textidx"
+)
+
+// Form selects how much of each matching document a search transmits.
+type Form uint8
+
+const (
+	// FormShort returns the docid and the short fields (as LOCIS-style
+	// systems do). Probes use this form.
+	FormShort Form = iota
+	// FormLong returns the entire document; per the paper each long-form
+	// transmission is far more expensive (a separate connection).
+	FormLong
+)
+
+// String returns the form's name.
+func (f Form) String() string {
+	if f == FormLong {
+		return "long"
+	}
+	return "short"
+}
+
+// Costs holds the calibrated cost constants of §4.1 (all in seconds).
+type Costs struct {
+	CI float64 // invocation cost per search
+	CP float64 // processing cost per posting
+	CS float64 // transmission cost per short-form document
+	CL float64 // transmission cost per long-form document
+	CA float64 // relational text processing cost per document (charged by the join side)
+}
+
+// DefaultCosts are the constants measured on the integrated
+// OpenODB–Mercury system: c_i=3, c_p=1e-5, c_s=0.015, c_l=4. The paper
+// does not report its calibrated c_a; we use a small per-document constant
+// consistent with "the relational database system can quickly evaluate
+// them" (§3.3).
+func DefaultCosts() Costs {
+	return Costs{CI: 3, CP: 0.00001, CS: 0.015, CL: 4, CA: 0.005}
+}
+
+// Hit is one matching document in a result set.
+type Hit struct {
+	ID     textidx.DocID
+	ExtID  string
+	Fields map[string]string
+}
+
+// Result is a search result set.
+type Result struct {
+	Hits []Hit
+	// Postings is the total length of the inverted lists the text system
+	// processed for this search.
+	Postings int
+}
+
+// IsEmpty reports whether no documents matched (a fail-query, §3.3).
+func (r *Result) IsEmpty() bool { return len(r.Hits) == 0 }
+
+// Service is the database system's view of an external text source.
+type Service interface {
+	// Search evaluates a Boolean expression and transmits the matching
+	// documents in the requested form. It fails when the expression uses
+	// more basic search terms than the system's limit (MaxTerms).
+	Search(e textidx.Expr, form Form) (*Result, error)
+	// Retrieve fetches the long form of one document by docid.
+	Retrieve(id textidx.DocID) (textidx.Document, error)
+	// NumDocs returns the collection size (the paper's D).
+	NumDocs() (int, error)
+	// MaxTerms returns the maximum number of basic search terms per
+	// search (the paper's M; 70 for Mercury).
+	MaxTerms() int
+	// ShortFields returns the document fields included in short-form
+	// results. Relational text processing (§3.2) is only applicable to
+	// join predicates over these fields.
+	ShortFields() []string
+	// Meter returns the cost meter charged by this service.
+	Meter() *Meter
+}
+
+// Usage is a snapshot of accumulated resource consumption.
+type Usage struct {
+	Searches  int     // number of Search invocations
+	Retrieves int     // number of Retrieve invocations
+	Postings  int     // total postings processed by the text system
+	ShortDocs int     // documents transmitted in short form
+	LongDocs  int     // documents transmitted in long form (searches + retrieves)
+	RTPDocs   int     // documents string-matched relationally (charged c_a)
+	Cost      float64 // total simulated cost in seconds
+}
+
+// Add returns the sum of two usages.
+func (u Usage) Add(v Usage) Usage {
+	return Usage{
+		Searches:  u.Searches + v.Searches,
+		Retrieves: u.Retrieves + v.Retrieves,
+		Postings:  u.Postings + v.Postings,
+		ShortDocs: u.ShortDocs + v.ShortDocs,
+		LongDocs:  u.LongDocs + v.LongDocs,
+		RTPDocs:   u.RTPDocs + v.RTPDocs,
+		Cost:      u.Cost + v.Cost,
+	}
+}
+
+// Sub returns u minus v; useful for measuring one phase of execution.
+func (u Usage) Sub(v Usage) Usage {
+	return Usage{
+		Searches:  u.Searches - v.Searches,
+		Retrieves: u.Retrieves - v.Retrieves,
+		Postings:  u.Postings - v.Postings,
+		ShortDocs: u.ShortDocs - v.ShortDocs,
+		LongDocs:  u.LongDocs - v.LongDocs,
+		RTPDocs:   u.RTPDocs - v.RTPDocs,
+		Cost:      u.Cost - v.Cost,
+	}
+}
+
+// Meter accumulates Usage under the paper's cost model. It is safe for
+// concurrent use.
+type Meter struct {
+	mu    sync.Mutex
+	costs Costs
+	usage Usage
+}
+
+// NewMeter returns a meter charging the given constants.
+func NewMeter(costs Costs) *Meter { return &Meter{costs: costs} }
+
+// Costs returns the constants this meter charges.
+func (m *Meter) Costs() Costs { return m.costs }
+
+// ChargeSearch records one search that processed the given number of
+// postings and transmitted nDocs documents in the given form.
+func (m *Meter) ChargeSearch(postings, nDocs int, form Form) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.usage.Searches++
+	m.usage.Postings += postings
+	m.usage.Cost += m.costs.CI + m.costs.CP*float64(postings)
+	if form == FormLong {
+		m.usage.LongDocs += nDocs
+		m.usage.Cost += m.costs.CL * float64(nDocs)
+	} else {
+		m.usage.ShortDocs += nDocs
+		m.usage.Cost += m.costs.CS * float64(nDocs)
+	}
+}
+
+// ChargeRetrieve records one long-form document retrieval.
+func (m *Meter) ChargeRetrieve() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.usage.Retrieves++
+	m.usage.LongDocs++
+	m.usage.Cost += m.costs.CL
+}
+
+// ChargeRTP records relational string matching over nDocs documents
+// (§3.2's SQL-side processing, the c_a constant).
+func (m *Meter) ChargeRTP(nDocs int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.usage.RTPDocs += nDocs
+	m.usage.Cost += m.costs.CA * float64(nDocs)
+}
+
+// Snapshot returns the accumulated usage.
+func (m *Meter) Snapshot() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usage
+}
+
+// Reset zeroes the accumulated usage.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.usage = Usage{}
+}
+
+// Local serves searches from an in-process index. It implements Service.
+type Local struct {
+	index *textidx.Index
+	// shortFields are the fields included in short-form results.
+	shortFields []string
+	maxTerms    int
+	meter       *Meter
+}
+
+// LocalOption configures a Local service.
+type LocalOption func(*Local)
+
+// WithShortFields sets the fields transmitted in short form.
+func WithShortFields(fields ...string) LocalOption {
+	return func(l *Local) { l.shortFields = fields }
+}
+
+// WithMaxTerms sets the per-search term limit M.
+func WithMaxTerms(m int) LocalOption {
+	return func(l *Local) { l.maxTerms = m }
+}
+
+// WithMeter uses the given meter instead of a fresh one with default costs.
+func WithMeter(m *Meter) LocalOption {
+	return func(l *Local) { l.meter = m }
+}
+
+// DefaultMaxTerms is Mercury's limit of 70 search terms per query.
+const DefaultMaxTerms = 70
+
+// NewLocal wraps a frozen index as a Service. Default short fields are
+// title, author and year (the typical bibliographic short record).
+func NewLocal(ix *textidx.Index, opts ...LocalOption) (*Local, error) {
+	if !ix.Frozen() {
+		return nil, fmt.Errorf("texservice: index must be frozen")
+	}
+	l := &Local{
+		index:       ix,
+		shortFields: []string{"title", "author", "year"},
+		maxTerms:    DefaultMaxTerms,
+		meter:       NewMeter(DefaultCosts()),
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l, nil
+}
+
+// Search implements Service.
+func (l *Local) Search(e textidx.Expr, form Form) (*Result, error) {
+	if tc := e.TermCount(); tc > l.maxTerms {
+		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, l.maxTerms)
+	}
+	res, err := l.index.Eval(e)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Postings: res.Postings, Hits: make([]Hit, 0, len(res.Docs))}
+	for _, id := range res.Docs {
+		doc, err := l.index.Doc(id)
+		if err != nil {
+			return nil, err
+		}
+		out.Hits = append(out.Hits, Hit{ID: id, ExtID: doc.ExtID, Fields: l.formFields(doc, form)})
+	}
+	l.meter.ChargeSearch(res.Postings, len(out.Hits), form)
+	return out, nil
+}
+
+func (l *Local) formFields(doc textidx.Document, form Form) map[string]string {
+	if form == FormLong {
+		out := make(map[string]string, len(doc.Fields))
+		for k, v := range doc.Fields {
+			out[k] = v
+		}
+		return out
+	}
+	out := make(map[string]string, len(l.shortFields))
+	for _, f := range l.shortFields {
+		if v, ok := doc.Fields[f]; ok {
+			out[f] = v
+		}
+	}
+	return out
+}
+
+// Retrieve implements Service.
+func (l *Local) Retrieve(id textidx.DocID) (textidx.Document, error) {
+	doc, err := l.index.Doc(id)
+	if err != nil {
+		return textidx.Document{}, err
+	}
+	l.meter.ChargeRetrieve()
+	return doc, nil
+}
+
+// NumDocs implements Service.
+func (l *Local) NumDocs() (int, error) { return l.index.NumDocs(), nil }
+
+// MaxTerms implements Service.
+func (l *Local) MaxTerms() int { return l.maxTerms }
+
+// Meter implements Service.
+func (l *Local) Meter() *Meter { return l.meter }
+
+// ShortFields returns the fields included in short-form results, sorted.
+func (l *Local) ShortFields() []string {
+	out := append([]string(nil), l.shortFields...)
+	sort.Strings(out)
+	return out
+}
+
+// Index exposes the underlying index (used by the remote server and by
+// statistics extraction in tests).
+func (l *Local) Index() *textidx.Index { return l.index }
+
+var _ Service = (*Local)(nil)

@@ -1,0 +1,131 @@
+package textidx
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Index persistence: a frozen index can be written to and restored from a
+// compact binary snapshot (encoding/gob with delta-encoded postings), so
+// a text server can start without re-indexing its collection.
+
+// snapshotMagic guards against feeding arbitrary files to Load.
+const snapshotMagic = "textidx-snapshot-v1"
+
+// wirePosting is the serialised form of one posting list: docids are
+// delta-encoded (sorted ascending), positions stored verbatim.
+type wirePosting struct {
+	Term      string
+	DocDeltas []int32
+	Positions [][]int32
+}
+
+type wireField struct {
+	Name  string
+	Lists []wirePosting
+}
+
+type wireIndex struct {
+	Magic  string
+	Docs   []Document
+	Fields []wireField
+}
+
+// Save writes a snapshot of the frozen index.
+func (ix *Index) Save(w io.Writer) error {
+	if !ix.frozen {
+		return fmt.Errorf("textidx: Save requires a frozen index")
+	}
+	out := wireIndex{Magic: snapshotMagic, Docs: ix.docs}
+	for _, fname := range ix.FieldNames() {
+		fi := ix.fields[fname]
+		wf := wireField{Name: fname, Lists: make([]wirePosting, 0, len(fi.sortedTerms))}
+		for _, term := range fi.sortedTerms {
+			pl := fi.terms[term]
+			deltas := make([]int32, len(pl.docs))
+			prev := DocID(0)
+			for i, id := range pl.docs {
+				deltas[i] = int32(id - prev)
+				prev = id
+			}
+			wf.Lists = append(wf.Lists, wirePosting{
+				Term:      term,
+				DocDeltas: deltas,
+				Positions: pl.positions,
+			})
+		}
+		out.Fields = append(out.Fields, wf)
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&out); err != nil {
+		return fmt.Errorf("textidx: encoding snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores an index from a snapshot written by Save. The returned
+// index is frozen.
+func Load(r io.Reader) (*Index, error) {
+	var in wireIndex
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&in); err != nil {
+		return nil, fmt.Errorf("textidx: decoding snapshot: %w", err)
+	}
+	if in.Magic != snapshotMagic {
+		return nil, fmt.Errorf("textidx: not a textidx snapshot")
+	}
+	ix := NewIndex()
+	ix.docs = in.Docs
+	for _, wf := range in.Fields {
+		fi := &fieldIndex{terms: make(map[string]*postingList, len(wf.Lists))}
+		for _, wp := range wf.Lists {
+			if len(wp.DocDeltas) != len(wp.Positions) {
+				return nil, fmt.Errorf("textidx: corrupt snapshot: posting lengths differ for %q", wp.Term)
+			}
+			pl := &postingList{
+				docs:      make([]DocID, len(wp.DocDeltas)),
+				positions: wp.Positions,
+			}
+			prev := DocID(0)
+			for i, d := range wp.DocDeltas {
+				if d < 0 || (i > 0 && d == 0) {
+					return nil, fmt.Errorf("textidx: corrupt snapshot: docids not strictly increasing for %q", wp.Term)
+				}
+				prev += DocID(d)
+				if int(prev) >= len(ix.docs) {
+					return nil, fmt.Errorf("textidx: corrupt snapshot: docid %d out of range", prev)
+				}
+				pl.docs[i] = prev
+			}
+			fi.terms[wp.Term] = pl
+		}
+		ix.fields[wf.Name] = fi
+	}
+	ix.Freeze()
+	return ix, nil
+}
+
+// SaveFile writes the snapshot to a file (created or truncated).
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores an index from a snapshot file.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,125 @@
+package textidx
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix := sampleIndex(t)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Frozen() || loaded.NumDocs() != ix.NumDocs() {
+		t.Fatalf("loaded index: frozen=%v docs=%d", loaded.Frozen(), loaded.NumDocs())
+	}
+	// Every search behaves identically on the restored index.
+	queries := []Expr{
+		Term{Field: "title", Word: "update"},
+		Phrase{Field: "title", Words: []string{"belief", "update"}},
+		Prefix{Field: "title", Stem: "in"},
+		And{Term{Field: "title", Word: "update"}, Not{E: Term{Field: "author", Word: "garcia"}}},
+	}
+	for _, q := range queries {
+		a, err := ix.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(a.Docs, b.Docs) || a.Postings != b.Postings {
+			t.Fatalf("%s: original %v/%d, loaded %v/%d", q, a.Docs, a.Postings, b.Docs, b.Postings)
+		}
+	}
+	// Documents round-trip too.
+	d0, _ := ix.Doc(0)
+	l0, _ := loaded.Doc(0)
+	if d0.ExtID != l0.ExtID || d0.Fields["title"] != l0.Fields["title"] {
+		t.Fatal("documents differ after round trip")
+	}
+}
+
+func TestSaveRequiresFrozen(t *testing.T) {
+	ix := NewIndex()
+	ix.MustAdd(Document{Fields: map[string]string{"t": "x"}})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err == nil {
+		t.Fatal("unfrozen index saved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A valid gob stream with the wrong magic.
+	ix := sampleIndex(t)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	corrupted := bytes.Replace(raw, []byte(snapshotMagic), []byte("textidx-snapshot-v9"), 1)
+	if _, err := Load(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ix := sampleIndex(t)
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != ix.NumDocs() {
+		t.Fatal("file round trip lost documents")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestSaveLoadRandomised round-trips random corpora and compares random
+// searches between the original and restored indexes.
+func TestSaveLoadRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		ix := randomCorpus(rng, 1+rng.Intn(40))
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 10; q++ {
+			e := randomExpr(rng, rng.Intn(3))
+			a, err := ix.Eval(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := loaded.Eval(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(a.Docs, b.Docs) {
+				t.Fatalf("trial %d: %s differs after round trip", trial, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package textidx
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randomCorpus builds a small random corpus over a tiny vocabulary so terms
+// collide frequently.
+func randomCorpus(rng *rand.Rand, nDocs int) *Index {
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	fields := []string{"title", "author"}
+	ix := NewIndex()
+	for i := 0; i < nDocs; i++ {
+		d := Document{ExtID: "", Fields: map[string]string{}}
+		for _, f := range fields {
+			n := rng.Intn(6)
+			words := make([]string, n)
+			for j := range words {
+				words[j] = vocab[rng.Intn(len(vocab))]
+			}
+			text := ""
+			for j, w := range words {
+				if j > 0 {
+					text += " "
+				}
+				text += w
+			}
+			d.Fields[f] = text
+		}
+		ix.MustAdd(d)
+	}
+	ix.Freeze()
+	return ix
+}
+
+// randomExpr builds a random search expression of bounded depth.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	fields := []string{"title", "author", ""}
+	word := func() string { return vocab[rng.Intn(len(vocab))] }
+	field := func() string { return fields[rng.Intn(len(fields))] }
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Term{Field: field(), Word: word()}
+		case 1:
+			return Phrase{Field: field(), Words: []string{word(), word()}}
+		case 2:
+			return Prefix{Field: field(), Stem: word()[:2]}
+		default:
+			return Near{Field: field(), A: word(), B: word(), Dist: 1 + rng.Intn(3)}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	case 1:
+		return Or{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	default:
+		return Not{E: randomExpr(rng, depth-1)}
+	}
+}
+
+// TestIndexMatchesNaiveScan is the semantics property test: for random
+// corpora and random Boolean expressions, index evaluation returns exactly
+// the documents the per-document oracle accepts.
+func TestIndexMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		ix := randomCorpus(rng, 1+rng.Intn(30))
+		e := randomExpr(rng, rng.Intn(3))
+		res, err := ix.Eval(e)
+		if err != nil {
+			t.Fatalf("trial %d: Eval(%s): %v", trial, e, err)
+		}
+		var want []DocID
+		for id := 0; id < ix.NumDocs(); id++ {
+			d, _ := ix.Doc(DocID(id))
+			if MatchesDoc(e, d) {
+				want = append(want, DocID(id))
+			}
+		}
+		if !sameIDs(res.Docs, want) {
+			t.Fatalf("trial %d: %s\n  index: %v\n  naive: %v", trial, e, res.Docs, want)
+		}
+		if !sort.SliceIsSorted(res.Docs, func(i, j int) bool { return res.Docs[i] < res.Docs[j] }) {
+			t.Fatalf("trial %d: result not sorted", trial)
+		}
+	}
+}
+
+// TestParsedQueriesMatchNaiveScan exercises the parser together with the
+// evaluator on hand-written queries.
+func TestParsedQueriesMatchNaiveScan(t *testing.T) {
+	ix := sampleIndex(t)
+	queries := []string{
+		"TI='belief update'",
+		"TI='update' and AU='garcia'",
+		"TI='update' or AU='kao'",
+		"not TI='update'",
+		"AB='in?'",
+		"AB='information' near3 'filtering'",
+		"(TI='update' or TI='text') and not AU='garcia'",
+	}
+	for _, q := range queries {
+		e, err := Parse(q, MercuryAliases)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		res, err := ix.Eval(e)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", q, err)
+		}
+		var want []DocID
+		for id := 0; id < ix.NumDocs(); id++ {
+			d, _ := ix.Doc(DocID(id))
+			if MatchesDoc(e, d) {
+				want = append(want, DocID(id))
+			}
+		}
+		if !reflect.DeepEqual(res.Docs, want) {
+			t.Errorf("%q: index %v, naive %v", q, res.Docs, want)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := []DocID{1, 3, 5, 7}
+	b := []DocID{3, 4, 5, 8}
+	if got := intersectIDs(a, b); !reflect.DeepEqual(got, []DocID{3, 5}) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := unionIDs(a, b); !reflect.DeepEqual(got, []DocID{1, 3, 4, 5, 7, 8}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := diffIDs(a, b); !reflect.DeepEqual(got, []DocID{1, 7}) {
+		t.Errorf("diff = %v", got)
+	}
+	if got := intersectIDs(nil, b); len(got) != 0 {
+		t.Errorf("intersect with empty = %v", got)
+	}
+	if got := unionIDs(nil, b); !reflect.DeepEqual(got, b) {
+		t.Errorf("union with empty = %v", got)
+	}
+	if got := diffIDs(a, nil); !reflect.DeepEqual(got, a) {
+		t.Errorf("diff with empty = %v", got)
+	}
+}
+
+// TestSetOpsAgainstMaps validates the merges against map-based set
+// arithmetic on random inputs.
+func TestSetOpsAgainstMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randSet := func() []DocID {
+		n := rng.Intn(20)
+		seen := map[DocID]bool{}
+		for i := 0; i < n; i++ {
+			seen[DocID(rng.Intn(30))] = true
+		}
+		var out []DocID
+		for id := range seen {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	toMap := func(s []DocID) map[DocID]bool {
+		m := map[DocID]bool{}
+		for _, id := range s {
+			m[id] = true
+		}
+		return m
+	}
+	fromMap := func(m map[DocID]bool) []DocID {
+		var out []DocID
+		for id, ok := range m {
+			if ok {
+				out = append(out, id)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randSet(), randSet()
+		ma, mb := toMap(a), toMap(b)
+
+		wantI := map[DocID]bool{}
+		for id := range ma {
+			if mb[id] {
+				wantI[id] = true
+			}
+		}
+		wantU := map[DocID]bool{}
+		for id := range ma {
+			wantU[id] = true
+		}
+		for id := range mb {
+			wantU[id] = true
+		}
+		wantD := map[DocID]bool{}
+		for id := range ma {
+			if !mb[id] {
+				wantD[id] = true
+			}
+		}
+		if got := intersectIDs(a, b); !sameIDs(got, fromMap(wantI)) {
+			t.Fatalf("intersect(%v, %v) = %v", a, b, got)
+		}
+		if got := unionIDs(a, b); !sameIDs(got, fromMap(wantU)) {
+			t.Fatalf("union(%v, %v) = %v", a, b, got)
+		}
+		if got := diffIDs(a, b); !sameIDs(got, fromMap(wantD)) {
+			t.Fatalf("diff(%v, %v) = %v", a, b, got)
+		}
+	}
+}
+
+func sameIDs(a, b []DocID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

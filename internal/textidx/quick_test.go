@@ -1,0 +1,119 @@
+package textidx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestTokenizeIdempotent: retokenizing the joined tokens yields the same
+// tokens (quick).
+func TestTokenizeIdempotent(t *testing.T) {
+	prop := func(s string) bool {
+		once := Tokenize(s)
+		twice := Tokenize(strings.Join(once, " "))
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTokenizeLowercase: every token is already lower-cased (quick).
+func TestTokenizeLowercase(t *testing.T) {
+	prop := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleWordOccurrence: a single word occurs in a text exactly when
+// it is among the text's tokens (quick).
+func TestSingleWordOccurrence(t *testing.T) {
+	prop := func(text string, pick uint8) bool {
+		toks := Tokenize(text)
+		if len(toks) == 0 {
+			return !TermOccursIn("anything", text) || TermOccursIn("anything", text) == false
+		}
+		w := toks[int(pick)%len(toks)]
+		return TermOccursIn(w, text)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhraseImpliesWords: if a phrase occurs, each of its words occurs
+// (quick).
+func TestPhraseImpliesWords(t *testing.T) {
+	prop := func(text string, a, b string) bool {
+		wa, wb := Tokenize(a), Tokenize(b)
+		if len(wa) == 0 || len(wb) == 0 {
+			return true
+		}
+		phrase := wa[0] + " " + wb[0]
+		if !TermOccursIn(phrase, text) {
+			return true
+		}
+		return TermOccursIn(wa[0], text) && TermOccursIn(wb[0], text)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetOpsAlgebra: de Morgan-ish identities over random sorted docid
+// sets (quick, with a custom generator through fuzzed byte slices).
+func TestSetOpsAlgebra(t *testing.T) {
+	mkSet := func(bs []byte) []DocID {
+		seen := map[DocID]bool{}
+		var out []DocID
+		for _, b := range bs {
+			id := DocID(b % 40)
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		// insertion order is random; sort via union with empty
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+	prop := func(ab, bb []byte) bool {
+		a, b := mkSet(ab), mkSet(bb)
+		// |A∩B| + |A∪B| = |A| + |B|
+		if len(intersectIDs(a, b))+len(unionIDs(a, b)) != len(a)+len(b) {
+			return false
+		}
+		// A\B ∪ (A∩B) = A
+		if !sameIDs(unionIDs(diffIDs(a, b), intersectIDs(a, b)), a) {
+			return false
+		}
+		// Commutativity.
+		if !sameIDs(intersectIDs(a, b), intersectIDs(b, a)) {
+			return false
+		}
+		if !sameIDs(unionIDs(a, b), unionIDs(b, a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package textidx
+
+// Sorted docid set operations. These are the linear merges the paper's
+// model of inversion-based systems assumes ("the lists are sorted and set
+// operations take time linear in the lengths of the lists").
+
+// intersectIDs returns the sorted intersection of two sorted docid lists.
+func intersectIDs(a, b []DocID) []DocID {
+	var out []DocID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionIDs returns the sorted union of two sorted docid lists.
+func unionIDs(a, b []DocID) []DocID {
+	out := make([]DocID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// diffIDs returns the sorted difference a \ b of two sorted docid lists.
+func diffIDs(a, b []DocID) []DocID {
+	var out []DocID
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j < len(b) && b[j] == a[i] {
+			i++
+			continue
+		}
+		out = append(out, a[i])
+		i++
+	}
+	return out
+}

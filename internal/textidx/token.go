@@ -1,0 +1,69 @@
+package textidx
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-cased word tokens. A token is a maximal
+// run of letters and digits; everything else separates tokens. The same
+// tokenizer is used at indexing time, at search time, and by the naive
+// matcher (the test oracle and the RTP string-matching path), so the three
+// agree on what "term t occurs in field f" means.
+func Tokenize(text string) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			out = append(out, strings.ToLower(text[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return out
+}
+
+// normalizeToken lower-cases a single word the same way Tokenize would.
+// Multi-word input is not split; use Tokenize for that.
+func normalizeToken(w string) string { return strings.ToLower(strings.TrimSpace(w)) }
+
+// TermOccursIn reports whether the (single-word or phrase) term occurs in
+// the field text, using exactly the index's tokenization and adjacency
+// semantics. It is the shared ground-truth matcher used by relational text
+// processing (§3.2) and by the property tests that compare index search
+// results against a full scan.
+func TermOccursIn(term, fieldText string) bool {
+	words := Tokenize(term)
+	if len(words) == 0 {
+		return false
+	}
+	toks := Tokenize(fieldText)
+	if len(words) == 1 {
+		for _, t := range toks {
+			if t == words[0] {
+				return true
+			}
+		}
+		return false
+	}
+	// Phrase: adjacent occurrence.
+outer:
+	for i := 0; i+len(words) <= len(toks); i++ {
+		for j, w := range words {
+			if toks[i+j] != w {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+// Package workload generates the synthetic workloads the experiments run
+// on: a CSTR-like bibliographic corpus (the paper used CMU Mercury's
+// computer-science technical reports) and the CS-department relations
+// (student, faculty, project) of the paper's running examples.
+//
+// The generators are seeded and deterministic, and expose exactly the
+// knobs the paper's experiments vary: the predicate selectivities s_i
+// (what fraction of a join column's distinct values occur in the text
+// field), the fanouts f_i (how many documents a matching value occurs
+// in), the relation cardinality N, and the distinct counts N_i.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"textjoin/internal/textidx"
+)
+
+// Corpus is a generated document collection with pools of values that are
+// known to occur in specific fields, so relations with controlled
+// selectivities can be built against it.
+type Corpus struct {
+	Index *textidx.Index
+	// Tags are project-name-like words; each occurs in the title of
+	// exactly TagFanout documents.
+	Tags []string
+	// Authors are author names; each occurs in the author field of
+	// exactly AuthorFanout documents (as the primary author).
+	Authors []string
+	// Topics are the title topic phrases used ('belief update', ...).
+	Topics []string
+	// Years are the values of the year field.
+	Years []string
+	// TagFanout and AuthorFanout are the exact per-value fanouts.
+	TagFanout, AuthorFanout int
+	// Docs is the collection size D.
+	Docs int
+}
+
+// CorpusConfig controls corpus generation.
+type CorpusConfig struct {
+	// Docs is the number of documents (default 2000).
+	Docs int
+	// TagFanout is how many documents each title tag appears in
+	// (default 2).
+	TagFanout int
+	// AuthorFanout is how many documents each author writes (default 2).
+	AuthorFanout int
+	// Skewed makes author productivity Zipf-like instead of uniform:
+	// every author still writes at least one document (so the matching
+	// pools stay valid), but beyond that documents concentrate on the
+	// low-index authors. Used by the robustness experiments — real
+	// bibliographies are skewed, the paper's model assumes averages.
+	Skewed bool
+	// Seed makes generation deterministic (default 1).
+	Seed int64
+}
+
+func (c *CorpusConfig) defaults() {
+	if c.Docs == 0 {
+		c.Docs = 2000
+	}
+	if c.TagFanout == 0 {
+		c.TagFanout = 2
+	}
+	if c.AuthorFanout == 0 {
+		c.AuthorFanout = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Filler vocabulary for abstracts and title padding. "text" appears
+// several times so that the word is common in titles: the paper's Q2
+// assumes 'text' in mercury.title is not very selective.
+var fillerWords = []string{
+	"system", "model", "analysis", "method", "design", "data", "structure",
+	"performance", "evaluation", "distributed", "parallel", "adaptive",
+	"optimal", "efficient", "framework", "approach", "algorithm", "protocol",
+	"text", "text", "text", "text", "text", "text",
+}
+
+// Topic phrases appearing in titles, with Zipf-like weights: 'belief
+// update' is rare (the paper's Q1 notes only a few entries match), the
+// tail topics are common.
+var topicPhrases = []string{
+	"belief update", "text retrieval", "information filtering",
+	"query optimization", "knowledge representation", "machine learning",
+	"distributed systems", "operating systems",
+}
+
+var topicWeights = []int{1, 4, 8, 100, 100, 100, 100, 100}
+
+// pickTopic draws a topic with the Zipf-like weights.
+func pickTopic(rng *rand.Rand) string {
+	total := 0
+	for _, w := range topicWeights {
+		total += w
+	}
+	r := rng.Intn(total)
+	for i, w := range topicWeights {
+		if r < w {
+			return topicPhrases[i]
+		}
+		r -= w
+	}
+	return topicPhrases[len(topicPhrases)-1]
+}
+
+// NewCorpus builds a bibliographic collection. Every document's title is
+// "<tag> <topic> <filler>" and its author field holds one primary author
+// (with exact fanout) plus occasionally a coauthor drawn from the same
+// pool, which adds realistic variance without destroying the controlled
+// primary fanouts.
+func NewCorpus(cfg CorpusConfig) *Corpus {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nTags := cfg.Docs / cfg.TagFanout
+	if nTags < 1 {
+		nTags = 1
+	}
+	nAuthors := cfg.Docs / cfg.AuthorFanout
+	if cfg.Skewed {
+		// A smaller pool leaves 3/4 of the documents to the Zipf-like
+		// assignment, so per-author fanouts genuinely vary.
+		nAuthors = cfg.Docs / (cfg.AuthorFanout * 4)
+	}
+	if nAuthors < 1 {
+		nAuthors = 1
+	}
+	c := &Corpus{
+		Topics:       topicPhrases,
+		Years:        []string{"1992", "1993", "1994", "1995"},
+		TagFanout:    cfg.TagFanout,
+		AuthorFanout: cfg.AuthorFanout,
+		Docs:         cfg.Docs,
+	}
+	for i := 0; i < nTags; i++ {
+		c.Tags = append(c.Tags, fmt.Sprintf("proj%05d", i))
+	}
+	for i := 0; i < nAuthors; i++ {
+		c.Authors = append(c.Authors, fmt.Sprintf("author%05d", i))
+	}
+
+	ix := textidx.NewIndex()
+	for d := 0; d < cfg.Docs; d++ {
+		tag := c.Tags[(d/cfg.TagFanout)%nTags]
+		primary := (d / cfg.AuthorFanout) % nAuthors
+		if cfg.Skewed && d >= nAuthors*cfg.AuthorFanout {
+			// Zipf-like concentration: quadratic bias toward low
+			// indexes, after the guaranteed regular assignment (so every
+			// author keeps at least AuthorFanout primary documents and
+			// the matching pools stay valid). Note the correlated Q3/Q4
+			// builders (AuthorForTag/CoauthorOf) assume the regular
+			// layout; robustness experiments on skewed corpora use Q1/Q2.
+			r := rng.Float64()
+			primary = int(r * r * float64(nAuthors))
+			if primary >= nAuthors {
+				primary = nAuthors - 1
+			}
+		}
+		// Every document is co-authored by the primary author and a
+		// deterministic partner (the next author in the pool), so the
+		// pair (Authors[i], Authors[i+1]) co-occurs in exactly
+		// AuthorFanout documents. Co-authored documents are what the
+		// paper's Q4 ("students who co-authored reports with their
+		// advisors") joins on.
+		coauthor := (primary + 1) % nAuthors
+		topic := pickTopic(rng)
+		title := tag + " " + topic + " " + fillerWords[rng.Intn(len(fillerWords))]
+		authors := c.Authors[primary] + " " + c.Authors[coauthor]
+		var abstract strings.Builder
+		for w := 0; w < 12; w++ {
+			if w > 0 {
+				abstract.WriteByte(' ')
+			}
+			abstract.WriteString(fillerWords[rng.Intn(len(fillerWords))])
+		}
+		ix.MustAdd(textidx.Document{
+			ExtID: fmt.Sprintf("CSTR-%05d", d),
+			Fields: map[string]string{
+				"title":    title,
+				"author":   authors,
+				"abstract": abstract.String(),
+				"year":     c.Years[d%len(c.Years)],
+			},
+		})
+	}
+	ix.Freeze()
+	c.Index = ix
+	return c
+}
+
+// CoauthorOf returns the author that co-occurs with the given pool author
+// in the author's primary documents.
+func (c *Corpus) CoauthorOf(i int) string {
+	return c.Authors[(i+1)%len(c.Authors)]
+}
+
+// AuthorForTag returns an author guaranteed to co-occur with the given
+// title tag: the primary author of the tag's first document.
+func (c *Corpus) AuthorForTag(i int) string {
+	doc := i * c.TagFanout // first document carrying Tags[i]
+	return c.Authors[(doc/c.AuthorFanout)%len(c.Authors)]
+}
+
+// AuthorsOfTopic returns the distinct authors of documents whose title
+// contains the topic phrase, in docid order. Used to build relations that
+// actually join with topical selections (e.g. Q1's 'belief update').
+func (c *Corpus) AuthorsOfTopic(topic string) []string {
+	e, err := textidx.MakeExactPred("title", topic)
+	if err != nil {
+		return nil
+	}
+	res, err := c.Index.Eval(e)
+	if err != nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range res.Docs {
+		doc, err := c.Index.Doc(id)
+		if err != nil {
+			continue
+		}
+		for _, a := range strings.Fields(doc.Field("author")) {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Fields returns the corpus's field names.
+func (c *Corpus) Fields() []string { return []string{"title", "author", "abstract", "year"} }

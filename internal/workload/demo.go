@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/value"
+)
+
+// Demo is a self-contained university database + bibliographic corpus for
+// the CLI and the examples: the paper's student / faculty / project
+// tables, with join-column values that partially overlap the corpus's
+// author and title vocabularies so every example query has answers.
+type Demo struct {
+	Corpus  *Corpus
+	Catalog *sqlparse.Catalog
+}
+
+// NewDemo builds the demo environment.
+func NewDemo(docs int, seed int64) *Demo {
+	c := NewCorpus(CorpusConfig{Docs: docs, Seed: seed})
+	rng := rand.New(rand.NewSource(seed + 1))
+	areas := []string{"AI", "DB", "OS", "distributed systems"}
+	depts := []string{"cs", "ee", "me"}
+
+	student := relation.NewTable("student", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "area", Kind: value.KindString},
+		relation.Column{Name: "year", Kind: value.KindInt},
+		relation.Column{Name: "advisor", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+	))
+	faculty := relation.NewTable("faculty", relation.MustSchema(
+		relation.Column{Name: "fname", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+	))
+	project := relation.NewTable("project", relation.MustSchema(
+		relation.Column{Name: "pname", Kind: value.KindString},
+		relation.Column{Name: "member", Kind: value.KindString},
+		relation.Column{Name: "sponsor", Kind: value.KindString},
+	))
+
+	// Faculty: 8 advisors, the first 6 drawn from the author pool.
+	var advisors []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("prof%02d", i)
+		if i < 6 && i < len(c.Authors) {
+			name = c.Authors[i]
+		}
+		advisors = append(advisors, name)
+		faculty.MustInsert(relation.Tuple{value.String(name), value.String(depts[i%len(depts)])})
+	}
+	// Students: 60, a third with publishing names (from the author pool).
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("grad%03d", i)
+		if i%3 == 0 && 10+i < len(c.Authors) {
+			name = c.Authors[10+i]
+		}
+		student.MustInsert(relation.Tuple{
+			value.String(name),
+			value.String(areas[rng.Intn(len(areas))]),
+			value.Int(int64(1 + rng.Intn(6))),
+			value.String(advisors[rng.Intn(len(advisors))]),
+			value.String(depts[rng.Intn(len(depts))]),
+		})
+	}
+	// Projects: 20, half with names from the title tag pool.
+	sponsors := []string{"NSF", "DARPA", "industry"}
+	for i := 0; i < 20; i++ {
+		pname := fmt.Sprintf("internalproj%02d", i)
+		if i%2 == 0 && i/2 < len(c.Tags) {
+			pname = c.Tags[i/2]
+		}
+		member := c.Authors[(i*7)%len(c.Authors)]
+		project.MustInsert(relation.Tuple{
+			value.String(pname),
+			value.String(member),
+			value.String(sponsors[i%len(sponsors)]),
+		})
+	}
+
+	return &Demo{
+		Corpus: c,
+		Catalog: &sqlparse.Catalog{
+			Tables: map[string]*relation.Table{
+				"student": student, "faculty": faculty, "project": project,
+			},
+			Text: map[string]*sqlparse.TextSourceInfo{
+				"mercury": {Name: "mercury", Fields: c.Fields()},
+			},
+		},
+	}
+}

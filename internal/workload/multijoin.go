@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// MultiJoin is a multi-join workload: a catalog of relational tables, a
+// text service, and a query in the paper's SQL syntax.
+type MultiJoin struct {
+	Catalog *sqlparse.Catalog
+	Index   *textidx.Index
+	Query   string
+	// ShortFields configures the text service's short form.
+	ShortFields []string
+}
+
+// Service builds a fresh metered service for the workload.
+func (m *MultiJoin) Service() (*texservice.Local, error) {
+	return texservice.NewLocal(m.Index, texservice.WithShortFields(m.ShortFields...))
+}
+
+// Q5Config parameterises the paper's Q5 / Example 6.1 workload: students
+// and faculty joined on dept inequality and both joined with the text
+// source on authorship.
+type Q5Config struct {
+	Students, Faculty int
+	// PubStudents / PubFaculty are how many of each actually publish
+	// (controlling the foreign predicates' selectivities).
+	PubStudents, PubFaculty int
+	Docs                    int
+	// AuthorInShortForm controls whether the RTP family is applicable.
+	AuthorInShortForm bool
+	Seed              int64
+}
+
+// DefaultQ5 is the Example 6.1 regime: selective foreign predicates, an
+// unselective dept join, and no RTP escape hatch.
+func DefaultQ5() Q5Config {
+	return Q5Config{
+		Students: 400, Faculty: 60,
+		PubStudents: 8, PubFaculty: 6,
+		Docs: 50, AuthorInShortForm: false, Seed: 61,
+	}
+}
+
+// Q5 builds the multi-join workload for the paper's Q5.
+func Q5(cfg Q5Config) (*MultiJoin, error) {
+	if cfg.PubStudents > cfg.Students || cfg.PubFaculty > cfg.Faculty {
+		return nil, fmt.Errorf("workload: more publishing members than members")
+	}
+	if cfg.PubStudents < 1 || cfg.PubFaculty < 1 || cfg.Docs < 1 {
+		return nil, fmt.Errorf("workload: Q5 needs publishing members and documents")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	depts := []string{"cs", "ee", "me", "ce"}
+
+	student := relation.NewTable("student", relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+	))
+	faculty := relation.NewTable("faculty", relation.MustSchema(
+		relation.Column{Name: "fname", Kind: value.KindString},
+		relation.Column{Name: "dept", Kind: value.KindString},
+	))
+	var pubStudents, pubFaculty []string
+	for i := 0; i < cfg.Students; i++ {
+		name := fmt.Sprintf("student%04d", i)
+		if i < cfg.PubStudents {
+			pubStudents = append(pubStudents, name)
+		}
+		student.MustInsert(relation.Tuple{value.String(name), value.String(depts[rng.Intn(len(depts))])})
+	}
+	for i := 0; i < cfg.Faculty; i++ {
+		name := fmt.Sprintf("prof%03d", i)
+		if i < cfg.PubFaculty {
+			pubFaculty = append(pubFaculty, name)
+		}
+		faculty.MustInsert(relation.Tuple{value.String(name), value.String(depts[rng.Intn(len(depts))])})
+	}
+
+	ix := textidx.NewIndex()
+	for d := 0; d < cfg.Docs; d++ {
+		ix.MustAdd(textidx.Document{
+			ExtID: fmt.Sprintf("rep%04d", d),
+			Fields: map[string]string{
+				"title":  "technical report " + fillerWords[rng.Intn(len(fillerWords))],
+				"author": pubFaculty[rng.Intn(len(pubFaculty))] + " " + pubStudents[rng.Intn(len(pubStudents))],
+				"year":   "1993",
+			},
+		})
+	}
+	ix.Freeze()
+
+	short := []string{"title", "year"}
+	if cfg.AuthorInShortForm {
+		short = append(short, "author")
+	}
+	return &MultiJoin{
+		Catalog: &sqlparse.Catalog{
+			Tables: map[string]*relation.Table{"student": student, "faculty": faculty},
+			Text: map[string]*sqlparse.TextSourceInfo{
+				"mercury": {Name: "mercury", Fields: []string{"title", "author", "year"}},
+			},
+		},
+		Index: ix,
+		Query: `select student.name, mercury.docid
+			from student, faculty, mercury
+			where student.name in mercury.author
+			and faculty.fname in mercury.author
+			and faculty.dept != student.dept
+			and '1993' in mercury.year`,
+		ShortFields: short,
+	}, nil
+}
+
+// ChainConfig parameterises an n-relation chain query used to measure
+// optimizer overhead: r0 ⋈ r1 ⋈ … ⋈ r(n−1) on equi-joins, with r0 also
+// joined to the text source.
+type ChainConfig struct {
+	Relations int
+	RowsEach  int
+	Docs      int
+	Seed      int64
+}
+
+// Chain builds the chain workload.
+func Chain(cfg ChainConfig) (*MultiJoin, error) {
+	if cfg.Relations < 1 || cfg.RowsEach < 1 || cfg.Docs < 1 {
+		return nil, fmt.Errorf("workload: chain needs relations, rows and documents")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shared key domain so equi-joins have matches.
+	keys := make([]string, cfg.RowsEach)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%04d", i)
+	}
+	authors := make([]string, 10)
+	for i := range authors {
+		authors[i] = fmt.Sprintf("chainauthor%02d", i)
+	}
+
+	cat := &sqlparse.Catalog{
+		Tables: map[string]*relation.Table{},
+		Text: map[string]*sqlparse.TextSourceInfo{
+			"mercury": {Name: "mercury", Fields: []string{"title", "author", "year"}},
+		},
+	}
+	var fromList, conds []string
+	for r := 0; r < cfg.Relations; r++ {
+		name := fmt.Sprintf("r%d", r)
+		tbl := relation.NewTable(name, relation.MustSchema(
+			relation.Column{Name: "id", Kind: value.KindString},
+			relation.Column{Name: "link", Kind: value.KindString},
+			relation.Column{Name: "name", Kind: value.KindString},
+		))
+		for i := 0; i < cfg.RowsEach; i++ {
+			tbl.MustInsert(relation.Tuple{
+				value.String(keys[i]),
+				value.String(keys[rng.Intn(len(keys))]),
+				value.String(authors[rng.Intn(len(authors))]),
+			})
+		}
+		cat.Tables[name] = tbl
+		fromList = append(fromList, name)
+		if r > 0 {
+			conds = append(conds, fmt.Sprintf("r%d.link = r%d.id", r-1, r))
+		}
+	}
+	fromList = append(fromList, "mercury")
+	conds = append(conds, "r0.name in mercury.author")
+
+	ix := textidx.NewIndex()
+	for d := 0; d < cfg.Docs; d++ {
+		ix.MustAdd(textidx.Document{
+			ExtID: fmt.Sprintf("doc%04d", d),
+			Fields: map[string]string{
+				"title":  "chain workload document",
+				"author": authors[rng.Intn(len(authors))],
+				"year":   "1994",
+			},
+		})
+	}
+	ix.Freeze()
+
+	return &MultiJoin{
+		Catalog:     cat,
+		Index:       ix,
+		Query:       "select r0.id from " + strings.Join(fromList, ", ") + " where " + strings.Join(conds, " and "),
+		ShortFields: []string{"title", "author", "year"},
+	}, nil
+}

@@ -1,0 +1,326 @@
+package workload
+
+import (
+	"fmt"
+
+	"textjoin/internal/join"
+	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+)
+
+// Scenario bundles a ready-to-run foreign join: the corpus, the (already
+// relationally selected) joining relation, and the join spec. It mirrors
+// one of the paper's example queries Q1–Q4 at a chosen operating point.
+type Scenario struct {
+	Name   string
+	Corpus *Corpus
+	Spec   *join.Spec
+}
+
+// Service wraps the scenario's corpus as a fresh local text service with
+// the bibliographic short form (title, author, year) and its own meter.
+func (s *Scenario) Service() (*texservice.Local, error) {
+	return texservice.NewLocal(s.Corpus.Index,
+		texservice.WithShortFields("title", "author", "year"))
+}
+
+// Q1Config parameterises the paper's Q1: senior AI students joined with
+// documents whose title contains 'belief update', on name in author.
+type Q1Config struct {
+	// N is the number of (selected) student tuples.
+	N int
+	// S1 is the selectivity of name in author.
+	S1   float64
+	Seed int64
+}
+
+// Q1 builds the Q1 scenario (select *: long forms needed). The matching
+// names include the authors of 'belief update' documents, so the query
+// has answers: some senior AI students actually wrote about belief
+// update.
+func (c *Corpus) Q1(cfg Q1Config) (*Scenario, error) {
+	if cfg.N < 1 || cfg.S1 < 0 || cfg.S1 > 1 {
+		return nil, fmt.Errorf("workload: Q1 needs N ≥ 1 and S1 in [0,1]")
+	}
+	nMatch := int(cfg.S1*float64(cfg.N) + 0.5)
+	topical := c.AuthorsOfTopic("belief update")
+	inTopical := map[string]bool{}
+	for _, a := range topical {
+		inTopical[a] = true
+	}
+	schema := relation.MustSchema(relation.Column{Name: "name", Kind: value.KindString})
+	rel := relation.NewTable("student", schema)
+	general := 0
+	for r := 0; r < cfg.N; r++ {
+		name := fmt.Sprintf("nomatchstudent%04d", r)
+		switch {
+		case r < nMatch && r < len(topical):
+			name = topical[r]
+		case r < nMatch:
+			// Fill the rest of the matching quota with non-topical
+			// authors.
+			for general < len(c.Authors) && inTopical[c.Authors[general]] {
+				general++
+			}
+			if general < len(c.Authors) {
+				name = c.Authors[general]
+				general++
+			}
+		}
+		rel.MustInsert(relation.Tuple{value.String(name)})
+	}
+	return &Scenario{
+		Name:   "Q1",
+		Corpus: c,
+		Spec: &join.Spec{
+			Relation:  rel,
+			Preds:     []join.Pred{{Column: "name", Field: "author"}},
+			TextSel:   textidx.Phrase{Field: "title", Words: []string{"belief", "update"}},
+			LongForm:  true,
+			DocFields: []string{"title", "author"},
+		},
+	}, nil
+}
+
+// Q2Config parameterises the paper's Q2: the docids of reports with
+// 'text' in the title written by Garcia's students — a semi-join query.
+type Q2Config struct {
+	// N is the number of students (of one advisor).
+	N int
+	// S1 is the selectivity of name in author.
+	S1   float64
+	Seed int64
+}
+
+// Q2 builds the Q2 scenario (docid only: no long forms).
+func (c *Corpus) Q2(cfg Q2Config) (*Scenario, error) {
+	rel, err := BuildRelation("student", cfg.N, cfg.Seed, ColumnSpec{
+		Name: "name", Distinct: cfg.N, MatchFrac: cfg.S1, Pool: c.Authors,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name:   "Q2",
+		Corpus: c,
+		Spec: &join.Spec{
+			Relation: rel,
+			Preds:    []join.Pred{{Column: "name", Field: "author"}},
+			TextSel:  textidx.Term{Field: "title", Word: "text"},
+			LongForm: false,
+		},
+	}, nil
+}
+
+// Q3Config parameterises the paper's Q3: NSF projects joined with reports
+// that have the project name in the title and a member among the authors.
+// The paper's operating point is N=100, s1=0.16.
+type Q3Config struct {
+	// N is the number of project tuples.
+	N int
+	// N1 is the number of distinct project names.
+	N1 int
+	// S1 is the selectivity of name in title.
+	S1 float64
+	// N2 is the number of distinct members.
+	N2 int
+	// S2 is the selectivity of member in author.
+	S2   float64
+	Seed int64
+}
+
+// Q3 builds the Q3 scenario (docid output: no long forms, matching the
+// paper's select list). The member column is correlated with the name
+// column: a member that publishes does so on reports of the project it
+// belongs to, so the joint predicate has matches (the fully correlated
+// regime). N2 is treated as approximate; the realised distinct count is
+// close to it for the operating points used.
+func (c *Corpus) Q3(cfg Q3Config) (*Scenario, error) {
+	if cfg.N < 1 || cfg.N1 < 1 || cfg.N1 > cfg.N {
+		return nil, fmt.Errorf("workload: Q3 needs 1 ≤ N1 ≤ N")
+	}
+	for _, s := range []float64{cfg.S1, cfg.S2} {
+		if s < 0 || s > 1 {
+			return nil, fmt.Errorf("workload: Q3 selectivities out of [0,1]")
+		}
+	}
+	// Project names: N1 distinct, a fraction S1 drawn from the tag pool.
+	nMatchNames := int(cfg.S1*float64(cfg.N1) + 0.5)
+	if nMatchNames > len(c.Tags) {
+		return nil, fmt.Errorf("workload: Q3 needs %d matching tags, pool has %d", nMatchNames, len(c.Tags))
+	}
+	names := make([]string, cfg.N1)
+	tagIdx := make([]int, cfg.N1) // -1 when non-matching
+	for i := 0; i < cfg.N1; i++ {
+		if i < nMatchNames {
+			names[i] = c.Tags[i]
+			tagIdx[i] = i
+		} else {
+			names[i] = fmt.Sprintf("nomatchproj%04d", i)
+			tagIdx[i] = -1
+		}
+	}
+	// Members: a fraction S2 of the rows get a member occurring in the
+	// author field — and when the row's project name matches a tag, that
+	// member is specifically an author of the tag's reports, so the
+	// joint predicate matches (full correlation).
+	nMatchMembers := int(cfg.S2*float64(cfg.N) + 0.5)
+	schema := relation.MustSchema(
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "member", Kind: value.KindString},
+	)
+	rel := relation.NewTable("project", schema)
+	for r := 0; r < cfg.N; r++ {
+		ni := r % cfg.N1
+		member := fmt.Sprintf("nomatchmember%04d", r)
+		if r < nMatchMembers {
+			if ti := tagIdx[ni]; ti >= 0 {
+				member = c.AuthorForTag(ti)
+			} else {
+				member = c.Authors[(len(c.Authors)/2+r)%len(c.Authors)]
+			}
+		}
+		rel.MustInsert(relation.Tuple{value.String(names[ni]), value.String(member)})
+	}
+	return &Scenario{
+		Name:   "Q3",
+		Corpus: c,
+		Spec: &join.Spec{
+			Relation: rel,
+			Preds: []join.Pred{
+				{Column: "name", Field: "title"},
+				{Column: "member", Field: "author"},
+			},
+			LongForm: false,
+		},
+	}, nil
+}
+
+// Q4Config parameterises the paper's Q4: students who co-authored reports
+// with their advisors. The advisor column has N1 distinct values with
+// selectivity 1 (advisors are prolific); few student names appear.
+type Q4Config struct {
+	// N is the number of student tuples.
+	N int
+	// N1 is the number of distinct advisors.
+	N1 int
+	// S1 is the selectivity of advisor in author (the paper fixes it at 1).
+	S1 float64
+	// S2 is the selectivity of name in author.
+	S2   float64
+	Seed int64
+}
+
+// Q4 builds the Q4 scenario (select *: long forms needed). The relation
+// is built with the correlation the query is about: the fraction S2 of
+// students whose name appears in the literature appear specifically as
+// co-authors of their own advisor, so the joint predicate actually
+// matches — the fully correlated regime the paper's cost model assumes.
+func (c *Corpus) Q4(cfg Q4Config) (*Scenario, error) {
+	if cfg.N < 1 || cfg.N1 < 1 || cfg.N1 > cfg.N {
+		return nil, fmt.Errorf("workload: Q4 needs 1 ≤ N1 ≤ N")
+	}
+	if cfg.S1 < 0 || cfg.S1 > 1 || cfg.S2 < 0 || cfg.S2 > 1 {
+		return nil, fmt.Errorf("workload: Q4 selectivities out of [0,1]")
+	}
+	// Advisors: N1 distinct; a fraction S1 are publishing authors (drawn
+	// from even pool positions so their co-author partners are distinct
+	// from other advisors).
+	nMatchAdv := int(cfg.S1*float64(cfg.N1) + 0.5)
+	if 2*cfg.N1 > len(c.Authors) {
+		return nil, fmt.Errorf("workload: Q4 needs %d advisors, author pool has %d", 2*cfg.N1, len(c.Authors))
+	}
+	advisors := make([]string, cfg.N1)
+	partners := make([]string, cfg.N1)
+	for i := 0; i < cfg.N1; i++ {
+		if i < nMatchAdv {
+			advisors[i] = c.Authors[2*i]
+			partners[i] = c.CoauthorOf(2 * i)
+		} else {
+			advisors[i] = fmt.Sprintf("nomatchadvisor%04d", i)
+			partners[i] = ""
+		}
+	}
+	// Students: each row's advisor cycles; a fraction S2 of the rows get
+	// the name that co-authors with that advisor, the rest non-matching
+	// names.
+	nMatchName := int(cfg.S2*float64(cfg.N) + 0.5)
+	rel := relationNew("student")
+	for r := 0; r < cfg.N; r++ {
+		adv := advisors[r%cfg.N1]
+		name := fmt.Sprintf("nomatchstudent%04d", r)
+		if r < nMatchName && partners[r%cfg.N1] != "" {
+			name = partners[r%cfg.N1]
+		}
+		relMustInsert(rel, adv, name)
+	}
+	return &Scenario{
+		Name:   "Q4",
+		Corpus: c,
+		Spec: &join.Spec{
+			Relation: rel,
+			Preds: []join.Pred{
+				{Column: "advisor", Field: "author"},
+				{Column: "name", Field: "author"},
+			},
+			LongForm:  true,
+			DocFields: []string{"title", "author"},
+		},
+	}, nil
+}
+
+// relationNew builds the Q4 student relation shell.
+func relationNew(name string) *relation.Table {
+	return relation.NewTable(name, relation.MustSchema(
+		relation.Column{Name: "advisor", Kind: value.KindString},
+		relation.Column{Name: "name", Kind: value.KindString},
+	))
+}
+
+// relMustInsert appends one (advisor, name) row.
+func relMustInsert(t *relation.Table, advisor, name string) {
+	t.MustInsert(relation.Tuple{value.String(advisor), value.String(name)})
+}
+
+// PaperOperatingPoints returns the four scenarios at the parameter
+// settings used for Table 2, against the given corpus.
+func PaperOperatingPoints(c *Corpus) ([]*Scenario, error) {
+	var out []*Scenario
+	q1, err := c.Q1(Q1Config{N: 200, S1: 0.3, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, q1)
+	q2, err := c.Q2(Q2Config{N: 40, S1: 0.5, Seed: 12})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, q2)
+	q3, err := c.Q3(Q3Config{N: 100, N1: 25, S1: 0.16, N2: 100, S2: 0.3, Seed: 13})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, q3)
+	q4, err := c.Q4(Q4Config{N: 60, N1: 6, S1: 1.0, S2: 0.1, Seed: 14})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, q4)
+	return out, nil
+}
+
+// ScenarioByName builds one of the paper scenarios by name ("Q1".."Q4").
+func ScenarioByName(c *Corpus, name string) (*Scenario, error) {
+	all, err := PaperOperatingPoints(c)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range all {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q", name)
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"textjoin/internal/join"
+	"textjoin/internal/stats"
+)
+
+func TestSkewedCorpusShape(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 2000, Seed: 9, Skewed: true})
+	// Every pool author still occurs.
+	for _, a := range c.Authors {
+		if c.Index.DocFrequency("author", a) == 0 {
+			t.Fatalf("author %s has no documents on the skewed corpus", a)
+		}
+	}
+	// Productivity genuinely varies: the busiest author has several times
+	// the median's documents.
+	max, min := 0, 1<<30
+	for _, a := range c.Authors {
+		df := c.Index.DocFrequency("author", a)
+		if df > max {
+			max = df
+		}
+		if df < min {
+			min = df
+		}
+	}
+	if max < 4*min {
+		t.Fatalf("skew missing: max fanout %d, min %d", max, min)
+	}
+	// Determinism.
+	c2 := NewCorpus(CorpusConfig{Docs: 2000, Seed: 9, Skewed: true})
+	if c2.Index.DocFrequency("author", c.Authors[0]) != c.Index.DocFrequency("author", c.Authors[0]) {
+		t.Fatal("skewed corpus not deterministic")
+	}
+}
+
+// TestModelRobustToSkew: on a skewed corpus — where the cost model's
+// average fanouts hide high per-author variance — the predicted winner
+// between TS and the semi-join still matches the measured winner on Q1
+// and Q2 (the builders that are skew-safe).
+func TestModelRobustToSkew(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 2000, Seed: 9, Skewed: true})
+	scenarios := []*Scenario{}
+	q1, err := c.Q1(Q1Config{N: 200, S1: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios = append(scenarios, q1)
+	q2, err := c.Q2(Q2Config{N: 40, S1: 0.5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios = append(scenarios, q2)
+
+	for _, sc := range scenarios {
+		estSvc, err := sc.Service()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := stats.New(estSvc, stats.WithSampleSize(10000))
+		params, err := est.BuildParams(sc.Spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predWinner, _ := params.Best()
+		method, err := stats.InstantiateMethod(sc.Spec, params, predWinner)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Measure the predicted winner and TS; the winner must actually
+		// beat TS when predicted to (and the result must stay correct).
+		svc1, err := sc.Service()
+		if err != nil {
+			t.Fatal(err)
+		}
+		winRes, err := method.Execute(sc.Spec, svc1)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", sc.Name, method.Name(), err)
+		}
+		svc2, err := sc.Service()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tsRes, err := (join.TS{}).Execute(sc.Spec, svc2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !join.SameRows(winRes.Table, tsRes.Table) {
+			t.Fatalf("%s: winner result differs from TS on skewed corpus", sc.Name)
+		}
+		if method.Name() != "TS" && winRes.Stats.Usage.Cost >= tsRes.Stats.Usage.Cost {
+			t.Errorf("%s: predicted winner %s (%v) does not beat TS (%v) on skewed corpus",
+				sc.Name, method.Name(), winRes.Stats.Usage.Cost, tsRes.Stats.Usage.Cost)
+		}
+		t.Logf("%s (skewed): winner %s %.1fs vs TS %.1fs",
+			sc.Name, method.Name(), winRes.Stats.Usage.Cost, tsRes.Stats.Usage.Cost)
+	}
+}

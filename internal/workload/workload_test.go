@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"textjoin/internal/join"
+	"textjoin/internal/stats"
+	"textjoin/internal/textidx"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := NewCorpus(CorpusConfig{Docs: 200, Seed: 7})
+	b := NewCorpus(CorpusConfig{Docs: 200, Seed: 7})
+	if a.Index.NumDocs() != b.Index.NumDocs() {
+		t.Fatal("corpus size differs")
+	}
+	for i := 0; i < a.Index.NumDocs(); i++ {
+		da, _ := a.Index.Doc(textidx.DocID(i))
+		db, _ := b.Index.Doc(textidx.DocID(i))
+		if da.Fields["title"] != db.Fields["title"] || da.Fields["author"] != db.Fields["author"] {
+			t.Fatalf("doc %d differs between equal seeds", i)
+		}
+	}
+	c := NewCorpus(CorpusConfig{Docs: 200, Seed: 8})
+	diff := false
+	for i := 0; i < a.Index.NumDocs(); i++ {
+		da, _ := a.Index.Doc(textidx.DocID(i))
+		dc, _ := c.Index.Doc(textidx.DocID(i))
+		if da.Fields["title"] != dc.Fields["title"] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusFanoutsExact(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 400, TagFanout: 4, AuthorFanout: 2, Seed: 1})
+	if len(c.Tags) != 100 || len(c.Authors) != 200 {
+		t.Fatalf("pools: %d tags, %d authors", len(c.Tags), len(c.Authors))
+	}
+	for _, tag := range c.Tags[:10] {
+		if df := c.Index.DocFrequency("title", tag); df != 4 {
+			t.Fatalf("tag %s fanout %d, want 4", tag, df)
+		}
+	}
+	// Every author appears in AuthorFanout documents as the primary
+	// author and AuthorFanout as the deterministic co-author.
+	for _, a := range c.Authors[:10] {
+		if df := c.Index.DocFrequency("author", a); df != 4 {
+			t.Fatalf("author %s fanout %d, want 4", a, df)
+		}
+	}
+}
+
+func TestCorpusTopicSkew(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 4000, Seed: 3})
+	// 'belief update' must be rare; use the phrase's first word doc
+	// frequency as an upper bound proxy.
+	rare := c.Index.DocFrequency("title", "belief")
+	common := c.Index.DocFrequency("title", "distributed")
+	if rare == 0 {
+		t.Fatal("'belief update' never appears; Q1 would be degenerate")
+	}
+	if rare*5 > common {
+		t.Fatalf("topic skew missing: belief=%d distributed=%d", rare, common)
+	}
+	// 'text' must be common (Q2's unselective selection).
+	if df := c.Index.DocFrequency("title", "text"); df < c.Docs/10 {
+		t.Fatalf("'text' in only %d of %d titles", df, c.Docs)
+	}
+}
+
+func TestBuildRelationSelectivityRealised(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 2000, Seed: 1})
+	rel, err := BuildRelation("r", 100, 5, ColumnSpec{
+		Name: "name", Distinct: 50, MatchFrac: 0.4, Pool: c.Authors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 100 {
+		t.Fatalf("rows = %d", rel.Cardinality())
+	}
+	d, err := rel.DistinctCount("name")
+	if err != nil || d != 50 {
+		t.Fatalf("distinct = %d, %v", d, err)
+	}
+	// Measure realised selectivity with the estimator at full sampling.
+	svc, err := (&Scenario{Corpus: c}).Service()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.New(svc, stats.WithSampleSize(1000))
+	e, err := est.Predicate(rel, "name", "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Sel-0.4) > 0.001 {
+		t.Fatalf("realised selectivity %v, want 0.4", e.Sel)
+	}
+	// Primary + co-author occurrences: 2 × AuthorFanout.
+	if math.Abs(e.CondFanout-2*float64(c.AuthorFanout)) > 0.001 {
+		t.Fatalf("conditional fanout %v, want %d", e.CondFanout, 2*c.AuthorFanout)
+	}
+}
+
+func TestBuildRelationErrors(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 100, Seed: 1})
+	cases := []struct {
+		n    int
+		cols []ColumnSpec
+	}{
+		{0, []ColumnSpec{{Name: "a", Distinct: 1, Pool: c.Authors}}},
+		{10, []ColumnSpec{{Name: "a", Distinct: 0, Pool: c.Authors}}},
+		{10, []ColumnSpec{{Name: "a", Distinct: 11, Pool: c.Authors}}},
+		{10, []ColumnSpec{{Name: "a", Distinct: 5, MatchFrac: 1.5, Pool: c.Authors}}},
+		{10, []ColumnSpec{{Name: "a", Distinct: 5, MatchFrac: 1, Pool: c.Authors[:2]}}},
+	}
+	for i, cse := range cases {
+		if _, err := BuildRelation("r", cse.n, 1, cse.cols...); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestScenariosRunnable(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 500, Seed: 2})
+	scenarios, err := PaperOperatingPoints(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 4 {
+		t.Fatalf("scenarios = %d", len(scenarios))
+	}
+	for _, s := range scenarios {
+		if err := s.Spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		svc, err := s.Service()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// TS must execute and agree with the naive join on every scenario.
+		res, err := (join.TS{}).Execute(s.Spec, svc)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		want, err := join.NaiveJoin(s.Spec, c.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !join.SameRows(res.Table, want) {
+			t.Fatalf("%s: TS differs from naive", s.Name)
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 300, Seed: 2})
+	s, err := ScenarioByName(c, "Q3")
+	if err != nil || s.Name != "Q3" {
+		t.Fatalf("ScenarioByName: %v, %v", s, err)
+	}
+	if _, err := ScenarioByName(c, "Q9"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestQ1HasSelectiveSelectionAndResults(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 2000, Seed: 2})
+	s, err := c.Q1(Q1Config{N: 50, S1: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := s.Service()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.New(svc, stats.WithSampleSize(1000))
+	st, err := est.Selection(s.Spec.TextSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fanout == 0 || st.Fanout > float64(c.Docs)/50 {
+		t.Fatalf("Q1 selection fanout %v not selective", st.Fanout)
+	}
+}
+
+func TestFieldsAccessor(t *testing.T) {
+	c := NewCorpus(CorpusConfig{Docs: 10, Seed: 1})
+	if len(c.Fields()) != 4 {
+		t.Fatalf("fields = %v", c.Fields())
+	}
+}
