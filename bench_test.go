@@ -7,6 +7,7 @@
 package textjoin_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -62,7 +63,7 @@ func BenchmarkTable2(b *testing.B) {
 				var simCost float64
 				for i := 0; i < b.N; i++ {
 					svc.Meter().Reset()
-					res, err := method.Execute(sc.Spec, svc)
+					res, err := method.Execute(bg, sc.Spec, svc)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -137,7 +138,7 @@ func BenchmarkMultiJoinQ5(b *testing.B) {
 					b.Fatal(err)
 				}
 				ex := &exec.Executor{Cat: w.Catalog, Svc: svc}
-				if _, _, err := ex.Run(res.Plan); err != nil {
+				if _, _, err := ex.Run(bg, res.Plan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -216,7 +217,7 @@ func BenchmarkSearch(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := svc.Search(q, texservice.FormShort); err != nil {
+				if _, err := svc.Search(bg, q, texservice.FormShort); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -247,7 +248,7 @@ func BenchmarkRemoteSearch(b *testing.B) {
 	q := textidx.Term{Field: "author", Word: benchCorpus.Authors[0]}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := remote.Search(q, texservice.FormShort); err != nil {
+		if _, err := remote.Search(bg, q, texservice.FormShort); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -292,7 +293,7 @@ func BenchmarkParallelTSOverLatency(b *testing.B) {
 			svc := roundRobin{conns: conns, n: new(atomic.Uint64)}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := (join.TS{Workers: workers}).Execute(sc.Spec, svc); err != nil {
+				if _, err := (join.TS{Workers: workers}).Execute(bg, sc.Spec, svc); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -311,11 +312,11 @@ func (r roundRobin) pick() texservice.Service {
 	return r.conns[int(r.n.Add(1))%len(r.conns)]
 }
 
-func (r roundRobin) Search(e textidx.Expr, f texservice.Form) (*texservice.Result, error) {
-	return r.pick().Search(e, f)
+func (r roundRobin) Search(ctx context.Context, e textidx.Expr, f texservice.Form) (*texservice.Result, error) {
+	return r.pick().Search(ctx, e, f)
 }
-func (r roundRobin) Retrieve(id textidx.DocID) (textidx.Document, error) {
-	return r.pick().Retrieve(id)
+func (r roundRobin) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	return r.pick().Retrieve(ctx, id)
 }
 func (r roundRobin) NumDocs() (int, error)    { return r.conns[0].NumDocs() }
 func (r roundRobin) MaxTerms() int            { return r.conns[0].MaxTerms() }
@@ -338,7 +339,7 @@ func BenchmarkJoinMethodsScaling(b *testing.B) {
 				}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := m.Execute(sc.Spec, svc); err != nil {
+					if _, err := m.Execute(bg, sc.Spec, svc); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"textjoin/internal/core"
 	"textjoin/internal/optimizer"
@@ -54,6 +55,9 @@ func main() {
 		remote      = flag.String("remote", "", "address of a textserve server to use instead of the in-process index")
 		explain     = flag.Bool("explain", true, "print the chosen plan")
 		maxRows     = flag.Int("maxrows", 20, "result rows to print")
+		pool        = flag.Int("pool", texservice.DefaultPoolSize, "remote connection-pool size (with -remote)")
+		timeout     = flag.Duration("timeout", 0, "per-call timeout against the remote server, 0 = none (with -remote)")
+		retries     = flag.Int("retries", 1, "total attempt budget for transient remote failures (with -remote)")
 	)
 	flag.Var(&tables, "table", "register a CSV table as name=path.csv (repeatable)")
 	flag.Parse()
@@ -65,6 +69,7 @@ func main() {
 	cfg := config{
 		docs: *docs, seed: *seed, mode: *mode, remote: *remote,
 		explain: *explain, maxRows: *maxRows, tables: tables,
+		pool: *pool, timeout: *timeout, retries: *retries,
 	}
 	var err error
 	if *interactive {
@@ -86,6 +91,9 @@ type config struct {
 	explain bool
 	maxRows int
 	tables  []string
+	pool    int
+	timeout time.Duration
+	retries int
 }
 
 // buildEngine assembles the engine: demo or CSV tables + local or remote
@@ -108,7 +116,16 @@ func buildEngine(cfg config) (*core.Engine, func(), error) {
 	cleanup := func() {}
 	var svc texservice.Service
 	if cfg.remote != "" {
-		r, err := texservice.Dial(cfg.remote, nil)
+		dialOpts := []texservice.DialOption{texservice.WithPoolSize(cfg.pool)}
+		if cfg.timeout > 0 {
+			dialOpts = append(dialOpts, texservice.WithTimeout(cfg.timeout))
+		}
+		if cfg.retries > 1 {
+			policy := texservice.DefaultRetryPolicy()
+			policy.MaxAttempts = cfg.retries
+			dialOpts = append(dialOpts, texservice.WithRetry(policy))
+		}
+		r, err := texservice.Dial(cfg.remote, nil, dialOpts...)
 		if err != nil {
 			return nil, nil, fmt.Errorf("dialing %s: %w", cfg.remote, err)
 		}

@@ -35,9 +35,10 @@ func main() {
 		short    = flag.String("short", "title,author,year", "comma-separated short-form fields")
 		maxTerms = flag.Int("maxterms", texservice.DefaultMaxTerms, "maximum search terms per query (the paper's M)")
 		latency  = flag.Duration("latency", 0, "simulated WAN latency added to every request (e.g. 50ms)")
+		chaos    = flag.String("chaos", "", `fault injection spec, e.g. "rate=0.1,drop=50,latency=20ms" (keys: every, rate, drop, hang, latency, seed, permanent)`)
 	)
 	flag.Parse()
-	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency); err != nil {
+	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "textserve:", err)
 		os.Exit(1)
 	}
@@ -48,7 +49,7 @@ type jsonDoc struct {
 	Fields map[string]string `json:"fields"`
 }
 
-func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration) error {
+func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration, chaos string) error {
 	var ix *textidx.Index
 	switch {
 	case snapshot != "":
@@ -88,7 +89,15 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 	if err != nil {
 		return err
 	}
-	srv := texservice.NewServer(local)
+	var svc texservice.Service = local
+	if chaos != "" {
+		cfg, err := texservice.ParseFaultConfig(chaos)
+		if err != nil {
+			return err
+		}
+		svc = texservice.NewFaulty(local, cfg)
+	}
+	srv := texservice.NewServer(svc)
 	srv.Latency = latency
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -96,6 +105,9 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 	}
 	fmt.Printf("textserve: serving %d documents on %s (short form: %s, M=%d, latency %s)\n",
 		ix.NumDocs(), bound, short, maxTerms, latency)
+	if chaos != "" {
+		fmt.Printf("textserve: chaos mode active (%s)\n", chaos)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -15,7 +15,7 @@ func TestWriteSnapshotAndServeIt(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "idx.snap")
 	// Write a snapshot (returns without listening).
-	if err := run("127.0.0.1:0", 120, 3, "", "", snap, "title,author,year", 70, 0); err != nil {
+	if err := run("127.0.0.1:0", 120, 3, "", "", snap, "title,author,year", 70, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	ix, err := textidx.LoadFile(snap)
@@ -42,7 +42,7 @@ func TestLoadJSONDocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := filepath.Join(dir, "from-json.snap")
-	if err := run("127.0.0.1:0", 0, 1, docsFile, "", snap, "title", 70, 0); err != nil {
+	if err := run("127.0.0.1:0", 0, 1, docsFile, "", snap, "title", 70, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	ix, err := textidx.LoadFile(snap)
@@ -55,17 +55,17 @@ func TestLoadJSONDocs(t *testing.T) {
 }
 
 func TestLoadErrors(t *testing.T) {
-	if err := run("x", 10, 1, filepath.Join(t.TempDir(), "missing.json"), "", "", "title", 70, 0); err == nil {
+	if err := run("x", 10, 1, filepath.Join(t.TempDir(), "missing.json"), "", "", "title", 70, 0, ""); err == nil {
 		t.Error("missing JSON accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("x", 10, 1, bad, "", "", "title", 70, 0); err == nil {
+	if err := run("x", 10, 1, bad, "", "", "title", 70, 0, ""); err == nil {
 		t.Error("bad JSON accepted")
 	}
-	if err := run("x", 10, 1, "", filepath.Join(t.TempDir(), "missing.snap"), "", "title", 70, 0); err == nil {
+	if err := run("x", 10, 1, "", filepath.Join(t.TempDir(), "missing.snap"), "", "title", 70, 0, ""); err == nil {
 		t.Error("missing snapshot accepted")
 	}
 }
@@ -100,7 +100,7 @@ func TestServeFromSnapshotEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer remote.Close()
-	res, err := remote.Search(textidx.Term{Field: "author", Word: c.Authors[0]}, texservice.FormShort)
+	res, err := remote.Search(bg, textidx.Term{Field: "author", Word: c.Authors[0]}, texservice.FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -67,7 +68,7 @@ func run() error {
 			return err
 		}
 		ex := &exec.Executor{Cat: w.Catalog, Svc: runSvc}
-		out, st, err := ex.Run(res.Plan)
+		out, st, err := ex.Run(context.Background(), res.Plan)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,7 +76,7 @@ func run() error {
 	}
 	for _, m := range []join.Method{join.TS{}, join.SJRTP{}} {
 		remote.Meter().Reset()
-		res, err := m.Execute(spec, remote)
+		res, err := m.Execute(context.Background(), spec, remote)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -103,7 +104,7 @@ func run() error {
 			fmt.Printf("%-10s inapplicable: %v\n", m.Name(), err)
 			continue
 		}
-		res, err := m.Execute(spec, svc)
+		res, err := m.Execute(context.Background(), spec, svc)
 		if err != nil {
 			return err
 		}
@@ -116,7 +117,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := method.Execute(spec, svc)
+	res, err := method.Execute(context.Background(), spec, svc)
 	if err != nil {
 		return err
 	}

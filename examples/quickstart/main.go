@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,7 +68,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := m.Execute(spec, svc)
+		res, err := m.Execute(context.Background(), spec, svc)
 		if err != nil {
 			return err
 		}
@@ -81,7 +82,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := join.SJRTP{}.Execute(spec, svc)
+	res, err := join.SJRTP{}.Execute(context.Background(), spec, svc)
 	if err != nil {
 		return err
 	}

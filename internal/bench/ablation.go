@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,7 +42,7 @@ func Ablations(c *workload.Corpus) ([]AblationRow, error) {
 		if err := m.Applicable(sc.Spec, svc); err != nil {
 			return nil // skip inapplicable variants silently
 		}
-		res, err := m.Execute(sc.Spec, svc)
+		res, err := m.Execute(context.Background(), sc.Spec, svc)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", sc.Name, m.Name(), err)
 		}

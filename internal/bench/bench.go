@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -89,7 +90,7 @@ func RunScenario(sc *workload.Scenario) ([]MethodResult, error) {
 			continue // e.g. short-form fields missing for RTP methods
 		}
 		start := time.Now()
-		res, err := method.Execute(sc.Spec, svc)
+		res, err := method.Execute(context.Background(), sc.Spec, svc)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", sc.Name, method.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -65,7 +66,7 @@ func CorrelationAblation(c *workload.Corpus) ([]CorrelationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			resTS, err := (join.TS{}).Execute(sc.Spec, svcTS)
+			resTS, err := (join.TS{}).Execute(context.Background(), sc.Spec, svcTS)
 			if err != nil {
 				return nil, err
 			}
@@ -74,7 +75,7 @@ func CorrelationAblation(c *workload.Corpus) ([]CorrelationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			resP, err := (join.PTS{ProbeColumns: probeCols}).Execute(sc.Spec, svcP)
+			resP, err := (join.PTS{ProbeColumns: probeCols}).Execute(context.Background(), sc.Spec, svcP)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -68,7 +69,7 @@ func MultiJoinQ5(cfg workload.Q5Config) ([]Q5Row, error) {
 		}
 		ex := &exec.Executor{Cat: w.Catalog, Svc: runSvc}
 		start := time.Now()
-		table, st, err := ex.Run(res.Plan)
+		table, st, err := ex.Run(context.Background(), res.Plan)
 		if err != nil {
 			return nil, fmt.Errorf("bench: executing %v plan: %w", mode, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -62,7 +63,7 @@ func Figure1AValidation(c *workload.Corpus, s1Values []float64) ([]ValidationPoi
 			if err != nil {
 				return nil, err
 			}
-			res, err := m.Execute(sc.Spec, svc)
+			res, err := m.Execute(context.Background(), sc.Spec, svc)
 			if err != nil {
 				return nil, fmt.Errorf("s1=%v %s: %w", s1, name, err)
 			}
@@ -114,7 +115,7 @@ func Figure1BValidation(c *workload.Corpus, n int, ratios []float64) ([]Validati
 			if err != nil {
 				return nil, err
 			}
-			res, err := m.Execute(sc.Spec, svc)
+			res, err := m.Execute(context.Background(), sc.Spec, svc)
 			if err != nil {
 				return nil, fmt.Errorf("ratio=%v %s: %w", ratio, name, err)
 			}

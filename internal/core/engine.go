@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -148,11 +149,17 @@ type Result struct {
 
 // Query parses, optimizes and executes a conjunctive query.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query bounded by a context: cancellation or deadline
+// expiry aborts the text-service calls the execution issues.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	pl, err := e.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	return pl.Run()
+	return pl.RunContext(ctx)
 }
 
 // Prepared is an optimized query ready to execute (possibly repeatedly).
@@ -214,9 +221,15 @@ func (p *Prepared) Analyzed() *sqlparse.Analyzed { return p.analyzed }
 
 // Run executes the prepared plan.
 func (p *Prepared) Run() (*Result, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the prepared plan under a context; cancellation or
+// deadline expiry aborts the run's text-service calls.
+func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
 	ex := &exec.Executor{Cat: p.engine.catalog, Svc: inertService{}, Services: p.services}
 	start := time.Now()
-	table, st, err := ex.Run(p.plan)
+	table, st, err := ex.Run(ctx, p.plan)
 	if err != nil {
 		return nil, err
 	}

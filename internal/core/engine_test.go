@@ -232,10 +232,10 @@ func TestEngineModes(t *testing.T) {
 
 func TestInertService(t *testing.T) {
 	var s inertService
-	if _, err := s.Search(nil, texservice.FormShort); err == nil {
+	if _, err := s.Search(bg, nil, texservice.FormShort); err == nil {
 		t.Fatal("inert search succeeded")
 	}
-	if _, err := s.Retrieve(0); err == nil {
+	if _, err := s.Retrieve(bg, 0); err == nil {
 		t.Fatal("inert retrieve succeeded")
 	}
 	if n, err := s.NumDocs(); err != nil || n != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"textjoin/internal/texservice"
@@ -14,11 +15,11 @@ type inertService struct{}
 
 var inertMeter = texservice.NewMeter(texservice.DefaultCosts())
 
-func (inertService) Search(textidx.Expr, texservice.Form) (*texservice.Result, error) {
+func (inertService) Search(context.Context, textidx.Expr, texservice.Form) (*texservice.Result, error) {
 	return nil, fmt.Errorf("core: query has no text source")
 }
 
-func (inertService) Retrieve(textidx.DocID) (textidx.Document, error) {
+func (inertService) Retrieve(context.Context, textidx.DocID) (textidx.Document, error) {
 	return textidx.Document{}, fmt.Errorf("core: query has no text source")
 }
 

@@ -4,6 +4,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"textjoin/internal/cost"
@@ -67,14 +68,14 @@ type RunStats struct {
 
 // Run evaluates the plan and returns the result table along with the
 // text-service usage it caused.
-func (e *Executor) Run(n plan.Node) (*relation.Table, RunStats, error) {
+func (e *Executor) Run(ctx context.Context, n plan.Node) (*relation.Table, RunStats, error) {
 	meters := e.meters()
 	befores := make([]texservice.Usage, len(meters))
 	for i, m := range meters {
 		befores[i] = m.Snapshot()
 	}
 	st := &RunStats{}
-	out, err := e.eval(n, st)
+	out, err := e.eval(ctx, n, st)
 	if err != nil {
 		return nil, RunStats{}, err
 	}
@@ -84,18 +85,18 @@ func (e *Executor) Run(n plan.Node) (*relation.Table, RunStats, error) {
 	return out, *st, nil
 }
 
-func (e *Executor) eval(n plan.Node, st *RunStats) (*relation.Table, error) {
+func (e *Executor) eval(ctx context.Context, n plan.Node, st *RunStats) (*relation.Table, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
 		return e.evalScan(n)
 	case *plan.Probe:
-		return e.evalProbe(n, st)
+		return e.evalProbe(ctx, n, st)
 	case *plan.Join:
-		return e.evalJoin(n, st)
+		return e.evalJoin(ctx, n, st)
 	case *plan.TextJoin:
-		return e.evalTextJoin(n, st)
+		return e.evalTextJoin(ctx, n, st)
 	case *plan.Project:
-		in, err := e.eval(n.Input, st)
+		in, err := e.eval(ctx, n.Input, st)
 		if err != nil {
 			return nil, err
 		}
@@ -117,8 +118,8 @@ func (e *Executor) evalScan(n *plan.Scan) (*relation.Table, error) {
 	return q.Select(n.Pred)
 }
 
-func (e *Executor) evalProbe(n *plan.Probe, st *RunStats) (*relation.Table, error) {
-	in, err := e.eval(n.Input, st)
+func (e *Executor) evalProbe(ctx context.Context, n *plan.Probe, st *RunStats) (*relation.Table, error) {
+	in, err := e.eval(ctx, n.Input, st)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func (e *Executor) evalProbe(n *plan.Probe, st *RunStats) (*relation.Table, erro
 		TextSel:  n.TextSel,
 	}
 	cols := probeColumns(n.Preds)
-	out, stats, err := join.ProbeReduce(spec, cols, svc)
+	out, stats, err := join.ProbeReduce(ctx, spec, cols, svc)
 	if err != nil {
 		return nil, err
 	}
@@ -140,12 +141,12 @@ func (e *Executor) evalProbe(n *plan.Probe, st *RunStats) (*relation.Table, erro
 	return out, nil
 }
 
-func (e *Executor) evalJoin(n *plan.Join, st *RunStats) (*relation.Table, error) {
-	left, err := e.eval(n.Left, st)
+func (e *Executor) evalJoin(ctx context.Context, n *plan.Join, st *RunStats) (*relation.Table, error) {
+	left, err := e.eval(ctx, n.Left, st)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.eval(n.Right, st)
+	right, err := e.eval(ctx, n.Right, st)
 	if err != nil {
 		return nil, err
 	}
@@ -159,8 +160,8 @@ func (e *Executor) evalJoin(n *plan.Join, st *RunStats) (*relation.Table, error)
 	return relation.NestedLoopJoin(left, right, pred)
 }
 
-func (e *Executor) evalTextJoin(n *plan.TextJoin, st *RunStats) (*relation.Table, error) {
-	in, err := e.eval(n.Input, st)
+func (e *Executor) evalTextJoin(ctx context.Context, n *plan.TextJoin, st *RunStats) (*relation.Table, error) {
+	in, err := e.eval(ctx, n.Input, st)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +180,7 @@ func (e *Executor) evalTextJoin(n *plan.TextJoin, st *RunStats) (*relation.Table
 	if err != nil {
 		return nil, err
 	}
-	res, err := method.Execute(spec, svc)
+	res, err := method.Execute(ctx, spec, svc)
 	if err != nil {
 		return nil, err
 	}

@@ -121,7 +121,7 @@ func TestRunHandPlanAllMethods(t *testing.T) {
 	for _, c := range cases {
 		cat2, svc2, _ := fixture(t)
 		ex := &Executor{Cat: cat2, Svc: svc2}
-		got, st, err := ex.Run(handPlan(c.method, c.probeCols))
+		got, st, err := ex.Run(bg, handPlan(c.method, c.probeCols))
 		if err != nil {
 			t.Fatalf("%v: %v", c.method, err)
 		}
@@ -145,7 +145,7 @@ func TestRunScanAndProject(t *testing.T) {
 			Pred: relation.ColConst{Col: "student.dept", Op: relation.OpEq, Const: value.String("cs")}},
 		Columns: []string{"student.name"},
 	}
-	out, st, err := ex.Run(p)
+	out, st, err := ex.Run(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestRunHashJoin(t *testing.T) {
 		Equi:      []relation.EquiJoinCond{{Left: "student.dept", Right: "faculty.dept"}},
 		Algorithm: "hash",
 	}
-	out, _, err := ex.Run(p)
+	out, _, err := ex.Run(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,15 +179,15 @@ func TestRunHashJoin(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	cat, svc, _ := fixture(t)
 	ex := &Executor{Cat: cat, Svc: svc}
-	if _, _, err := ex.Run(&plan.Scan{Table: "nosuch"}); err == nil {
+	if _, _, err := ex.Run(bg, &plan.Scan{Table: "nosuch"}); err == nil {
 		t.Fatal("unknown table accepted")
 	}
-	if _, _, err := ex.Run(&plan.TextJoin{
+	if _, _, err := ex.Run(bg, &plan.TextJoin{
 		Input: &plan.Scan{Table: "student"}, Method: cost.Method(99),
 	}); err == nil {
 		t.Fatal("unknown method accepted")
 	}
-	if _, _, err := ex.Run(nil); err == nil {
+	if _, _, err := ex.Run(bg, nil); err == nil {
 		t.Fatal("nil plan accepted")
 	}
 }
@@ -234,7 +234,7 @@ func TestQualifyDocColumns(t *testing.T) {
 func TestRunWithoutServiceFails(t *testing.T) {
 	cat, _, _ := fixture(t)
 	ex := &Executor{Cat: cat} // no Svc, no Services
-	_, _, err := ex.Run(&plan.TextJoin{
+	_, _, err := ex.Run(bg, &plan.TextJoin{
 		Input:  &plan.Scan{Table: "student"},
 		Source: "mercury",
 		Method: cost.MethodTS,
@@ -244,7 +244,7 @@ func TestRunWithoutServiceFails(t *testing.T) {
 		t.Fatal("text join without a service accepted")
 	}
 	// Relational-only plans still work with no services at all.
-	out, _, err := ex.Run(&plan.Scan{Table: "student"})
+	out, _, err := ex.Run(bg, &plan.Scan{Table: "student"})
 	if err != nil || out.Cardinality() == 0 {
 		t.Fatalf("relational plan without services: %v", err)
 	}

@@ -1,6 +1,7 @@
 package join_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func Example() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := m.Execute(spec, svc)
+		res, err := m.Execute(context.Background(), spec, svc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 
 	"textjoin/internal/relation"
@@ -54,12 +55,12 @@ func (TSBatch) Applicable(spec *Spec, svc texservice.Service) error {
 }
 
 // Execute implements Method.
-func (m TSBatch) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+func (m TSBatch) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
 	if err := m.Applicable(spec, svc); err != nil {
 		return nil, err
 	}
 	batcher := svc.(texservice.BatchSearcher)
-	return run(spec, svc, func(ex *execution) error {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -75,7 +76,7 @@ func (m TSBatch) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
 			if len(batchExprs) == 0 {
 				return nil
 			}
-			results, err := batcher.BatchSearch(batchExprs, form)
+			results, err := batcher.BatchSearch(ex.ctx, batchExprs, form)
 			if err != nil {
 				return err
 			}
@@ -135,11 +136,11 @@ func (m PRTPAdaptive) Applicable(spec *Spec, svc texservice.Service) error {
 }
 
 // Execute implements Method.
-func (m PRTPAdaptive) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+func (m PRTPAdaptive) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
 	if err := m.Applicable(spec, svc); err != nil {
 		return nil, err
 	}
-	return run(spec, svc, func(ex *execution) error {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		keys, groups, err := spec.Relation.GroupBy(m.ProbeColumns...)
 		if err != nil {
 			return err
@@ -161,7 +162,7 @@ func (m PRTPAdaptive) Execute(spec *Spec, svc texservice.Service) (*Result, erro
 			if !ok {
 				continue
 			}
-			pres, err := svc.Search(pexpr, texservice.FormShort)
+			pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
 			if err != nil {
 				return err
 			}
@@ -209,7 +210,7 @@ func (ex *execution) substituteBindings(rowIdxs []int) error {
 		if !ok {
 			continue
 		}
-		res, err := ex.svc.Search(expr, form)
+		res, err := ex.svc.Search(ex.ctx, expr, form)
 		if err != nil {
 			return err
 		}

@@ -21,7 +21,7 @@ func TestTSBatchEquivalentAndAmortised(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := TSBatch{}.Execute(spec, svc)
+	res, err := TSBatch{}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestTSBatchEquivalentAndAmortised(t *testing.T) {
 	}
 
 	svcTS := service(t, ix)
-	resTS, err := TS{}.Execute(spec, svcTS)
+	resTS, err := TS{}.Execute(bg, spec, svcTS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestTSBatchRequiresCapability(t *testing.T) {
 	if err := (TSBatch{}).Applicable(spec, noBatch{svc}); err == nil {
 		t.Fatal("TS(batched) applicable without BatchSearcher")
 	}
-	if _, err := (TSBatch{}).Execute(spec, noBatch{svc}); err == nil {
+	if _, err := (TSBatch{}).Execute(bg, spec, noBatch{svc}); err == nil {
 		t.Fatal("TS(batched) executed without BatchSearcher")
 	}
 }
@@ -87,7 +87,7 @@ func TestSJOrColumnsEquivalent(t *testing.T) {
 		for _, orCols := range [][]string{{"name"}, {"member"}, {"name", "member"}} {
 			svc := service(t, ix)
 			m := SJRTP{OrColumns: orCols}
-			res, err := m.Execute(spec, svc)
+			res, err := m.Execute(bg, spec, svc)
 			if err != nil {
 				t.Fatalf("%s: %v", m.Name(), err)
 			}
@@ -102,12 +102,12 @@ func TestSJOrColumnsShipsMore(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, false)
 	svcFull := service(t, ix)
-	full, err := SJRTP{}.Execute(spec, svcFull)
+	full, err := SJRTP{}.Execute(bg, spec, svcFull)
 	if err != nil {
 		t.Fatal(err)
 	}
 	svcOne := service(t, ix)
-	one, err := SJRTP{OrColumns: []string{"member"}}.Execute(spec, svcOne)
+	one, err := SJRTP{OrColumns: []string{"member"}}.Execute(bg, spec, svcOne)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestPRTPAdaptiveEquivalent(t *testing.T) {
 	for _, budget := range []int{0, 1, 2, 1000} {
 		svc := service(t, ix)
 		m := PRTPAdaptive{ProbeColumns: []string{"name"}, DocBudget: budget}
-		res, err := m.Execute(spec, svc)
+		res, err := m.Execute(bg, spec, svc)
 		if err != nil {
 			t.Fatalf("budget %d: %v", budget, err)
 		}
@@ -162,7 +162,7 @@ func TestPRTPAdaptiveSwitches(t *testing.T) {
 
 	// Without a budget: one probe per distinct probe binding (4).
 	svcPlain := service(t, ix)
-	plain, err := PRTPAdaptive{ProbeColumns: []string{"name"}}.Execute(spec, svcPlain)
+	plain, err := PRTPAdaptive{ProbeColumns: []string{"name"}}.Execute(bg, spec, svcPlain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestPRTPAdaptiveSwitches(t *testing.T) {
 	// With budget 1 the first successful probe (2 docs) exceeds it and
 	// the rest degrade to substitution: fewer probes, more searches.
 	svcTight := service(t, ix)
-	tight, err := PRTPAdaptive{ProbeColumns: []string{"name"}, DocBudget: 1}.Execute(spec, svcTight)
+	tight, err := PRTPAdaptive{ProbeColumns: []string{"name"}, DocBudget: 1}.Execute(bg, spec, svcTight)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestExtensionsAgainstRemote(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Batched TS over the wire.
-	res, err := TSBatch{}.Execute(spec, remote)
+	res, err := TSBatch{}.Execute(bg, spec, remote)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestExtensionsAgainstRemote(t *testing.T) {
 		t.Fatal("remote TS(batched) differs from naive")
 	}
 	// Exported statistics over the wire.
-	df, err := remote.TermDocFrequency("title", "pws")
+	df, err := remote.TermDocFrequency(bg, "title", "pws")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestExtensionsAgainstRemote(t *testing.T) {
 		t.Fatalf("remote doc frequency %d, local %d", df, ix.DocFrequency("title", "pws"))
 	}
 	// Phrase frequency too.
-	df, err = remote.TermDocFrequency("title", "belief update")
+	df, err = remote.TermDocFrequency(bg, "title", "belief update")
 	if err != nil || df != 1 {
 		t.Fatalf("phrase doc frequency = %d, %v", df, err)
 	}
@@ -253,10 +253,10 @@ func TestBatchSearchTermLimit(t *testing.T) {
 		textidx.Term{Field: "title", Word: "text"},
 		textidx.Term{Field: "title", Word: "belief"},
 	}
-	if _, err := svc.BatchSearch(exprs, texservice.FormShort); err == nil {
+	if _, err := svc.BatchSearch(bg, exprs, texservice.FormShort); err == nil {
 		t.Fatal("over-limit batch accepted")
 	}
-	ok, err := svc.BatchSearch(exprs[:2], texservice.FormShort)
+	ok, err := svc.BatchSearch(bg, exprs[:2], texservice.FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}

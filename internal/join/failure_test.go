@@ -2,54 +2,27 @@ package join
 
 import (
 	"errors"
-	"fmt"
-	"sync"
 	"testing"
 
 	"textjoin/internal/texservice"
 	"textjoin/internal/textidx"
 )
 
-// flakyService fails every nth Search/Retrieve with errInjected,
-// exercising the methods' error paths.
-type flakyService struct {
-	inner texservice.Service
-	every int
-
-	mu    sync.Mutex
-	calls int
-}
-
-var errInjected = errors.New("injected text-system failure")
-
-func (f *flakyService) tick() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.calls++
-	if f.every > 0 && f.calls%f.every == 0 {
-		return errInjected
+// failingMethods is the method set the failure tests drive.
+func failingMethods() []Method {
+	return []Method{
+		TS{},
+		TS{Workers: 4},
+		RTP{},
+		SJRTP{},
+		SJRTP{OrColumns: []string{"member"}},
+		PTS{ProbeColumns: []string{"name"}},
+		PTS{ProbeColumns: []string{"name"}, Lazy: true},
+		PTS{ProbeColumns: []string{"name"}, Grouped: true},
+		PRTP{ProbeColumns: []string{"name"}},
+		PRTPAdaptive{ProbeColumns: []string{"name"}, DocBudget: 1},
 	}
-	return nil
 }
-
-func (f *flakyService) Search(e textidx.Expr, form texservice.Form) (*texservice.Result, error) {
-	if err := f.tick(); err != nil {
-		return nil, err
-	}
-	return f.inner.Search(e, form)
-}
-
-func (f *flakyService) Retrieve(id textidx.DocID) (textidx.Document, error) {
-	if err := f.tick(); err != nil {
-		return textidx.Document{}, err
-	}
-	return f.inner.Retrieve(id)
-}
-
-func (f *flakyService) NumDocs() (int, error)    { return f.inner.NumDocs() }
-func (f *flakyService) MaxTerms() int            { return f.inner.MaxTerms() }
-func (f *flakyService) ShortFields() []string    { return f.inner.ShortFields() }
-func (f *flakyService) Meter() *texservice.Meter { return f.inner.Meter() }
 
 // TestMethodsSurfaceServiceErrors: every method must return the injected
 // error (not panic, not silently drop rows) regardless of when in its
@@ -59,28 +32,16 @@ func TestMethodsSurfaceServiceErrors(t *testing.T) {
 	for _, longForm := range []bool{false, true} {
 		spec := q3Spec(t, longForm)
 		spec.TextSel = textidx.Term{Field: "year", Word: "1994"}
-		methods := []Method{
-			TS{},
-			TS{Workers: 4},
-			RTP{},
-			SJRTP{},
-			SJRTP{OrColumns: []string{"member"}},
-			PTS{ProbeColumns: []string{"name"}},
-			PTS{ProbeColumns: []string{"name"}, Lazy: true},
-			PTS{ProbeColumns: []string{"name"}, Grouped: true},
-			PRTP{ProbeColumns: []string{"name"}},
-			PRTPAdaptive{ProbeColumns: []string{"name"}, DocBudget: 1},
-		}
-		for _, m := range methods {
+		for _, m := range failingMethods() {
 			// Fail at several positions: first call, an early call, a
 			// late call.
 			for _, every := range []int{1, 2, 5} {
 				inner := service(t, ix)
-				flaky := &flakyService{inner: inner, every: every}
+				flaky := texservice.NewFaulty(inner, texservice.FaultConfig{ErrorEvery: every})
 				if err := m.Applicable(spec, flaky); err != nil {
 					continue
 				}
-				_, err := m.Execute(spec, flaky)
+				_, err := m.Execute(bg, spec, flaky)
 				if err == nil {
 					// Some schedules may finish before the nth call when
 					// the method needs fewer than `every` operations;
@@ -90,7 +51,7 @@ func TestMethodsSurfaceServiceErrors(t *testing.T) {
 					}
 					continue
 				}
-				if !errors.Is(err, errInjected) {
+				if !errors.Is(err, texservice.ErrInjected) {
 					t.Errorf("longForm=%v %s every=%d: wrong error %v", longForm, m.Name(), every, err)
 				}
 			}
@@ -98,37 +59,44 @@ func TestMethodsSurfaceServiceErrors(t *testing.T) {
 	}
 }
 
-// TestTSBatchSurfacesBatchErrors covers the batched path.
+// TestTSBatchSurfacesBatchErrors covers the batched path: Faulty gates
+// BatchSearch too, so an always-failing service must surface through the
+// batched method.
 func TestTSBatchSurfacesBatchErrors(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, false)
-	inner := service(t, ix)
-	flaky := &flakyBatch{flakyService: flakyService{inner: inner, every: 1}, batcher: inner}
-	if _, err := (TSBatch{}).Execute(spec, flaky); err == nil {
-		t.Fatal("batched failure not surfaced")
+	flaky := texservice.NewFaulty(service(t, ix), texservice.FaultConfig{ErrorEvery: 1})
+	if _, err := (TSBatch{}).Execute(bg, spec, flaky); !errors.Is(err, texservice.ErrInjected) {
+		t.Fatalf("batched failure not surfaced: %v", err)
 	}
-}
-
-// flakyBatch adds a failing BatchSearch capability.
-type flakyBatch struct {
-	flakyService
-	batcher texservice.BatchSearcher
-}
-
-func (f *flakyBatch) BatchSearch(exprs []textidx.Expr, form texservice.Form) ([]*texservice.Result, error) {
-	if err := f.tick(); err != nil {
-		return nil, fmt.Errorf("batch: %w", err)
-	}
-	return f.batcher.BatchSearch(exprs, form)
 }
 
 // TestProbeReduceSurfacesErrors covers the plan-level reducer.
 func TestProbeReduceSurfacesErrors(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, false)
-	inner := service(t, ix)
-	flaky := &flakyService{inner: inner, every: 1}
-	if _, _, err := ProbeReduce(spec, []string{"name"}, flaky); !errors.Is(err, errInjected) {
+	flaky := texservice.NewFaulty(service(t, ix), texservice.FaultConfig{ErrorEvery: 1})
+	if _, _, err := ProbeReduce(bg, spec, []string{"name"}, flaky); !errors.Is(err, texservice.ErrInjected) {
 		t.Fatalf("probe reduce error = %v", err)
+	}
+}
+
+// TestPermanentFaultsAreNotRetried: with Permanent set, a Retrying
+// decorator must not mask the failure — the first injected error
+// surfaces and no retries are charged.
+func TestPermanentFaultsAreNotRetried(t *testing.T) {
+	ix := corpus(t)
+	spec := q3Spec(t, false)
+	inner := service(t, ix)
+	flaky := texservice.NewFaulty(inner, texservice.FaultConfig{ErrorEvery: 1, Permanent: true})
+	svc := texservice.NewRetrying(flaky, texservice.RetryPolicy{MaxAttempts: 3, BaseDelay: 1})
+	if _, err := (TS{}).Execute(bg, spec, svc); !errors.Is(err, texservice.ErrInjected) {
+		t.Fatalf("permanent fault not surfaced: %v", err)
+	}
+	if n := svc.Retries(); n != 0 {
+		t.Fatalf("permanent fault was retried %d times", n)
+	}
+	if got := inner.Meter().Snapshot().Retries; got != 0 {
+		t.Fatalf("meter recorded %d retries for a permanent fault", got)
 	}
 }

@@ -111,7 +111,7 @@ func TestAllMethodsAgreeWithNaive(t *testing.T) {
 		}
 		for _, m := range allMethods() {
 			svc := service(t, ix)
-			res, err := m.Execute(spec, svc)
+			res, err := m.Execute(bg, spec, svc)
 			if err != nil {
 				t.Fatalf("longForm=%v %s: %v", longForm, m.Name(), err)
 			}
@@ -139,7 +139,7 @@ func TestRTPAgreesWithNaiveUnderSelection(t *testing.T) {
 	methods := append(allMethods(), RTP{})
 	for _, m := range methods {
 		svc := service(t, ix)
-		res, err := m.Execute(spec, svc)
+		res, err := m.Execute(bg, spec, svc)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
@@ -154,7 +154,7 @@ func TestTSInvocationCount(t *testing.T) {
 	ix := corpus(t)
 	svc := service(t, ix)
 	spec := q3Spec(t, true)
-	res, err := TS{}.Execute(spec, svc)
+	res, err := TS{}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestTSInvocationCount(t *testing.T) {
 	// Duplicate a tuple: the distinct variant must not send more searches.
 	spec.Relation.MustInsert(relation.Tuple{value.String("PWS"), value.String("Gravano")})
 	svc2 := service(t, ix)
-	res2, err := TS{}.Execute(spec, svc2)
+	res2, err := TS{}.Execute(bg, spec, svc2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestRTPSingleInvocation(t *testing.T) {
 	svc := service(t, ix)
 	spec := q3Spec(t, false)
 	spec.TextSel = textidx.Term{Field: "year", Word: "1994"}
-	res, err := RTP{}.Execute(spec, svc)
+	res, err := RTP{}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestRTPRequiresSelection(t *testing.T) {
 	if err := (RTP{}).Applicable(spec, svc); err == nil {
 		t.Fatal("RTP applicable without a selection")
 	}
-	if _, err := (RTP{}).Execute(spec, svc); err == nil {
+	if _, err := (RTP{}).Execute(bg, spec, svc); err == nil {
 		t.Fatal("RTP executed without a selection")
 	}
 }
@@ -236,7 +236,7 @@ func TestSJBatchingRespectsTermLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := q3Spec(t, false)
-	res, err := SJRTP{}.Execute(spec, svc)
+	res, err := SJRTP{}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,13 +275,13 @@ func TestPTSProbeCacheSavesInvocations(t *testing.T) {
 	// Bindings with name='NoSuchProject' (2 of them) share a failing
 	// probe; the cache must turn the second into zero invocations.
 	svcPlain := service(t, ix)
-	resTS, err := TS{}.Execute(spec, svcPlain)
+	resTS, err := TS{}.Execute(bg, spec, svcPlain)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	svcProbe := service(t, ix)
-	resP, err := PTS{ProbeColumns: []string{"name"}, Lazy: true}.Execute(spec, svcProbe)
+	resP, err := PTS{ProbeColumns: []string{"name"}, Lazy: true}.Execute(bg, spec, svcProbe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestPTSNoDuplicateProbes(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, false)
 	svc := service(t, ix)
-	res, err := PTS{ProbeColumns: []string{"name"}, Lazy: true}.Execute(spec, svc)
+	res, err := PTS{ProbeColumns: []string{"name"}, Lazy: true}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestPTSGroupedSkipsSingletonProbes(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, false)
 	svc := service(t, ix)
-	res, err := PTS{ProbeColumns: []string{"name"}, Grouped: true}.Execute(spec, svc)
+	res, err := PTS{ProbeColumns: []string{"name"}, Grouped: true}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestPTSEagerInvocationCounts(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, false)
 	svc := service(t, ix)
-	res, err := PTS{ProbeColumns: []string{"name"}}.Execute(spec, svc)
+	res, err := PTS{ProbeColumns: []string{"name"}}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +393,7 @@ func TestPRTPProbeCount(t *testing.T) {
 	ix := corpus(t)
 	svc := service(t, ix)
 	spec := q3Spec(t, false)
-	res, err := PRTP{ProbeColumns: []string{"name"}}.Execute(spec, svc)
+	res, err := PRTP{ProbeColumns: []string{"name"}}.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +408,7 @@ func TestProbeReduce(t *testing.T) {
 	ix := corpus(t)
 	svc := service(t, ix)
 	spec := q3Spec(t, false)
-	reduced, stats, err := ProbeReduce(spec, []string{"name"}, svc)
+	reduced, stats, err := ProbeReduce(bg, spec, []string{"name"}, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +428,7 @@ func TestProbeReduce(t *testing.T) {
 			t.Fatalf("tuple with name %q survived", name)
 		}
 	}
-	if _, _, err := ProbeReduce(spec, []string{"zzz"}, svc); err == nil {
+	if _, _, err := ProbeReduce(bg, spec, []string{"zzz"}, svc); err == nil {
 		t.Fatal("bad probe column accepted")
 	}
 }
@@ -448,7 +448,7 @@ func TestSpecValidation(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("bad spec %d accepted", i)
 		}
-		if _, err := (TS{}).Execute(s, svc); err == nil {
+		if _, err := (TS{}).Execute(bg, s, svc); err == nil {
 			t.Errorf("bad spec %d executed", i)
 		}
 	}
@@ -465,7 +465,7 @@ func TestUnsearchableValuesProduceNoRows(t *testing.T) {
 	}
 	for _, m := range allMethods() {
 		svc := service(t, ix)
-		res, err := m.Execute(spec, svc)
+		res, err := m.Execute(bg, spec, svc)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}

@@ -16,7 +16,7 @@ func TestParallelTSEquivalent(t *testing.T) {
 		}
 		for _, workers := range []int{1, 2, 4, 16} {
 			svc := service(t, ix)
-			res, err := TS{Workers: workers}.Execute(spec, svc)
+			res, err := TS{Workers: workers}.Execute(bg, spec, svc)
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}
@@ -37,13 +37,13 @@ func TestParallelTSDeterministicOrder(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, true)
 	svcSeq := service(t, ix)
-	seq, err := TS{}.Execute(spec, svcSeq)
+	seq, err := TS{}.Execute(bg, spec, svcSeq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 5; trial++ {
 		svcPar := service(t, ix)
-		par, err := TS{Workers: 8}.Execute(spec, svcPar)
+		par, err := TS{Workers: 8}.Execute(bg, spec, svcPar)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func TestParallelTSOverRemote(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := TS{Workers: 4}.Execute(spec, remote)
+	res, err := TS{Workers: 4}.Execute(bg, spec, remote)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -84,25 +85,25 @@ func (m PTS) Applicable(spec *Spec, svc texservice.Service) error {
 }
 
 // Execute implements Method.
-func (m PTS) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+func (m PTS) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
 	if err := m.Applicable(spec, svc); err != nil {
 		return nil, err
 	}
 	switch {
 	case m.Grouped:
-		return m.executeGrouped(spec, svc)
+		return m.executeGrouped(ctx, spec, svc)
 	case m.Lazy:
-		return m.executeCached(spec, svc)
+		return m.executeCached(ctx, spec, svc)
 	default:
-		return m.executeEager(spec, svc)
+		return m.executeEager(ctx, spec, svc)
 	}
 }
 
 // executeEager probes all distinct probe bindings up front, then
 // substitutes for the tuples whose probe succeeded — the execution the
 // C_{P+TS} formula describes.
-func (m PTS) executeEager(spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(spec, svc, func(ex *execution) error {
+func (m PTS) executeEager(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		probePreds := spec.predsOn(m.ProbeColumns)
 		// Phase 1: one probe per distinct probe-column binding.
 		pKeys, pGroups, err := spec.Relation.GroupBy(m.ProbeColumns...)
@@ -116,7 +117,7 @@ func (m PTS) executeEager(spec *Spec, svc texservice.Service) (*Result, error) {
 			if !ok {
 				continue
 			}
-			pres, err := svc.Search(pexpr, texservice.FormShort)
+			pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
 			if err != nil {
 				return err
 			}
@@ -140,7 +141,7 @@ func (m PTS) executeEager(spec *Spec, svc texservice.Service) (*Result, error) {
 			if !ok {
 				continue
 			}
-			res, err := svc.Search(expr, form)
+			res, err := svc.Search(ex.ctx, expr, form)
 			if err != nil {
 				return err
 			}
@@ -155,8 +156,8 @@ func (m PTS) executeEager(spec *Spec, svc texservice.Service) (*Result, error) {
 }
 
 // executeCached is the probe-cache algorithm of §3.3.
-func (m PTS) executeCached(spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(spec, svc, func(ex *execution) error {
+func (m PTS) executeCached(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -177,7 +178,7 @@ func (m PTS) executeCached(spec *Spec, svc texservice.Service) (*Result, error) 
 			if !ok {
 				continue
 			}
-			res, err := svc.Search(expr, form)
+			res, err := svc.Search(ex.ctx, expr, form)
 			if err != nil {
 				return err
 			}
@@ -200,7 +201,7 @@ func (m PTS) executeCached(spec *Spec, svc texservice.Service) (*Result, error) 
 				probeCache[pkey] = false
 				continue
 			}
-			pres, err := svc.Search(pexpr, texservice.FormShort)
+			pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
 			if err != nil {
 				return err
 			}
@@ -212,8 +213,8 @@ func (m PTS) executeCached(spec *Spec, svc texservice.Service) (*Result, error) 
 }
 
 // executeGrouped is the ordered/grouped variant without a cache.
-func (m PTS) executeGrouped(spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(spec, svc, func(ex *execution) error {
+func (m PTS) executeGrouped(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -248,7 +249,7 @@ func (m PTS) executeGrouped(spec *Spec, svc texservice.Service) (*Result, error)
 				if !ok {
 					continue
 				}
-				res, err := svc.Search(expr, form)
+				res, err := svc.Search(ex.ctx, expr, form)
 				if err != nil {
 					return err
 				}
@@ -270,7 +271,7 @@ func (m PTS) executeGrouped(spec *Spec, svc texservice.Service) (*Result, error)
 					skipGroup = true
 					continue
 				}
-				pres, err := svc.Search(pexpr, texservice.FormShort)
+				pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
 				if err != nil {
 					return err
 				}
@@ -313,11 +314,11 @@ func (m PRTP) Applicable(spec *Spec, svc texservice.Service) error {
 }
 
 // Execute implements Method.
-func (m PRTP) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+func (m PRTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
 	if err := m.Applicable(spec, svc); err != nil {
 		return nil, err
 	}
-	return run(spec, svc, func(ex *execution) error {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		keys, groups, err := spec.Relation.GroupBy(m.ProbeColumns...)
 		if err != nil {
 			return err
@@ -331,7 +332,7 @@ func (m PRTP) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
 			if !ok {
 				continue
 			}
-			pres, err := svc.Search(pexpr, texservice.FormShort)
+			pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
 			if err != nil {
 				return err
 			}
@@ -358,7 +359,7 @@ var _ Method = PRTP{}
 // (§6): it returns the tuples of the spec's relation whose probe on the
 // given columns succeeds, together with the execution stats. The result
 // has the same schema as the input relation.
-func ProbeReduce(spec *Spec, probeCols []string, svc texservice.Service) (*relation.Table, Stats, error) {
+func ProbeReduce(ctx context.Context, spec *Spec, probeCols []string, svc texservice.Service) (*relation.Table, Stats, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -380,7 +381,7 @@ func ProbeReduce(spec *Spec, probeCols []string, svc texservice.Service) (*relat
 		if !ok {
 			continue
 		}
-		pres, err := svc.Search(pexpr, texservice.FormShort)
+		pres, err := svc.Search(ctx, pexpr, texservice.FormShort)
 		if err != nil {
 			return nil, Stats{}, err
 		}

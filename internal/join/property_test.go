@@ -103,7 +103,7 @@ func TestMethodsEquivalentOnRandomWorkloads(t *testing.T) {
 			if err := m.Applicable(spec, svc); err != nil {
 				continue
 			}
-			res, err := m.Execute(spec, svc)
+			res, err := m.Execute(bg, spec, svc)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, m.Name(), err)
 			}
@@ -121,7 +121,7 @@ func TestMethodsEquivalentOnRandomWorkloads(t *testing.T) {
 			t.Fatal(err)
 		}
 		probeCols := []string{"c0"}
-		reduced, _, err := ProbeReduce(spec, probeCols, svc)
+		reduced, _, err := ProbeReduce(bg, spec, probeCols, svc)
 		if err != nil {
 			t.Fatalf("trial %d: probe reduce: %v", trial, err)
 		}
@@ -152,7 +152,7 @@ func TestProbeChoicesAllEquivalent(t *testing.T) {
 	ix := corpus(t)
 	spec := q3Spec(t, true)
 	svcTS := service(t, ix)
-	want, err := TS{}.Execute(spec, svcTS)
+	want, err := TS{}.Execute(bg, spec, svcTS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestProbeChoicesAllEquivalent(t *testing.T) {
 		{"name"}, {"member"}, {"name", "member"},
 	} {
 		svc := service(t, ix)
-		res, err := PTS{ProbeColumns: probeCols}.Execute(spec, svc)
+		res, err := PTS{ProbeColumns: probeCols}.Execute(bg, spec, svc)
 		if err != nil {
 			t.Fatalf("probe %v: %v", probeCols, err)
 		}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -77,13 +78,13 @@ func (m SJRTP) Applicable(spec *Spec, svc texservice.Service) error {
 }
 
 // Execute implements Method.
-func (s SJRTP) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+func (s SJRTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
 	if err := s.Applicable(spec, svc); err != nil {
 		return nil, err
 	}
 	orCols := s.orColumns(spec)
 	orPreds := spec.predsOn(orCols)
-	return run(spec, svc, func(ex *execution) error {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		// Distinct bindings over the OR columns only: restricting the OR
 		// set shrinks the number of disjuncts too.
 		keys, groups, err := spec.Relation.GroupBy(orCols...)
@@ -149,7 +150,7 @@ func (ex *execution) runSJBatch(batchKeys []string, groups map[string][]int, orP
 	if spec.TextSel != nil {
 		expr = andPair(spec.TextSel, expr)
 	}
-	res, err := ex.svc.Search(expr, texservice.FormShort)
+	res, err := ex.svc.Search(ex.ctx, expr, texservice.FormShort)
 	if err != nil {
 		return err
 	}

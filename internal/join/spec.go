@@ -13,6 +13,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -211,17 +212,19 @@ type Method interface {
 	// Applicable returns nil when the method can execute the spec against
 	// the service, or an error explaining why not.
 	Applicable(spec *Spec, svc texservice.Service) error
-	// Execute runs the join. The result's Stats reflect only this
-	// execution (meter deltas).
-	Execute(spec *Spec, svc texservice.Service) (*Result, error)
+	// Execute runs the join. The context bounds every text-service call
+	// the method issues; cancellation aborts the join mid-flight. The
+	// result's Stats reflect only this execution (meter deltas).
+	Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error)
 }
 
 // run wraps a method body with validation and meter-delta accounting.
-func run(spec *Spec, svc texservice.Service, body func(*execution) error) (*Result, error) {
+func run(ctx context.Context, spec *Spec, svc texservice.Service, body func(*execution) error) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	ex := &execution{
+		ctx:    ctx,
 		spec:   spec,
 		svc:    svc,
 		out:    relation.NewTable(spec.Relation.Name+"⋈text", spec.OutputSchema()),
@@ -237,6 +240,7 @@ func run(spec *Spec, svc texservice.Service, body func(*execution) error) (*Resu
 
 // execution carries shared per-run state for the method implementations.
 type execution struct {
+	ctx    context.Context
 	spec   *Spec
 	svc    texservice.Service
 	out    *relation.Table
@@ -291,7 +295,7 @@ func (ex *execution) retrieve(id textidx.DocID) (textidx.Document, error) {
 	if doc, ok := ex.docCache[id]; ok {
 		return doc, nil
 	}
-	doc, err := ex.svc.Retrieve(id)
+	doc, err := ex.svc.Retrieve(ex.ctx, id)
 	if err != nil {
 		return textidx.Document{}, err
 	}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"sync"
 
 	"textjoin/internal/relation"
@@ -32,8 +33,8 @@ func (TS) Applicable(spec *Spec, svc texservice.Service) error {
 }
 
 // Execute implements Method.
-func (m TS) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(spec, svc, func(ex *execution) error {
+func (m TS) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
+	return run(ctx, spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -76,7 +77,7 @@ func searchBindings(ex *execution, keys []string, groups map[string][]int, worke
 			if expr == nil {
 				continue
 			}
-			res, err := ex.svc.Search(expr, form)
+			res, err := ex.svc.Search(ex.ctx, expr, form)
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +96,7 @@ func searchBindings(ex *execution, keys []string, groups map[string][]int, worke
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := ex.svc.Search(exprs[i], form)
+				res, err := ex.svc.Search(ex.ctx, exprs[i], form)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -145,12 +146,12 @@ func (RTP) Applicable(spec *Spec, svc texservice.Service) error {
 }
 
 // Execute implements Method.
-func (RTP) Execute(spec *Spec, svc texservice.Service) (*Result, error) {
+func (RTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
 	if err := (RTP{}).Applicable(spec, svc); err != nil {
 		return nil, err
 	}
-	return run(spec, svc, func(ex *execution) error {
-		res, err := svc.Search(spec.TextSel, texservice.FormShort)
+	return run(ctx, spec, svc, func(ex *execution) error {
+		res, err := svc.Search(ex.ctx, spec.TextSel, texservice.FormShort)
 		if err != nil {
 			return err
 		}

@@ -116,7 +116,7 @@ func TestFuzzTwoSources(t *testing.T) {
 				t.Fatalf("trial %d %v: %v\nquery: %s", trial, mode, err, query)
 			}
 			ex := &exec.Executor{Cat: cat, Services: services}
-			got, _, err := ex.Run(res.Plan)
+			got, _, err := ex.Run(bg, res.Plan)
 			if err != nil {
 				t.Fatalf("trial %d %v: %v\nplan:\n%s", trial, mode, err, plan.String(res.Plan))
 			}

@@ -140,7 +140,7 @@ func TestFuzzMultiJoinAllModes(t *testing.T) {
 				t.Fatalf("trial %d %v: optimize %q: %v", trial, mode, query, err)
 			}
 			ex := &exec.Executor{Cat: cat, Svc: svc}
-			got, _, err := ex.Run(res.Plan)
+			got, _, err := ex.Run(bg, res.Plan)
 			if err != nil {
 				t.Fatalf("trial %d %v: execute: %v\nplan:\n%s", trial, mode, err, plan.String(res.Plan))
 			}

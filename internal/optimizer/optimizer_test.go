@@ -132,7 +132,7 @@ func TestSingleJoinPlanExecutes(t *testing.T) {
 			t.Fatalf("%v: plan has no text join:\n%s", mode, plan.String(res.Plan))
 		}
 		ex := &exec.Executor{Cat: cat, Svc: svc}
-		got, _, err := ex.Run(res.Plan)
+		got, _, err := ex.Run(bg, res.Plan)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -157,7 +157,7 @@ func TestQ5AllModesCorrect(t *testing.T) {
 	for _, mode := range []Mode{ModeTraditional, ModePrL, ModePrLGreedy} {
 		res := optimize(t, a, cat, svc, mode)
 		ex := &exec.Executor{Cat: cat, Svc: svc}
-		got, _, err := ex.Run(res.Plan)
+		got, _, err := ex.Run(bg, res.Plan)
 		if err != nil {
 			t.Fatalf("%v: %v\nplan:\n%s", mode, err, plan.String(res.Plan))
 		}
@@ -264,7 +264,7 @@ func TestPrLUsesProbeInExample61Regime(t *testing.T) {
 	}
 	// The probed plan must still execute correctly.
 	ex := &exec.Executor{Cat: cat, Svc: svc}
-	got, st, err := ex.Run(prl.Plan)
+	got, st, err := ex.Run(bg, prl.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestPureRelationalQuery(t *testing.T) {
 		where student.dept = faculty.dept and student.year > 3`)
 	res := optimize(t, a, cat, svc, ModePrL)
 	ex := &exec.Executor{Cat: cat, Svc: svc}
-	got, _, err := ex.Run(res.Plan)
+	got, _, err := ex.Run(bg, res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestFrontierCapOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := &exec.Executor{Cat: cat, Svc: svc}
-	got, _, err := ex.Run(res.Plan)
+	got, _, err := ex.Run(bg, res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}

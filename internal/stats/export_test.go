@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"testing"
 
 	"textjoin/internal/texservice"
@@ -55,11 +56,11 @@ func TestStatsExportFallsBack(t *testing.T) {
 // hideStats strips the StatsProvider capability from a service.
 type hideStats struct{ inner texservice.Service }
 
-func (h hideStats) Search(e textidx.Expr, f texservice.Form) (*texservice.Result, error) {
-	return h.inner.Search(e, f)
+func (h hideStats) Search(ctx context.Context, e textidx.Expr, f texservice.Form) (*texservice.Result, error) {
+	return h.inner.Search(ctx, e, f)
 }
-func (h hideStats) Retrieve(id textidx.DocID) (textidx.Document, error) {
-	return h.inner.Retrieve(id)
+func (h hideStats) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	return h.inner.Retrieve(ctx, id)
 }
 func (h hideStats) NumDocs() (int, error)    { return h.inner.NumDocs() }
 func (h hideStats) MaxTerms() int            { return h.inner.MaxTerms() }

@@ -8,6 +8,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -143,12 +144,12 @@ func (e *Estimator) Predicate(tbl *relation.Table, column, field string) (Estima
 		totalTerms += expr.TermCount()
 		var freq int
 		if useExport {
-			freq, err = provider.TermDocFrequency(field, v.Text())
+			freq, err = provider.TermDocFrequency(context.Background(), field, v.Text())
 			if err != nil {
 				return Estimate{}, err
 			}
 		} else {
-			res, err := e.svc.Search(expr, texservice.FormShort)
+			res, err := e.svc.Search(context.Background(), expr, texservice.FormShort)
 			if err != nil {
 				return Estimate{}, err
 			}
@@ -177,7 +178,7 @@ func (e *Estimator) Selection(sel textidx.Expr) (SelectionStats, error) {
 	if st, ok := e.selCache[key]; ok {
 		return st, nil
 	}
-	res, err := e.svc.Search(sel, texservice.FormShort)
+	res, err := e.svc.Search(context.Background(), sel, texservice.FormShort)
 	if err != nil {
 		return SelectionStats{}, err
 	}

@@ -259,7 +259,7 @@ func TestChooseMethodRunsEndToEnd(t *testing.T) {
 		t.Fatalf("ChooseMethod returned %v, %v, %v", m, p, predicted)
 	}
 	// The chosen method must execute and agree with the naive oracle.
-	res, err := m.Execute(spec, svc)
+	res, err := m.Execute(bg, spec, svc)
 	if err != nil {
 		t.Fatalf("%s: %v", m.Name(), err)
 	}

@@ -2,6 +2,7 @@ package texservice
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"textjoin/internal/textidx"
@@ -47,7 +48,7 @@ func NewCached(inner Service, capacity int) *Cached {
 }
 
 // Search implements Service, serving repeats from the cache.
-func (c *Cached) Search(e textidx.Expr, form Form) (*Result, error) {
+func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
 	key := form.String() + "\x00" + e.String()
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -59,7 +60,7 @@ func (c *Cached) Search(e textidx.Expr, form Form) (*Result, error) {
 	}
 	c.mu.Unlock()
 
-	res, err := c.inner.Search(e, form)
+	res, err := c.inner.Search(ctx, e, form)
 	if err != nil {
 		return nil, err
 	}
@@ -82,8 +83,8 @@ func (c *Cached) Search(e textidx.Expr, form Form) (*Result, error) {
 }
 
 // Retrieve implements Service (pass-through).
-func (c *Cached) Retrieve(id textidx.DocID) (textidx.Document, error) {
-	return c.inner.Retrieve(id)
+func (c *Cached) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	return c.inner.Retrieve(ctx, id)
 }
 
 // NumDocs implements Service.

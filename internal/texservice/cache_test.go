@@ -15,11 +15,11 @@ func TestCachedServesRepeats(t *testing.T) {
 	c := NewCached(local, 10)
 	q := textidx.Term{Field: "title", Word: "text"}
 
-	first, err := c.Search(q, FormShort)
+	first, err := c.Search(bg, q, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := c.Search(q, FormShort)
+	second, err := c.Search(bg, q, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestCachedServesRepeats(t *testing.T) {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
 	}
 	// Different form is a different cache key.
-	if _, err := c.Search(q, FormLong); err != nil {
+	if _, err := c.Search(bg, q, FormLong); err != nil {
 		t.Fatal(err)
 	}
 	if u := c.Meter().Snapshot(); u.Searches != 2 {
@@ -55,19 +55,19 @@ func TestCachedEvicts(t *testing.T) {
 		textidx.Term{Field: "author", Word: "kao"},
 	}
 	for _, q := range qs {
-		if _, err := c.Search(q, FormShort); err != nil {
+		if _, err := c.Search(bg, q, FormShort); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// qs[0] was evicted (capacity 2): searching it again misses.
-	if _, err := c.Search(qs[0], FormShort); err != nil {
+	if _, err := c.Search(bg, qs[0], FormShort); err != nil {
 		t.Fatal(err)
 	}
 	if u := c.Meter().Snapshot(); u.Searches != 4 {
 		t.Fatalf("searches = %d, want 4 (eviction)", u.Searches)
 	}
 	// qs[2] is still cached.
-	if _, err := c.Search(qs[2], FormShort); err != nil {
+	if _, err := c.Search(bg, qs[2], FormShort); err != nil {
 		t.Fatal(err)
 	}
 	if u := c.Meter().Snapshot(); u.Searches != 4 {
@@ -90,15 +90,15 @@ func TestCachedPassThrough(t *testing.T) {
 	if len(c.ShortFields()) == 0 {
 		t.Fatal("ShortFields not passed through")
 	}
-	if _, err := c.Retrieve(0); err != nil {
+	if _, err := c.Retrieve(bg, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Errors are not cached.
 	bad := textidx.And{}
-	if _, err := c.Search(bad, FormShort); err == nil {
+	if _, err := c.Search(bg, bad, FormShort); err == nil {
 		t.Fatal("invalid search accepted")
 	}
-	if _, err := c.Search(bad, FormShort); err == nil {
+	if _, err := c.Search(bg, bad, FormShort); err == nil {
 		t.Fatal("invalid search cached as success")
 	}
 }
@@ -121,7 +121,7 @@ func TestCachedConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				q := qs[(seed+i)%len(qs)]
-				if _, err := c.Search(q, FormShort); err != nil {
+				if _, err := c.Search(bg, q, FormShort); err != nil {
 					t.Error(err)
 					return
 				}
@@ -150,12 +150,12 @@ func TestCachedJoinRepeatIsFree(t *testing.T) {
 		textidx.Term{Field: "title", Word: "text"},
 		textidx.Term{Field: "author", Word: "gravano"},
 	}
-	if _, err := c.Search(q, FormShort); err != nil {
+	if _, err := c.Search(bg, q, FormShort); err != nil {
 		t.Fatal(err)
 	}
 	before := c.Meter().Snapshot()
 	for i := 0; i < 5; i++ {
-		if _, err := c.Search(q, FormShort); err != nil {
+		if _, err := c.Search(bg, q, FormShort); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,9 +1,12 @@
 package texservice
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"textjoin/internal/textidx"
 )
@@ -13,33 +16,99 @@ import (
 // trip, so the invocation overhead the paper's c_i models is physically
 // present, and the simulated meter is charged identically to Local so
 // experiments are backend-independent.
+//
+// The client is built for the unreliable, high-latency link the paper's
+// calibration assumed (a WAN round trip to Mercury): a connection pool
+// lets concurrent probes overlap instead of queueing on one socket,
+// per-call deadlines bound how long a hung server can wedge a query,
+// context cancellation interrupts in-flight reads, and transient network
+// failures (connection reset, timeout, server restart) are retried with
+// exponential backoff and jitter. All operations are idempotent reads
+// over a frozen collection, so resending is always safe.
 type Remote struct {
-	mu          sync.Mutex
-	conn        net.Conn
+	addr        string
+	cfg         dialConfig
+	meter       *Meter
 	numDocs     int
 	maxTerms    int
 	shortFields []string
-	meter       *Meter
+
+	// slots bounds the number of live connections (the pool size): one
+	// token per in-use or to-be-dialed connection.
+	slots chan struct{}
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+	rng    *rand.Rand
+}
+
+// DefaultPoolSize is the connection-pool capacity used when WithPoolSize
+// is not given.
+const DefaultPoolSize = 4
+
+// dialConfig carries the client options.
+type dialConfig struct {
+	pool        int
+	timeout     time.Duration
+	dialTimeout time.Duration
+	retry       RetryPolicy
+}
+
+// DialOption configures a Remote client.
+type DialOption func(*dialConfig)
+
+// WithPoolSize sets the maximum number of concurrent TCP connections
+// (default DefaultPoolSize). Connections are dialed lazily and re-dialed
+// after failures.
+func WithPoolSize(n int) DialOption {
+	return func(c *dialConfig) {
+		if n > 0 {
+			c.pool = n
+		}
+	}
+}
+
+// WithTimeout sets the per-attempt I/O deadline for each call (default
+// none). A hung server then surfaces as a timeout error instead of
+// blocking forever; with retries enabled, timed-out attempts are resent.
+func WithTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithRetry enables retries of transient failures under the given policy
+// (zero fields are filled from DefaultRetryPolicy). Without this option
+// every failure surfaces immediately.
+func WithRetry(p RetryPolicy) DialOption {
+	return func(c *dialConfig) { c.retry = p.withDefaults() }
 }
 
 // Dial connects to a text server and fetches its collection info.
-func Dial(addr string, meter *Meter) (*Remote, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+func Dial(addr string, meter *Meter, opts ...DialOption) (*Remote, error) {
 	if meter == nil {
 		meter = NewMeter(DefaultCosts())
 	}
-	r := &Remote{conn: conn, meter: meter}
-	var resp wireResponse
-	if err := r.roundTrip(wireRequest{Op: "info"}, &resp); err != nil {
-		conn.Close()
-		return nil, err
+	cfg := dialConfig{
+		pool:        DefaultPoolSize,
+		dialTimeout: 10 * time.Second,
+		retry:       RetryPolicy{MaxAttempts: 1}.withDefaults(),
 	}
-	if resp.Error != "" {
-		conn.Close()
-		return nil, fmt.Errorf("texservice: info: %s", resp.Error)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	r := &Remote{
+		addr:  addr,
+		cfg:   cfg,
+		meter: meter,
+		slots: make(chan struct{}, cfg.pool),
+		rng:   rand.New(rand.NewSource(cfg.retry.Seed)),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.dialTimeout)
+	defer cancel()
+	resp, err := r.call(ctx, "info", wireRequest{Op: "info"})
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("texservice: dial %s: %w", addr, err)
 	}
 	r.numDocs = resp.NumDocs
 	r.maxTerms = resp.MaxTerms
@@ -47,34 +116,194 @@ func Dial(addr string, meter *Meter) (*Remote, error) {
 	return r, nil
 }
 
-// Close releases the connection.
+// Close releases all pooled connections; subsequent calls fail.
 func (r *Remote) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.conn.Close()
-}
-
-func (r *Remote) roundTrip(req wireRequest, resp *wireResponse) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := writeMessage(r.conn, req); err != nil {
-		return err
+	r.closed = true
+	idle := r.idle
+	r.idle = nil
+	r.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
 	}
-	return readMessage(r.conn, resp)
+	return nil
 }
 
-// Search implements Service.
-func (r *Remote) Search(e textidx.Expr, form Form) (*Result, error) {
-	if tc := e.TermCount(); tc > r.maxTerms {
-		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, r.maxTerms)
+// acquire takes a pool slot and returns an idle connection (reused=true)
+// or dials a fresh one.
+func (r *Remote) acquire(ctx context.Context) (conn net.Conn, reused bool, err error) {
+	select {
+	case r.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.slots
+		return nil, false, net.ErrClosed
+	}
+	if n := len(r.idle); n > 0 {
+		conn = r.idle[n-1]
+		r.idle = r.idle[:n-1]
+	}
+	r.mu.Unlock()
+	if conn != nil {
+		return conn, true, nil
+	}
+	d := net.Dialer{Timeout: r.cfg.dialTimeout}
+	conn, err = d.DialContext(ctx, "tcp", r.addr)
+	if err != nil {
+		<-r.slots
+		return nil, false, err
+	}
+	return conn, false, nil
+}
+
+// release returns a healthy connection to the idle pool.
+func (r *Remote) release(conn net.Conn) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		conn.Close()
+		<-r.slots
+		return
+	}
+	r.idle = append(r.idle, conn)
+	r.mu.Unlock()
+	<-r.slots
+}
+
+// discard closes a failed connection and frees its slot.
+func (r *Remote) discard(conn net.Conn) {
+	conn.Close()
+	<-r.slots
+}
+
+// flushIdle drops every idle connection. Called after a connection-level
+// failure: when the server restarted, the whole pool shares the fate of
+// the connection that just died, and keeping the corpses would waste one
+// retry each.
+func (r *Remote) flushIdle() {
+	r.mu.Lock()
+	idle := r.idle
+	r.idle = nil
+	r.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// attempt performs one round trip on one connection. On connection-reuse
+// failures the dead connection is discarded and the request is resent
+// once on a freshly dialed connection without consuming a retry attempt
+// (the failure proves only that the pooled socket had died in the
+// meantime, not that the server is unhealthy).
+func (r *Remote) attempt(ctx context.Context, req wireRequest) (*wireResponse, error) {
+	for redial := 0; ; redial++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		conn, reused, err := r.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := r.roundTrip(ctx, conn, req)
+		if err == nil {
+			r.release(conn)
+			return resp, nil
+		}
+		r.discard(conn)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if IsTransient(err) {
+			r.flushIdle()
+			if reused && redial == 0 {
+				continue
+			}
+		}
+		return nil, err
+	}
+}
+
+// roundTrip writes one request and reads one response under the per-call
+// deadline, with a watchdog that interrupts a blocked read when the
+// context is cancelled.
+func (r *Remote) roundTrip(ctx context.Context, conn net.Conn, req wireRequest) (*wireResponse, error) {
+	var deadline time.Time
+	if r.cfg.timeout > 0 {
+		deadline = time.Now().Add(r.cfg.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0)) // unblock any in-flight I/O
+	})
+	defer stop()
+	if err := writeMessage(conn, req); err != nil {
+		return nil, err
 	}
 	var resp wireResponse
-	req := wireRequest{Op: "search", Query: e.String(), Form: form.String()}
-	if err := r.roundTrip(req, &resp); err != nil {
+	if err := readMessage(conn, &resp); err != nil {
+		return nil, err
+	}
+	if !deadline.IsZero() {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	return &resp, nil
+}
+
+// call runs one operation under the retry policy and surfaces server-side
+// application errors.
+func (r *Remote) call(ctx context.Context, op string, req wireRequest) (*wireResponse, error) {
+	var resp *wireResponse
+	var err error
+	attempts := r.cfg.retry.MaxAttempts
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			r.meter.ChargeRetry()
+			r.mu.Lock()
+			d := r.cfg.retry.delay(r.rng, attempt-1)
+			r.mu.Unlock()
+			if serr := sleepCtx(ctx, d); serr != nil {
+				return nil, serr
+			}
+		}
+		resp, err = r.attempt(ctx, req)
+		if err == nil {
+			break
+		}
+		if !IsTransient(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	if err != nil {
+		if attempts > 1 {
+			return nil, fmt.Errorf("texservice: %s failed after %d attempts: %w", op, attempts, err)
+		}
 		return nil, err
 	}
 	if resp.Error != "" {
-		return nil, fmt.Errorf("texservice: search: %s", resp.Error)
+		return nil, fmt.Errorf("texservice: %s: %s", op, resp.Error)
+	}
+	return resp, nil
+}
+
+// Search implements Service.
+func (r *Remote) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	if tc := e.TermCount(); tc > r.maxTerms {
+		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, r.maxTerms)
+	}
+	resp, err := r.call(ctx, "search", wireRequest{Op: "search", Query: e.String(), Form: form.String()})
+	if err != nil {
+		return nil, err
 	}
 	out := &Result{Postings: resp.Postings, Hits: make([]Hit, len(resp.Hits))}
 	for i, h := range resp.Hits {
@@ -88,13 +317,10 @@ func (r *Remote) Search(e textidx.Expr, form Form) (*Result, error) {
 }
 
 // Retrieve implements Service.
-func (r *Remote) Retrieve(id textidx.DocID) (textidx.Document, error) {
-	var resp wireResponse
-	if err := r.roundTrip(wireRequest{Op: "retrieve", ID: int32(id)}, &resp); err != nil {
+func (r *Remote) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	resp, err := r.call(ctx, "retrieve", wireRequest{Op: "retrieve", ID: int32(id)})
+	if err != nil {
 		return textidx.Document{}, err
-	}
-	if resp.Error != "" {
-		return textidx.Document{}, fmt.Errorf("texservice: retrieve: %s", resp.Error)
 	}
 	r.meter.ChargeRetrieve()
 	return textidx.Document{ExtID: resp.DocExt, Fields: resp.DocField}, nil
@@ -102,7 +328,7 @@ func (r *Remote) Retrieve(id textidx.DocID) (textidx.Document, error) {
 
 // BatchSearch implements BatchSearcher over the wire: the whole batch is
 // one network round trip and is charged one invocation cost.
-func (r *Remote) BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error) {
+func (r *Remote) BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form) ([]*Result, error) {
 	total := 0
 	queries := make([]string, len(exprs))
 	for i, e := range exprs {
@@ -112,13 +338,9 @@ func (r *Remote) BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error)
 	if total > r.maxTerms {
 		return nil, &TermLimitError{Terms: total, Limit: r.maxTerms}
 	}
-	var resp wireResponse
-	req := wireRequest{Op: "batchsearch", Queries: queries, Form: form.String()}
-	if err := r.roundTrip(req, &resp); err != nil {
+	resp, err := r.call(ctx, "batch search", wireRequest{Op: "batchsearch", Queries: queries, Form: form.String()})
+	if err != nil {
 		return nil, err
-	}
-	if resp.Error != "" {
-		return nil, fmt.Errorf("texservice: batch search: %s", resp.Error)
 	}
 	if len(resp.Batch) != len(exprs) {
 		return nil, fmt.Errorf("texservice: batch search returned %d results for %d queries",
@@ -143,13 +365,10 @@ func (r *Remote) BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error)
 }
 
 // TermDocFrequency implements StatsProvider over the wire.
-func (r *Remote) TermDocFrequency(field, term string) (int, error) {
-	var resp wireResponse
-	if err := r.roundTrip(wireRequest{Op: "docfreq", Field: field, Term: term}, &resp); err != nil {
+func (r *Remote) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
+	resp, err := r.call(ctx, "docfreq", wireRequest{Op: "docfreq", Field: field, Term: term})
+	if err != nil {
 		return 0, err
-	}
-	if resp.Error != "" {
-		return 0, fmt.Errorf("texservice: docfreq: %s", resp.Error)
 	}
 	return resp.DocFreq, nil
 }
@@ -165,5 +384,16 @@ func (r *Remote) ShortFields() []string { return append([]string(nil), r.shortFi
 
 // Meter implements Service.
 func (r *Remote) Meter() *Meter { return r.meter }
+
+// PoolSize reports the configured connection-pool capacity.
+func (r *Remote) PoolSize() int { return r.cfg.pool }
+
+// IdleConns reports the number of pooled idle connections (observability
+// and tests).
+func (r *Remote) IdleConns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.idle)
+}
 
 var _ Service = (*Remote)(nil)

@@ -1,0 +1,6 @@
+package texservice
+
+import "context"
+
+// bg is the context test call sites share.
+var bg = context.Background()

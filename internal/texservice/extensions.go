@@ -1,6 +1,7 @@
 package texservice
 
 import (
+	"context"
 	"fmt"
 
 	"textjoin/internal/textidx"
@@ -29,7 +30,7 @@ import (
 type StatsProvider interface {
 	// TermDocFrequency returns the number of documents whose field
 	// contains the (single-word or phrase) term.
-	TermDocFrequency(field, term string) (int, error)
+	TermDocFrequency(ctx context.Context, field, term string) (int, error)
 }
 
 // BatchSearcher is the batched-invocation capability: several searches
@@ -40,13 +41,16 @@ type BatchSearcher interface {
 	// BatchSearch evaluates the expressions in order. Results align with
 	// the input: len(results) == len(exprs). The total term count across
 	// the batch must respect MaxTerms.
-	BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error)
+	BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form) ([]*Result, error)
 }
 
 // TermDocFrequency implements StatsProvider on the local service: it
 // consults the index directly, charging nothing — the statistic export
 // the paper wishes for.
-func (l *Local) TermDocFrequency(field, term string) (int, error) {
+func (l *Local) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	words := textidx.Tokenize(term)
 	switch len(words) {
 	case 0:
@@ -69,7 +73,10 @@ func (l *Local) TermDocFrequency(field, term string) (int, error) {
 }
 
 // BatchSearch implements BatchSearcher on the local service.
-func (l *Local) BatchSearch(exprs []textidx.Expr, form Form) ([]*Result, error) {
+func (l *Local) BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form) ([]*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, e := range exprs {
 		total += e.TermCount()

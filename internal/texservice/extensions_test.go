@@ -25,7 +25,7 @@ func TestLocalTermDocFrequency(t *testing.T) {
 	}
 	before := svc.Meter().Snapshot()
 	for _, c := range cases {
-		got, err := svc.TermDocFrequency(c.field, c.term)
+		got, err := svc.TermDocFrequency(bg, c.field, c.term)
 		if err != nil {
 			t.Fatalf("TermDocFrequency(%q, %q): %v", c.field, c.term, err)
 		}
@@ -49,7 +49,7 @@ func TestLocalBatchSearch(t *testing.T) {
 		textidx.Term{Field: "title", Word: "zebra"},
 		textidx.Term{Field: "author", Word: "gravano"},
 	}
-	results, err := svc.BatchSearch(exprs, FormShort)
+	results, err := svc.BatchSearch(bg, exprs, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestLocalBatchSearch(t *testing.T) {
 	}
 	// Correspondence: batch results equal individual searches.
 	for i, e := range exprs {
-		single, err := svc.Search(e, FormShort)
+		single, err := svc.Search(bg, e, FormShort)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +87,7 @@ func TestBatchSearchLimit(t *testing.T) {
 		textidx.Term{Field: "title", Word: "belief"},
 		textidx.Term{Field: "title", Word: "retrieval"},
 	}
-	_, err = svc.BatchSearch(exprs, FormShort)
+	_, err = svc.BatchSearch(bg, exprs, FormShort)
 	if err == nil {
 		t.Fatal("over-limit batch accepted")
 	}
@@ -122,11 +122,11 @@ func TestRemoteExtensions(t *testing.T) {
 		textidx.Term{Field: "title", Word: "text"},
 		textidx.Term{Field: "author", Word: "kao"},
 	}
-	rres, err := remote.BatchSearch(exprs, FormShort)
+	rres, err := remote.BatchSearch(bg, exprs, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lres, err := local.BatchSearch(exprs, FormShort)
+	lres, err := local.BatchSearch(bg, exprs, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,24 +141,24 @@ func TestRemoteExtensions(t *testing.T) {
 	}
 
 	// Doc frequency over the wire.
-	df, err := remote.TermDocFrequency("title", "text")
+	df, err := remote.TermDocFrequency(bg, "title", "text")
 	if err != nil || df != 2 {
 		t.Fatalf("remote doc frequency = %d, %v", df, err)
 	}
 
 	// Remote batch errors: unparsable queries are rejected server-side;
 	// term limits client-side.
-	if resp := srv.handle(wireRequest{Op: "batchsearch", Queries: []string{"((("}, Form: "short"}); resp.Error == "" {
+	if resp, _ := srv.handle(bg, wireRequest{Op: "batchsearch", Queries: []string{"((("}, Form: "short"}); resp.Error == "" {
 		t.Fatal("bad batch query accepted")
 	}
-	if resp := srv.handle(wireRequest{Op: "batchsearch", Queries: []string{"t='x'"}, Form: "huge"}); resp.Error == "" {
+	if resp, _ := srv.handle(bg, wireRequest{Op: "batchsearch", Queries: []string{"t='x'"}, Form: "huge"}); resp.Error == "" {
 		t.Fatal("bad batch form accepted")
 	}
 	big := make([]textidx.Expr, 0, DefaultMaxTerms+1)
 	for i := 0; i <= DefaultMaxTerms; i++ {
 		big = append(big, textidx.Term{Field: "title", Word: "text"})
 	}
-	if _, err := remote.BatchSearch(big, FormShort); err == nil {
+	if _, err := remote.BatchSearch(bg, big, FormShort); err == nil {
 		t.Fatal("over-limit remote batch accepted")
 	}
 }

@@ -1,0 +1,230 @@
+package texservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"textjoin/internal/textidx"
+)
+
+// Faulty decorates a Service with configurable fault injection, promoting
+// the chaos harness the method tests need into a first-class citizen: the
+// same injector runs inside the test suite (against Local) and inside
+// `textserve -chaos` (under the TCP server), so the client's pool, retry
+// and deadline machinery can be exercised against a misbehaving remote
+// end exactly as the paper's WAN setting misbehaved.
+//
+// Modes, all combinable:
+//
+//   - ErrorEvery: every Nth operation fails with ErrInjected.
+//   - ErrorRate:  each operation independently fails with the given
+//     probability, from a seeded generator (deterministic chaos).
+//   - DropEvery:  every Nth operation fails with ErrConnDrop; the TCP
+//     server translates it into closing the connection without replying.
+//   - HangEvery:  every Nth operation blocks until the context is done —
+//     the hung-server case that only deadlines/cancellation can unwedge.
+//   - Latency:    every operation is delayed (context-aware).
+//
+// Injected errors are transient (retryable) unless Permanent is set.
+// Metadata operations (NumDocs, MaxTerms, ShortFields, Meter) pass
+// through unharmed.
+type Faulty struct {
+	inner Service
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	calls    int
+	injected int
+}
+
+// ErrInjected is the cause of failures injected by Faulty's error modes.
+var ErrInjected = errors.New("texservice: injected fault")
+
+// ErrConnDrop is the cause of Faulty's connection-drop failures. The TCP
+// server recognizes it and severs the connection instead of answering.
+var ErrConnDrop = errors.New("texservice: injected connection drop")
+
+// faultError carries the retryability verdict of an injected failure.
+type faultError struct {
+	cause     error
+	transient bool
+}
+
+func (e *faultError) Error() string   { return e.cause.Error() }
+func (e *faultError) Unwrap() error   { return e.cause }
+func (e *faultError) Transient() bool { return e.transient }
+
+// FaultConfig configures a Faulty decorator. The zero value injects
+// nothing.
+type FaultConfig struct {
+	ErrorEvery int           // fail every Nth operation (0 = off)
+	ErrorRate  float64       // per-operation failure probability (0 = off)
+	DropEvery  int           // drop the connection every Nth operation (0 = off)
+	HangEvery  int           // hang until cancellation every Nth operation (0 = off)
+	Latency    time.Duration // added to every operation (0 = off)
+	Seed       int64         // seeds the ErrorRate generator (default 1)
+	Permanent  bool          // injected errors are permanent (not retryable)
+}
+
+// ParseFaultConfig parses the comma-separated key=value syntax of the
+// `textserve -chaos` flag, e.g. "rate=0.1,latency=20ms,drop=50,seed=7".
+// Keys: every, rate, drop, hang, latency, seed, permanent.
+func ParseFaultConfig(s string) (FaultConfig, error) {
+	var cfg FaultConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(part, "=")
+		var err error
+		switch key {
+		case "every":
+			cfg.ErrorEvery, err = strconv.Atoi(val)
+		case "rate":
+			cfg.ErrorRate, err = strconv.ParseFloat(val, 64)
+		case "drop":
+			cfg.DropEvery, err = strconv.Atoi(val)
+		case "hang":
+			cfg.HangEvery, err = strconv.Atoi(val)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "permanent":
+			cfg.Permanent = true
+			if val != "" && val != "true" {
+				cfg.Permanent, err = strconv.ParseBool(val)
+			}
+		default:
+			return FaultConfig{}, fmt.Errorf("texservice: unknown chaos key %q", key)
+		}
+		if err != nil {
+			return FaultConfig{}, fmt.Errorf("texservice: bad chaos value %q: %w", part, err)
+		}
+	}
+	if cfg.ErrorRate < 0 || cfg.ErrorRate > 1 {
+		return FaultConfig{}, fmt.Errorf("texservice: chaos rate %v outside [0,1]", cfg.ErrorRate)
+	}
+	return cfg, nil
+}
+
+// NewFaulty wraps a service with the given fault configuration.
+func NewFaulty(inner Service, cfg FaultConfig) *Faulty {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// gate applies latency and decides this operation's fate.
+func (f *Faulty) gate(ctx context.Context) error {
+	if f.cfg.Latency > 0 {
+		if err := sleepCtx(ctx, f.cfg.Latency); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	hang := f.cfg.HangEvery > 0 && n%f.cfg.HangEvery == 0
+	drop := !hang && f.cfg.DropEvery > 0 && n%f.cfg.DropEvery == 0
+	fail := !hang && !drop && f.cfg.ErrorEvery > 0 && n%f.cfg.ErrorEvery == 0
+	if !hang && !drop && !fail && f.cfg.ErrorRate > 0 && f.rng.Float64() < f.cfg.ErrorRate {
+		fail = true
+	}
+	if hang || drop || fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	switch {
+	case hang:
+		<-ctx.Done()
+		return ctx.Err()
+	case drop:
+		return &faultError{cause: ErrConnDrop, transient: !f.cfg.Permanent}
+	case fail:
+		return &faultError{cause: ErrInjected, transient: !f.cfg.Permanent}
+	}
+	return nil
+}
+
+// Search implements Service.
+func (f *Faulty) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	if err := f.gate(ctx); err != nil {
+		return nil, err
+	}
+	return f.inner.Search(ctx, e, form)
+}
+
+// Retrieve implements Service.
+func (f *Faulty) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	if err := f.gate(ctx); err != nil {
+		return textidx.Document{}, err
+	}
+	return f.inner.Retrieve(ctx, id)
+}
+
+// BatchSearch implements BatchSearcher when the inner service does.
+func (f *Faulty) BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form) ([]*Result, error) {
+	batcher, ok := f.inner.(BatchSearcher)
+	if !ok {
+		return nil, fmt.Errorf("texservice: inner service does not support batched invocation")
+	}
+	if err := f.gate(ctx); err != nil {
+		return nil, err
+	}
+	return batcher.BatchSearch(ctx, exprs, form)
+}
+
+// TermDocFrequency implements StatsProvider when the inner service does.
+func (f *Faulty) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
+	provider, ok := f.inner.(StatsProvider)
+	if !ok {
+		return 0, fmt.Errorf("texservice: inner service does not export statistics")
+	}
+	if err := f.gate(ctx); err != nil {
+		return 0, err
+	}
+	return provider.TermDocFrequency(ctx, field, term)
+}
+
+// NumDocs implements Service.
+func (f *Faulty) NumDocs() (int, error) { return f.inner.NumDocs() }
+
+// MaxTerms implements Service.
+func (f *Faulty) MaxTerms() int { return f.inner.MaxTerms() }
+
+// ShortFields implements Service.
+func (f *Faulty) ShortFields() []string { return f.inner.ShortFields() }
+
+// Meter implements Service.
+func (f *Faulty) Meter() *Meter { return f.inner.Meter() }
+
+// Calls reports the number of gated operations seen.
+func (f *Faulty) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Injected reports how many operations had a fault injected.
+func (f *Faulty) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+var (
+	_ Service       = (*Faulty)(nil)
+	_ BatchSearcher = (*Faulty)(nil)
+	_ StatsProvider = (*Faulty)(nil)
+)

@@ -1,0 +1,181 @@
+package texservice
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"textjoin/internal/textidx"
+)
+
+func TestParseFaultConfig(t *testing.T) {
+	cfg, err := ParseFaultConfig("every=3,rate=0.25,drop=10,hang=20,latency=15ms,seed=7,permanent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultConfig{ErrorEvery: 3, ErrorRate: 0.25, DropEvery: 10, HangEvery: 20,
+		Latency: 15 * time.Millisecond, Seed: 7, Permanent: true}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseFaultConfig(""); err != nil || cfg != (FaultConfig{}) {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+	if _, err := ParseFaultConfig("permanent=false"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"rate=2", "rate=-0.1", "every=x", "latency=fast", "bogus=1"} {
+		if _, err := ParseFaultConfig(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFaultyErrorEvery(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(local, FaultConfig{ErrorEvery: 3})
+	expr := textidx.Term{Field: "title", Word: "text"}
+	var failures int
+	for i := 1; i <= 9; i++ {
+		_, err := f.Search(bg, expr, FormShort)
+		if i%3 == 0 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call %d: err = %v, want injected", i, err)
+			}
+			failures++
+		} else if err != nil {
+			t.Fatalf("call %d: unexpected %v", i, err)
+		}
+	}
+	if f.Calls() != 9 || f.Injected() != failures {
+		t.Fatalf("calls=%d injected=%d, want 9/%d", f.Calls(), f.Injected(), failures)
+	}
+}
+
+func TestFaultyErrorRateDeterminism(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := func(seed int64) []bool {
+		f := NewFaulty(local, FaultConfig{ErrorRate: 0.5, Seed: seed})
+		var out []bool
+		for i := 0; i < 50; i++ {
+			_, err := f.Retrieve(bg, 0)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fault schedules")
+		}
+	}
+	diff := false
+	for i, v := range outcomes(8) {
+		if v != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFaultyHangUntilCancel(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(local, FaultConfig{HangEvery: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = f.Search(ctx, textidx.Term{Field: "title", Word: "text"}, FormShort)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang returned %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("hang did not respect the deadline")
+	}
+}
+
+func TestFaultyDropIsTransient(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(local, FaultConfig{DropEvery: 1})
+	_, err = f.Retrieve(bg, 0)
+	if !errors.Is(err, ErrConnDrop) {
+		t.Fatalf("drop returned %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("connection drop not transient")
+	}
+
+	perm := NewFaulty(local, FaultConfig{ErrorEvery: 1, Permanent: true})
+	_, err = perm.Retrieve(bg, 0)
+	if IsTransient(err) {
+		t.Fatal("permanent fault classified transient")
+	}
+}
+
+func TestFaultyLatency(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(local, FaultConfig{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := f.Search(bg, textidx.Term{Field: "title", Word: "text"}, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("latency not injected: %v", elapsed)
+	}
+}
+
+// TestChaosServer: a Faulty-backed TCP server with connection drops is
+// survivable by a retrying client — the end-to-end `textserve -chaos`
+// wiring.
+func TestChaosServer(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := NewFaulty(local, FaultConfig{DropEvery: 3})
+	srv := NewServer(flaky)
+	srv.Logf = func(string, ...interface{}) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	r, err := Dial(addr, nil, WithPoolSize(2),
+		WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	expr := textidx.Term{Field: "title", Word: "text"}
+	for i := 0; i < 12; i++ {
+		res, err := r.Search(bg, expr, FormShort)
+		if err != nil {
+			t.Fatalf("search %d through chaos server: %v", i, err)
+		}
+		if len(res.Hits) != 2 {
+			t.Fatalf("search %d: %d hits", i, len(res.Hits))
+		}
+	}
+	if flaky.Injected() == 0 {
+		t.Fatal("chaos server injected nothing; test is vacuous")
+	}
+}

@@ -37,7 +37,7 @@ func TestServerLatency(t *testing.T) {
 
 	start := time.Now()
 	for _, q := range queries {
-		if _, err := remote.Search(q, FormShort); err != nil {
+		if _, err := remote.Search(bg, q, FormShort); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -47,7 +47,7 @@ func TestServerLatency(t *testing.T) {
 	}
 
 	start = time.Now()
-	if _, err := remote.BatchSearch(queries, FormShort); err != nil {
+	if _, err := remote.BatchSearch(bg, queries, FormShort); err != nil {
 		t.Fatal(err)
 	}
 	batched := time.Since(start)

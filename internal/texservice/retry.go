@@ -1,0 +1,274 @@
+package texservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"textjoin/internal/textidx"
+)
+
+// This file implements the fault-tolerance layer of the loose integration:
+// a retry policy with exponential backoff and jitter, a transient-error
+// classifier, and a Retrying decorator usable around any Service. Every
+// operation the Service boundary offers (search, retrieve, batch search,
+// statistics) is a pure read over an immutable, frozen collection, so all
+// of them are idempotent and safe to resend — the "idempotent-only"
+// precondition for retrying holds by construction here.
+
+// RetryPolicy configures retries of transient failures. The zero value
+// retries nothing; DefaultRetryPolicy returns sensible defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget including the first try.
+	// Values below 1 are treated as 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter/2 of its value,
+	// de-synchronizing concurrent retriers (default 0.5, range [0,1]).
+	Jitter float64
+	// Seed makes the jitter deterministic for tests (default 1).
+	Seed int64
+}
+
+// DefaultRetryPolicy returns the default policy: 4 attempts, 10ms base
+// delay doubling up to 2s, 50% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 2 * time.Second, Multiplier: 2, Jitter: 0.5, Seed: 1}
+}
+
+// withDefaults fills unset fields with the default policy's values.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = def.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = def.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = def.Multiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = def.Jitter
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	return p
+}
+
+// delay computes the backoff before retry number `retry` (0-based),
+// exponentially grown, capped, and jittered with the given source.
+func (p RetryPolicy) delay(rng *rand.Rand, retry int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 0; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 - p.Jitter/2 + p.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// transienter is implemented by errors that carry their own retryability
+// verdict (e.g. injected faults).
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether an error is worth retrying: network-level
+// failures (connection reset/refused, closed or dropped connections, I/O
+// timeouts) are transient; context cancellation and application errors
+// (bad query, term limit, unknown document) are not.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var tr transienter
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return ne.Timeout()
+	}
+	return false
+}
+
+// sleepCtx waits d or until the context is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retrying decorates a Service with transient-failure retries under a
+// RetryPolicy. Failed attempts are charged to the meter via ChargeRetry
+// (the wasted invocation overhead is real work on the remote system).
+// Batch and statistics capabilities are forwarded when the inner service
+// has them and fail with a clear error otherwise.
+type Retrying struct {
+	inner  Service
+	policy RetryPolicy
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries int
+}
+
+// NewRetrying wraps a service with the given policy (zero fields are
+// filled from DefaultRetryPolicy).
+func NewRetrying(inner Service, policy RetryPolicy) *Retrying {
+	p := policy.withDefaults()
+	return &Retrying{inner: inner, policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// do runs op under the retry loop.
+func (r *Retrying) do(ctx context.Context, op string, f func() error) error {
+	var err error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.inner.Meter().ChargeRetry()
+			r.mu.Lock()
+			r.retries++
+			d := r.policy.delay(r.rng, attempt-1)
+			r.mu.Unlock()
+			if serr := sleepCtx(ctx, d); serr != nil {
+				return serr
+			}
+		}
+		err = f()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("texservice: %s failed after %d attempts: %w", op, r.policy.MaxAttempts, err)
+}
+
+// Search implements Service.
+func (r *Retrying) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	var res *Result
+	err := r.do(ctx, "search", func() error {
+		var ferr error
+		res, ferr = r.inner.Search(ctx, e, form)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Retrieve implements Service.
+func (r *Retrying) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	var doc textidx.Document
+	err := r.do(ctx, "retrieve", func() error {
+		var ferr error
+		doc, ferr = r.inner.Retrieve(ctx, id)
+		return ferr
+	})
+	if err != nil {
+		return textidx.Document{}, err
+	}
+	return doc, nil
+}
+
+// BatchSearch implements BatchSearcher when the inner service does.
+func (r *Retrying) BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form) ([]*Result, error) {
+	batcher, ok := r.inner.(BatchSearcher)
+	if !ok {
+		return nil, fmt.Errorf("texservice: inner service does not support batched invocation")
+	}
+	var out []*Result
+	err := r.do(ctx, "batch search", func() error {
+		var ferr error
+		out, ferr = batcher.BatchSearch(ctx, exprs, form)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TermDocFrequency implements StatsProvider when the inner service does.
+func (r *Retrying) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
+	provider, ok := r.inner.(StatsProvider)
+	if !ok {
+		return 0, fmt.Errorf("texservice: inner service does not export statistics")
+	}
+	var df int
+	err := r.do(ctx, "docfreq", func() error {
+		var ferr error
+		df, ferr = provider.TermDocFrequency(ctx, field, term)
+		return ferr
+	})
+	if err != nil {
+		return 0, err
+	}
+	return df, nil
+}
+
+// NumDocs implements Service.
+func (r *Retrying) NumDocs() (int, error) { return r.inner.NumDocs() }
+
+// MaxTerms implements Service.
+func (r *Retrying) MaxTerms() int { return r.inner.MaxTerms() }
+
+// ShortFields implements Service.
+func (r *Retrying) ShortFields() []string { return r.inner.ShortFields() }
+
+// Meter implements Service.
+func (r *Retrying) Meter() *Meter { return r.inner.Meter() }
+
+// Retries reports how many retries this decorator has issued.
+func (r *Retrying) Retries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+var (
+	_ Service       = (*Retrying)(nil)
+	_ BatchSearcher = (*Retrying)(nil)
+	_ StatsProvider = (*Retrying)(nil)
+)

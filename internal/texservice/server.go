@@ -1,6 +1,7 @@
 package texservice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,17 +13,21 @@ import (
 	"textjoin/internal/textidx"
 )
 
-// Server exposes a Local service over TCP so the database side can
-// integrate with the text system the way the paper's OpenODB integrated
-// with the remote Mercury server.
+// Server exposes a Service over TCP so the database side can integrate
+// with the text system the way the paper's OpenODB integrated with the
+// remote Mercury server. Any Service works as the backend — in particular
+// a Local wrapped in Faulty, which is how `textserve -chaos` serves a
+// deliberately misbehaving text system for fault-tolerance testing.
 type Server struct {
-	local *Local
+	svc Service
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+	ctx      context.Context
+	cancel   context.CancelFunc
 
 	// Logf, when set, receives connection-level error logs. Defaults to
 	// log.Printf.
@@ -34,9 +39,11 @@ type Server struct {
 	Latency time.Duration
 }
 
-// NewServer wraps a Local service.
-func NewServer(local *Local) *Server {
-	return &Server{local: local, conns: map[net.Conn]bool{}, Logf: log.Printf}
+// NewServer wraps a Service (typically a *Local, optionally decorated
+// with Faulty for chaos serving).
+func NewServer(svc Service) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{svc: svc, conns: map[net.Conn]bool{}, Logf: log.Printf, ctx: ctx, cancel: cancel}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -81,7 +88,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener and all active connections.
+// Close stops the listener and all active connections, and cancels the
+// server context so handlers blocked in an injected hang unwedge.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -90,6 +98,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -111,7 +120,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.Latency > 0 {
 			time.Sleep(s.Latency)
 		}
-		resp := s.handle(req)
+		resp, drop := s.handle(s.ctx, req)
+		if drop {
+			// An injected connection drop: sever the connection without
+			// replying, exactly what a crashing server would do mid-call.
+			return
+		}
 		if err := writeMessage(conn, resp); err != nil {
 			s.Logf("texservice: write: %v", err)
 			return
@@ -119,48 +133,68 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(req wireRequest) wireResponse {
+// handle dispatches one request. drop=true means the connection must be
+// severed without a reply (injected connection drop from a Faulty backend
+// or server shutdown mid-call).
+func (s *Server) handle(ctx context.Context, req wireRequest) (resp wireResponse, drop bool) {
 	switch req.Op {
 	case "search":
-		return s.handleSearch(req)
+		return s.handleSearch(ctx, req)
 	case "batchsearch":
-		return s.handleBatchSearch(req)
+		return s.handleBatchSearch(ctx, req)
 	case "docfreq":
-		df, err := s.local.TermDocFrequency(req.Field, req.Term)
-		if err != nil {
-			return wireResponse{Error: err.Error()}
+		provider, ok := s.svc.(StatsProvider)
+		if !ok {
+			return wireResponse{Error: "texservice: server does not export statistics"}, false
 		}
-		return wireResponse{DocFreq: df}
+		df, err := provider.TermDocFrequency(ctx, req.Field, req.Term)
+		if err != nil {
+			return errResponse(err)
+		}
+		return wireResponse{DocFreq: df}, false
 	case "retrieve":
-		doc, err := s.local.Retrieve(textidx.DocID(req.ID))
+		doc, err := s.svc.Retrieve(ctx, textidx.DocID(req.ID))
 		if err != nil {
-			return wireResponse{Error: err.Error()}
+			return errResponse(err)
 		}
-		return wireResponse{DocExt: doc.ExtID, DocField: doc.Fields}
+		return wireResponse{DocExt: doc.ExtID, DocField: doc.Fields}, false
 	case "info":
-		n, _ := s.local.NumDocs()
-		return wireResponse{NumDocs: n, MaxTerms: s.local.MaxTerms(), Short: s.local.ShortFields()}
+		n, _ := s.svc.NumDocs()
+		return wireResponse{NumDocs: n, MaxTerms: s.svc.MaxTerms(), Short: s.svc.ShortFields()}, false
 	default:
-		return wireResponse{Error: fmt.Sprintf("texservice: unknown op %q", req.Op)}
+		return wireResponse{Error: fmt.Sprintf("texservice: unknown op %q", req.Op)}, false
 	}
 }
 
-func (s *Server) handleBatchSearch(req wireRequest) wireResponse {
+// errResponse converts a backend error into a wire response, recognizing
+// the failures that must sever the connection instead of answering.
+func errResponse(err error) (wireResponse, bool) {
+	if errors.Is(err, ErrConnDrop) || errors.Is(err, context.Canceled) {
+		return wireResponse{}, true
+	}
+	return wireResponse{Error: err.Error()}, false
+}
+
+func (s *Server) handleBatchSearch(ctx context.Context, req wireRequest) (wireResponse, bool) {
+	batcher, ok := s.svc.(BatchSearcher)
+	if !ok {
+		return wireResponse{Error: "texservice: server does not support batched invocation"}, false
+	}
 	form, err := parseForm(req.Form)
 	if err != nil {
-		return wireResponse{Error: err.Error()}
+		return wireResponse{Error: err.Error()}, false
 	}
 	exprs := make([]textidx.Expr, len(req.Queries))
 	for i, q := range req.Queries {
 		e, err := textidx.Parse(q, nil)
 		if err != nil {
-			return wireResponse{Error: err.Error()}
+			return wireResponse{Error: err.Error()}, false
 		}
 		exprs[i] = e
 	}
-	results, err := s.local.BatchSearch(exprs, form)
+	results, err := batcher.BatchSearch(ctx, exprs, form)
 	if err != nil {
-		return wireResponse{Error: err.Error()}
+		return errResponse(err)
 	}
 	batch := make([]wireBatchResult, len(results))
 	for i, r := range results {
@@ -170,25 +204,25 @@ func (s *Server) handleBatchSearch(req wireRequest) wireResponse {
 		}
 		batch[i] = wireBatchResult{Hits: hits, Postings: r.Postings}
 	}
-	return wireResponse{Batch: batch}
+	return wireResponse{Batch: batch}, false
 }
 
-func (s *Server) handleSearch(req wireRequest) wireResponse {
+func (s *Server) handleSearch(ctx context.Context, req wireRequest) (wireResponse, bool) {
 	expr, err := textidx.Parse(req.Query, nil)
 	if err != nil {
-		return wireResponse{Error: err.Error()}
+		return wireResponse{Error: err.Error()}, false
 	}
 	form, err := parseForm(req.Form)
 	if err != nil {
-		return wireResponse{Error: err.Error()}
+		return wireResponse{Error: err.Error()}, false
 	}
-	res, err := s.local.Search(expr, form)
+	res, err := s.svc.Search(ctx, expr, form)
 	if err != nil {
-		return wireResponse{Error: err.Error()}
+		return errResponse(err)
 	}
 	hits := make([]wireHit, len(res.Hits))
 	for i, h := range res.Hits {
 		hits[i] = wireHit{ID: int32(h.ID), ExtID: h.ExtID, Fields: h.Fields}
 	}
-	return wireResponse{Hits: hits, Postings: res.Postings}
+	return wireResponse{Hits: hits, Postings: res.Postings}, false
 }

@@ -13,6 +13,7 @@
 package texservice
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -77,13 +78,16 @@ type Result struct {
 func (r *Result) IsEmpty() bool { return len(r.Hits) == 0 }
 
 // Service is the database system's view of an external text source.
+// Every data operation takes a context: the text system is remote in the
+// integration the paper studies, so calls can be slow, hung, or worth
+// abandoning, and the caller's deadline/cancellation must reach the wire.
 type Service interface {
 	// Search evaluates a Boolean expression and transmits the matching
 	// documents in the requested form. It fails when the expression uses
 	// more basic search terms than the system's limit (MaxTerms).
-	Search(e textidx.Expr, form Form) (*Result, error)
+	Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error)
 	// Retrieve fetches the long form of one document by docid.
-	Retrieve(id textidx.DocID) (textidx.Document, error)
+	Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error)
 	// NumDocs returns the collection size (the paper's D).
 	NumDocs() (int, error)
 	// MaxTerms returns the maximum number of basic search terms per
@@ -105,6 +109,7 @@ type Usage struct {
 	ShortDocs int     // documents transmitted in short form
 	LongDocs  int     // documents transmitted in long form (searches + retrieves)
 	RTPDocs   int     // documents string-matched relationally (charged c_a)
+	Retries   int     // failed invocations that were retried (each re-charged c_i)
 	Cost      float64 // total simulated cost in seconds
 }
 
@@ -117,6 +122,7 @@ func (u Usage) Add(v Usage) Usage {
 		ShortDocs: u.ShortDocs + v.ShortDocs,
 		LongDocs:  u.LongDocs + v.LongDocs,
 		RTPDocs:   u.RTPDocs + v.RTPDocs,
+		Retries:   u.Retries + v.Retries,
 		Cost:      u.Cost + v.Cost,
 	}
 }
@@ -130,6 +136,7 @@ func (u Usage) Sub(v Usage) Usage {
 		ShortDocs: u.ShortDocs - v.ShortDocs,
 		LongDocs:  u.LongDocs - v.LongDocs,
 		RTPDocs:   u.RTPDocs - v.RTPDocs,
+		Retries:   u.Retries - v.Retries,
 		Cost:      u.Cost - v.Cost,
 	}
 }
@@ -172,6 +179,16 @@ func (m *Meter) ChargeRetrieve() {
 	m.usage.Retrieves++
 	m.usage.LongDocs++
 	m.usage.Cost += m.costs.CL
+}
+
+// ChargeRetry records one failed invocation that is about to be resent.
+// The wasted attempt still paid the invocation overhead, so each retry is
+// charged another c_i on top of whatever the eventual success charges.
+func (m *Meter) ChargeRetry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.usage.Retries++
+	m.usage.Cost += m.costs.CI
 }
 
 // ChargeRTP records relational string matching over nDocs documents
@@ -245,8 +262,12 @@ func NewLocal(ix *textidx.Index, opts ...LocalOption) (*Local, error) {
 	return l, nil
 }
 
-// Search implements Service.
-func (l *Local) Search(e textidx.Expr, form Form) (*Result, error) {
+// Search implements Service. The context is honored even though the
+// backend is in-process, so decorators and tests see uniform semantics.
+func (l *Local) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if tc := e.TermCount(); tc > l.maxTerms {
 		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, l.maxTerms)
 	}
@@ -284,7 +305,10 @@ func (l *Local) formFields(doc textidx.Document, form Form) map[string]string {
 }
 
 // Retrieve implements Service.
-func (l *Local) Retrieve(id textidx.DocID) (textidx.Document, error) {
+func (l *Local) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	if err := ctx.Err(); err != nil {
+		return textidx.Document{}, err
+	}
 	doc, err := l.index.Doc(id)
 	if err != nil {
 		return textidx.Document{}, err

@@ -43,7 +43,7 @@ func TestLocalSearchForms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := svc.Search(textidx.Term{Field: "title", Word: "text"}, FormShort)
+	res, err := svc.Search(bg, textidx.Term{Field: "title", Word: "text"}, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestLocalSearchForms(t *testing.T) {
 		t.Fatalf("short fields = %v", h.Fields)
 	}
 
-	res, err = svc.Search(textidx.Term{Field: "title", Word: "text"}, FormLong)
+	res, err = svc.Search(bg, textidx.Term{Field: "title", Word: "text"}, FormLong)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestLocalSearchTermLimit(t *testing.T) {
 		textidx.Term{Field: "title", Word: "text"},
 		textidx.Term{Field: "author", Word: "gravano"},
 	}
-	if _, err := svc.Search(small, FormShort); err != nil {
+	if _, err := svc.Search(bg, small, FormShort); err != nil {
 		t.Fatalf("2-term search rejected: %v", err)
 	}
 	big := textidx.And{
@@ -87,7 +87,7 @@ func TestLocalSearchTermLimit(t *testing.T) {
 		textidx.Term{Field: "author", Word: "gravano"},
 		textidx.Term{Field: "year", Word: "1994"},
 	}
-	if _, err := svc.Search(big, FormShort); err == nil {
+	if _, err := svc.Search(bg, big, FormShort); err == nil {
 		t.Fatal("3-term search accepted with M=2")
 	}
 	if svc.MaxTerms() != 2 {
@@ -103,7 +103,7 @@ func TestMeterCharges(t *testing.T) {
 		t.Fatal(err)
 	}
 	// "text" appears in 2 titles → 2 postings, 2 short docs.
-	if _, err := svc.Search(textidx.Term{Field: "title", Word: "text"}, FormShort); err != nil {
+	if _, err := svc.Search(bg, textidx.Term{Field: "title", Word: "text"}, FormShort); err != nil {
 		t.Fatal(err)
 	}
 	u := meter.Snapshot()
@@ -116,10 +116,10 @@ func TestMeterCharges(t *testing.T) {
 	}
 
 	// A long search and a retrieve.
-	if _, err := svc.Search(textidx.Term{Field: "author", Word: "radhika"}, FormLong); err != nil {
+	if _, err := svc.Search(bg, textidx.Term{Field: "author", Word: "radhika"}, FormLong); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Retrieve(0); err != nil {
+	if _, err := svc.Retrieve(bg, 0); err != nil {
 		t.Fatal(err)
 	}
 	meterChargesRTP := meter
@@ -158,7 +158,7 @@ func TestRetrieveErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Retrieve(99); err == nil {
+	if _, err := svc.Retrieve(bg, 99); err == nil {
 		t.Fatal("out-of-range retrieve accepted")
 	}
 	// A failed retrieve must not charge the meter.
@@ -172,7 +172,7 @@ func TestResultIsEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := svc.Search(textidx.Term{Field: "title", Word: "zebra"}, FormShort)
+	res, err := svc.Search(bg, textidx.Term{Field: "title", Word: "zebra"}, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestShortFieldsAndInfo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := svc.Search(textidx.Term{Field: "title", Word: "belief"}, FormShort)
+	res, err := svc.Search(bg, textidx.Term{Field: "title", Word: "belief"}, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +242,11 @@ func TestRemoteEndToEnd(t *testing.T) {
 		textidx.Term{Field: "title", Word: "text"},
 		textidx.Term{Field: "author", Word: "gravano"},
 	}
-	lres, err := local.Search(q, FormShort)
+	lres, err := local.Search(bg, q, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rres, err := remote.Search(q, FormShort)
+	rres, err := remote.Search(bg, q, FormShort)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestRemoteEndToEnd(t *testing.T) {
 	}
 
 	// Retrieve round trip.
-	doc, err := remote.Retrieve(rres.Hits[0].ID)
+	doc, err := remote.Retrieve(bg, rres.Hits[0].ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,14 +276,14 @@ func TestRemoteEndToEnd(t *testing.T) {
 	}
 
 	// Errors propagate.
-	if _, err := remote.Retrieve(99); err == nil {
+	if _, err := remote.Retrieve(bg, 99); err == nil {
 		t.Fatal("remote out-of-range retrieve accepted")
 	}
 	big := make(textidx.And, 0, DefaultMaxTerms+1)
 	for i := 0; i <= DefaultMaxTerms; i++ {
 		big = append(big, textidx.Term{Field: "title", Word: "text"})
 	}
-	if _, err := remote.Search(big, FormShort); err == nil {
+	if _, err := remote.Search(bg, big, FormShort); err == nil {
 		t.Fatal("remote over-limit search accepted")
 	}
 }
@@ -295,13 +295,13 @@ func TestRemoteBadOpAndForm(t *testing.T) {
 	}
 	srv := NewServer(local)
 	srv.Logf = t.Logf
-	if resp := srv.handle(wireRequest{Op: "bogus"}); resp.Error == "" {
+	if resp, _ := srv.handle(bg, wireRequest{Op: "bogus"}); resp.Error == "" {
 		t.Fatal("unknown op accepted")
 	}
-	if resp := srv.handle(wireRequest{Op: "search", Query: "t='x'", Form: "medium"}); resp.Error == "" {
+	if resp, _ := srv.handle(bg, wireRequest{Op: "search", Query: "t='x'", Form: "medium"}); resp.Error == "" {
 		t.Fatal("unknown form accepted")
 	}
-	if resp := srv.handle(wireRequest{Op: "search", Query: "((("}); resp.Error == "" {
+	if resp, _ := srv.handle(bg, wireRequest{Op: "search", Query: "((("}); resp.Error == "" {
 		t.Fatal("unparseable query accepted")
 	}
 }

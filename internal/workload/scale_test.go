@@ -43,7 +43,7 @@ func TestScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	start = time.Now()
-	res, err := method.Execute(sc.Spec, svc)
+	res, err := method.Execute(bg, sc.Spec, svc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, err := (join.TS{Workers: 8}).Execute(sc.Spec, svc2)
+	ts, err := (join.TS{Workers: 8}).Execute(bg, sc.Spec, svc2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -77,7 +77,7 @@ func TestModelRobustToSkew(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		winRes, err := method.Execute(sc.Spec, svc1)
+		winRes, err := method.Execute(bg, sc.Spec, svc1)
 		if err != nil {
 			t.Fatalf("%s/%s: %v", sc.Name, method.Name(), err)
 		}
@@ -85,7 +85,7 @@ func TestModelRobustToSkew(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tsRes, err := (join.TS{}).Execute(sc.Spec, svc2)
+		tsRes, err := (join.TS{}).Execute(bg, sc.Spec, svc2)
 		if err != nil {
 			t.Fatal(err)
 		}

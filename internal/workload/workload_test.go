@@ -145,7 +145,7 @@ func TestScenariosRunnable(t *testing.T) {
 			t.Fatal(err)
 		}
 		// TS must execute and agree with the naive join on every scenario.
-		res, err := (join.TS{}).Execute(s.Spec, svc)
+		res, err := (join.TS{}).Execute(bg, s.Spec, svc)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}
