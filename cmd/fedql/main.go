@@ -30,6 +30,7 @@ import (
 	"textjoin/internal/core"
 	"textjoin/internal/optimizer"
 	"textjoin/internal/relation"
+	"textjoin/internal/shard"
 	"textjoin/internal/texservice"
 	"textjoin/internal/workload"
 )
@@ -52,7 +53,8 @@ func main() {
 		docs        = flag.Int("docs", 2000, "corpus size for the generated text source")
 		seed        = flag.Int64("seed", 1, "generation seed")
 		mode        = flag.String("mode", "prl", "optimizer mode: traditional, prl, greedy")
-		remote      = flag.String("remote", "", "address of a textserve server to use instead of the in-process index")
+		remote      = flag.String("remote", "", "textserve address(es) instead of the in-process index; a comma-separated list (host:port,host:port,…) is treated as a document-sharded cluster in partition order")
+		bestEffort  = flag.Bool("besteffort", false, "with a sharded -remote list: degrade gracefully on shard failure instead of failing the query (results may be partial)")
 		explain     = flag.Bool("explain", true, "print the chosen plan")
 		maxRows     = flag.Int("maxrows", 20, "result rows to print")
 		pool        = flag.Int("pool", texservice.DefaultPoolSize, "remote connection-pool size (with -remote)")
@@ -70,6 +72,7 @@ func main() {
 		docs: *docs, seed: *seed, mode: *mode, remote: *remote,
 		explain: *explain, maxRows: *maxRows, tables: tables,
 		pool: *pool, timeout: *timeout, retries: *retries,
+		bestEffort: *bestEffort,
 	}
 	var err error
 	if *interactive {
@@ -84,16 +87,71 @@ func main() {
 }
 
 type config struct {
-	docs    int
-	seed    int64
-	mode    string
-	remote  string
-	explain bool
-	maxRows int
-	tables  []string
-	pool    int
-	timeout time.Duration
-	retries int
+	docs       int
+	seed       int64
+	mode       string
+	remote     string
+	explain    bool
+	maxRows    int
+	tables     []string
+	pool       int
+	timeout    time.Duration
+	retries    int
+	bestEffort bool
+}
+
+// dialText connects the remote text service: one endpoint is a plain
+// client, several comma-separated endpoints are composed into a
+// document-sharded federation (each endpoint serving one partition, in
+// order — e.g. three textserve processes started with -shard 0/3, 1/3,
+// 2/3). Per-endpoint pools, timeouts and retries apply to each shard.
+func dialText(cfg config) (texservice.Service, func(), error) {
+	dialOpts := []texservice.DialOption{texservice.WithPoolSize(cfg.pool)}
+	if cfg.timeout > 0 {
+		dialOpts = append(dialOpts, texservice.WithTimeout(cfg.timeout))
+	}
+	if cfg.retries > 1 {
+		policy := texservice.DefaultRetryPolicy()
+		policy.MaxAttempts = cfg.retries
+		dialOpts = append(dialOpts, texservice.WithRetry(policy))
+	}
+	var remotes []*texservice.Remote
+	cleanup := func() {
+		for _, r := range remotes {
+			r.Close()
+		}
+	}
+	endpoints := strings.Split(cfg.remote, ",")
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			cleanup()
+			return nil, nil, fmt.Errorf("empty endpoint in -remote %q", cfg.remote)
+		}
+		r, err := texservice.Dial(ep, nil, dialOpts...)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("dialing %s: %w", ep, err)
+		}
+		remotes = append(remotes, r)
+	}
+	if len(remotes) == 1 {
+		return remotes[0], cleanup, nil
+	}
+	shards := make([]texservice.Service, len(remotes))
+	for i, r := range remotes {
+		shards[i] = r
+	}
+	var shardOpts []shard.Option
+	if cfg.bestEffort {
+		shardOpts = append(shardOpts, shard.WithBestEffort())
+	}
+	svc, err := shard.New(shards, shardOpts...)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return svc, cleanup, nil
 }
 
 // buildEngine assembles the engine: demo or CSV tables + local or remote
@@ -116,21 +174,11 @@ func buildEngine(cfg config) (*core.Engine, func(), error) {
 	cleanup := func() {}
 	var svc texservice.Service
 	if cfg.remote != "" {
-		dialOpts := []texservice.DialOption{texservice.WithPoolSize(cfg.pool)}
-		if cfg.timeout > 0 {
-			dialOpts = append(dialOpts, texservice.WithTimeout(cfg.timeout))
-		}
-		if cfg.retries > 1 {
-			policy := texservice.DefaultRetryPolicy()
-			policy.MaxAttempts = cfg.retries
-			dialOpts = append(dialOpts, texservice.WithRetry(policy))
-		}
-		r, err := texservice.Dial(cfg.remote, nil, dialOpts...)
+		var err error
+		svc, cleanup, err = dialText(cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("dialing %s: %w", cfg.remote, err)
+			return nil, nil, err
 		}
-		cleanup = func() { r.Close() }
-		svc = r
 	} else {
 		local, err := texservice.NewLocal(demo.Corpus.Index,
 			texservice.WithShortFields("title", "author", "year"))
@@ -259,10 +307,10 @@ func execute(w io.Writer, eng *core.Engine, query string, cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\n%d rows in %s (optimize %s); text-service usage: %d searches (%d probes), %d postings, %d short + %d long docs, simulated cost %.2fs\n\n",
+	fmt.Fprintf(w, "\n%d rows in %s (optimize %s); text-service usage: %d searches (%d probes), %d postings, %d short + %d long docs, simulated cost %.2fs (critical path %.2fs)\n\n",
 		res.Table.Cardinality(), res.ExecuteTime.Round(10e3), res.OptimizeTime.Round(10e3),
 		res.Usage.Searches, res.Probes, res.Usage.Postings,
-		res.Usage.ShortDocs, res.Usage.LongDocs, res.Usage.Cost)
+		res.Usage.ShortDocs, res.Usage.LongDocs, res.Usage.Cost, res.Usage.CritCost)
 	printTable(w, res.Table, cfg.maxRows)
 	return nil
 }

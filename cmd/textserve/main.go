@@ -35,13 +35,25 @@ func main() {
 		short    = flag.String("short", "title,author,year", "comma-separated short-form fields")
 		maxTerms = flag.Int("maxterms", texservice.DefaultMaxTerms, "maximum search terms per query (the paper's M)")
 		latency  = flag.Duration("latency", 0, "simulated WAN latency added to every request (e.g. 50ms)")
-		chaos    = flag.String("chaos", "", `fault injection spec, e.g. "rate=0.1,drop=50,latency=20ms" (keys: every, rate, drop, hang, latency, seed, permanent)`)
+		chaos    = flag.String("chaos", "", `fault injection spec, e.g. "rate=0.1,drop=50,latency=20ms" (keys: every, rate, drop, hang, latency, doclat, seed, permanent)`)
+		shardArg = flag.String("shard", "", `serve one document partition, as "k/n" (e.g. -shard 0/3); composes with -load/-snapshot/-write-snapshot`)
 	)
 	flag.Parse()
-	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency, *chaos); err != nil {
+	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency, *chaos, *shardArg); err != nil {
 		fmt.Fprintln(os.Stderr, "textserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseShard parses the -shard "k/n" syntax.
+func parseShard(s string) (k, n int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &k, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q; want k/n (e.g. 0/3)", s)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 ≤ k < n", s)
+	}
+	return k, n, nil
 }
 
 type jsonDoc struct {
@@ -49,7 +61,7 @@ type jsonDoc struct {
 	Fields map[string]string `json:"fields"`
 }
 
-func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration, chaos string) error {
+func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration, chaos, shardArg string) error {
 	var ix *textidx.Index
 	switch {
 	case snapshot != "":
@@ -75,11 +87,24 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 	default:
 		ix = workload.NewCorpus(workload.CorpusConfig{Docs: docs, Seed: seed}).Index
 	}
+	shardInfo := ""
+	if shardArg != "" {
+		k, n, err := parseShard(shardArg)
+		if err != nil {
+			return err
+		}
+		parts, err := ix.Partition(n)
+		if err != nil {
+			return err
+		}
+		ix = parts[k]
+		shardInfo = fmt.Sprintf(" [shard %d/%d]", k, n)
+	}
 	if writeTo != "" {
 		if err := ix.SaveFile(writeTo); err != nil {
 			return err
 		}
-		fmt.Printf("textserve: wrote snapshot of %d documents to %s\n", ix.NumDocs(), writeTo)
+		fmt.Printf("textserve: wrote snapshot of %d documents%s to %s\n", ix.NumDocs(), shardInfo, writeTo)
 		return nil
 	}
 
@@ -103,8 +128,8 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("textserve: serving %d documents on %s (short form: %s, M=%d, latency %s)\n",
-		ix.NumDocs(), bound, short, maxTerms, latency)
+	fmt.Printf("textserve: serving %d documents%s on %s (short form: %s, M=%d, latency %s)\n",
+		ix.NumDocs(), shardInfo, bound, short, maxTerms, latency)
 	if chaos != "" {
 		fmt.Printf("textserve: chaos mode active (%s)\n", chaos)
 	}

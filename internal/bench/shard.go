@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/workload"
+)
+
+// The scatter-gather experiment: the same fan-out-heavy searches run
+// against the corpus served by 1, 2, 4, … shards, with injected per-call
+// latency (a fixed per-invocation component plus a per-transmitted-
+// document component, the shape of the WAN link the paper calibrated c_i
+// and c_s on). Sharding cannot hide the invocation overhead — every
+// shard pays it, concurrently — but each shard transmits only its 1/N of
+// the matching documents, so wall-clock time approaches an N-fold
+// speedup as transmission dominates, while total simulated cost rises by
+// (N-1)·c_i per search. The meter's CritCost tracks the same effect in
+// calibrated seconds.
+
+// ShardPoint is one shard-count measurement of the scatter-gather
+// speedup experiment.
+type ShardPoint struct {
+	Shards   int
+	Wall     time.Duration // wall clock for the whole query batch
+	Total    float64       // simulated total cost (every shard's work)
+	Crit     float64       // simulated critical-path cost
+	Searches int           // per-shard invocations charged
+	Hits     int           // documents returned across the batch
+	Speedup  float64       // wall-clock speedup vs the 1-shard run
+}
+
+// ShardSpeedupConfig parameterises the experiment.
+type ShardSpeedupConfig struct {
+	// ShardCounts are the federation widths to measure (default 1, 2, 4).
+	ShardCounts []int
+	// PerCall is the fixed injected latency per backend invocation
+	// (default 2ms).
+	PerCall time.Duration
+	// PerDoc is the injected latency per transmitted document
+	// (default 100µs).
+	PerDoc time.Duration
+	// Queries bounds the number of fan-out searches (default: all the
+	// corpus's scatter queries).
+	Queries int
+}
+
+func (c *ShardSpeedupConfig) defaults() {
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4}
+	}
+	if c.PerCall == 0 {
+		c.PerCall = 2 * time.Millisecond
+	}
+	if c.PerDoc == 0 {
+		c.PerDoc = 100 * time.Microsecond
+	}
+}
+
+// ShardSpeedup runs the corpus's scatter queries against federations of
+// each configured width and reports wall-clock and simulated costs. The
+// first configured width is the baseline for the Speedup column.
+func ShardSpeedup(c *workload.Corpus, cfg ShardSpeedupConfig) ([]ShardPoint, error) {
+	cfg.defaults()
+	queries := c.ScatterQueries(cfg.Queries)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("bench: corpus yields no scatter queries")
+	}
+	ctx := context.Background()
+	var out []ShardPoint
+	for _, n := range cfg.ShardCounts {
+		svc, err := c.ShardedService(n, func(k int, inner texservice.Service) texservice.Service {
+			return texservice.NewFaulty(inner, texservice.FaultConfig{
+				Latency:    cfg.PerCall,
+				DocLatency: cfg.PerDoc,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		point := ShardPoint{Shards: n}
+		start := time.Now()
+		for _, q := range queries {
+			res, err := svc.Search(ctx, q, texservice.FormShort)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %d shards, query %s: %w", n, q.String(), err)
+			}
+			point.Hits += len(res.Hits)
+		}
+		point.Wall = time.Since(start)
+		u := svc.Meter().Snapshot()
+		point.Total = u.Cost
+		point.Crit = u.CritCost
+		point.Searches = u.Searches
+		if len(out) > 0 && point.Wall > 0 {
+			point.Speedup = float64(out[0].Wall) / float64(point.Wall)
+		} else {
+			point.Speedup = 1
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// FormatShardSpeedup renders the experiment as a table.
+func FormatShardSpeedup(w io.Writer, points []ShardPoint) {
+	fmt.Fprintf(w, "%-7s %12s %9s %12s %12s %10s %7s\n",
+		"shards", "wall", "speedup", "crit(s)", "total(s)", "searches", "hits")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-7d %12s %8.2fx %12.3f %12.3f %10d %7d\n",
+			p.Shards, p.Wall.Round(time.Millisecond), p.Speedup,
+			p.Crit, p.Total, p.Searches, p.Hits)
+	}
+}

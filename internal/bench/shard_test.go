@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"textjoin/internal/workload"
+)
+
+// TestShardSpeedup is the acceptance experiment: under injected per-call
+// latency with a per-document transmission component, the 4-shard
+// federation answers the scatter workload faster on the wall clock than
+// the single backend, while total simulated cost grows (extra
+// invocations) and critical-path cost shrinks.
+func TestShardSpeedup(t *testing.T) {
+	c := workload.NewCorpus(workload.CorpusConfig{Docs: 400, Seed: 3})
+	points, err := ShardSpeedup(c, ShardSpeedupConfig{
+		ShardCounts: []int{1, 4},
+		PerCall:     500 * time.Microsecond,
+		PerDoc:      200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	p1, p4 := points[0], points[1]
+	if p1.Shards != 1 || p4.Shards != 4 {
+		t.Fatalf("shard counts %d/%d", p1.Shards, p4.Shards)
+	}
+	if p1.Hits == 0 {
+		t.Fatal("scatter workload returned no documents; the experiment is vacuous")
+	}
+	if p4.Hits != p1.Hits {
+		t.Fatalf("federation returned %d docs, single backend %d", p4.Hits, p1.Hits)
+	}
+	// Wall clock: scatter-gather wins. The threshold is far below the
+	// ideal 4× to stay robust on loaded CI machines.
+	if p4.Speedup < 1.3 {
+		t.Fatalf("4-shard speedup %.2fx, want > 1.3x (wall %v vs %v)",
+			p4.Speedup, p1.Wall, p4.Wall)
+	}
+	// Simulated costs: total grows with the fan-out, critical path shrinks.
+	if p4.Total <= p1.Total {
+		t.Fatalf("4-shard total cost %v not above single-backend %v", p4.Total, p1.Total)
+	}
+	if p4.Crit >= p1.Crit {
+		t.Fatalf("4-shard critical path %v not below single-backend %v", p4.Crit, p1.Crit)
+	}
+	if p4.Searches != 4*p1.Searches {
+		t.Fatalf("4-shard invocations %d, want %d", p4.Searches, 4*p1.Searches)
+	}
+
+	var sb strings.Builder
+	FormatShardSpeedup(&sb, points)
+	if !strings.Contains(sb.String(), "shards") {
+		t.Fatal("table rendering broken")
+	}
+	t.Logf("\n%s", sb.String())
+}

@@ -1,0 +1,51 @@
+package cost
+
+import (
+	"math"
+
+	"textjoin/internal/texservice"
+)
+
+// Parallel cost semantics for the document-sharded federation
+// (internal/shard): one logical search fanned out over n shards pays n
+// invocation overheads in total work, but the shards run concurrently, so
+// elapsed time is bounded by the most expensive shard. Under the modulo
+// partition each shard holds ~1/n of every posting list and transmits
+// ~1/n of the matching documents, so the critical path divides the
+// data-dependent terms by n while keeping one c_i.
+
+// ScatterSearchCost predicts the total and critical-path cost of fanning
+// one search over n shards, given the unsharded search's postings and
+// transmitted-document counts. The total sums every shard's charge; the
+// critical path charges one invocation plus the largest shard's share
+// (ceiling division — remainders land on some shard).
+func ScatterSearchCost(c texservice.Costs, n, postings, docs int, form texservice.Form) (total, crit float64) {
+	if n < 1 {
+		n = 1
+	}
+	trans := c.CS
+	if form == texservice.FormLong {
+		trans = c.CL
+	}
+	total = float64(n)*c.CI + c.CP*float64(postings) + trans*float64(docs)
+	crit = c.CI + c.CP*ceilDiv(postings, n) + trans*ceilDiv(docs, n)
+	return total, crit
+}
+
+// ScatterSpeedup is the predicted elapsed-time speedup of an n-way
+// scatter-gather search over the single-backend execution: sequential
+// cost divided by critical-path cost. Invocation overhead c_i is not
+// parallelized (every shard pays it, and the critical path keeps one), so
+// the speedup approaches n only for data-dominated searches.
+func ScatterSpeedup(c texservice.Costs, n, postings, docs int, form texservice.Form) float64 {
+	single, _ := ScatterSearchCost(c, 1, postings, docs, form)
+	_, crit := ScatterSearchCost(c, n, postings, docs, form)
+	if crit <= 0 {
+		return 1
+	}
+	return single / crit
+}
+
+func ceilDiv(a, n int) float64 {
+	return math.Ceil(float64(a) / float64(n))
+}

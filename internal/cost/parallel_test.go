@@ -1,0 +1,70 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"textjoin/internal/texservice"
+)
+
+func TestScatterSearchCost(t *testing.T) {
+	c := texservice.DefaultCosts()
+	const postings, docs = 10000, 400
+
+	single, singleCrit := ScatterSearchCost(c, 1, postings, docs, texservice.FormShort)
+	want := c.CI + c.CP*postings + c.CS*docs
+	if math.Abs(single-want) > 1e-9 || math.Abs(singleCrit-want) > 1e-9 {
+		t.Fatalf("n=1: total %v crit %v, want both %v", single, singleCrit, want)
+	}
+
+	for _, n := range []int{2, 4, 8} {
+		total, crit := ScatterSearchCost(c, n, postings, docs, texservice.FormShort)
+		// Total work grows by exactly the extra invocations.
+		if diff := total - single; math.Abs(diff-float64(n-1)*c.CI) > 1e-9 {
+			t.Fatalf("n=%d: total grew by %v, want %v", n, diff, float64(n-1)*c.CI)
+		}
+		// The critical path keeps one c_i and divides the data terms.
+		wantCrit := c.CI + c.CP*math.Ceil(postings/float64(n)) + c.CS*math.Ceil(docs/float64(n))
+		if math.Abs(crit-wantCrit) > 1e-9 {
+			t.Fatalf("n=%d: crit %v, want %v", n, crit, wantCrit)
+		}
+		if crit >= single {
+			t.Fatalf("n=%d: crit %v not below sequential %v", n, crit, single)
+		}
+	}
+
+	// Long form switches the transmission coefficient.
+	totalLong, _ := ScatterSearchCost(c, 2, 0, 10, texservice.FormLong)
+	if math.Abs(totalLong-(2*c.CI+10*c.CL)) > 1e-9 {
+		t.Fatalf("long form total %v", totalLong)
+	}
+
+	// Degenerate n is clamped.
+	tot0, _ := ScatterSearchCost(c, 0, postings, docs, texservice.FormShort)
+	if math.Abs(tot0-single) > 1e-9 {
+		t.Fatalf("n=0 total %v, want %v", tot0, single)
+	}
+}
+
+func TestScatterSpeedup(t *testing.T) {
+	c := texservice.DefaultCosts()
+	// Invocation-dominated search: parallelism buys almost nothing.
+	low := ScatterSpeedup(c, 4, 10, 1, texservice.FormShort)
+	if low < 1 || low > 1.1 {
+		t.Fatalf("invocation-dominated speedup %v", low)
+	}
+	// Transmission-dominated long-form search: speedup approaches n.
+	high := ScatterSpeedup(c, 4, 100, 10000, texservice.FormLong)
+	if high < 3.5 || high > 4 {
+		t.Fatalf("data-dominated speedup %v, want ≈4", high)
+	}
+	// Speedup is monotone in n for a data-heavy search.
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8} {
+		s := ScatterSpeedup(c, n, 100, 10000, texservice.FormLong)
+		if s < prev {
+			t.Fatalf("speedup fell from %v to %v at n=%d", prev, s, n)
+		}
+		prev = s
+	}
+}

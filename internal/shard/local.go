@@ -1,0 +1,36 @@
+package shard
+
+import (
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// NewLocalCluster partitions a frozen index n ways and serves each piece
+// from an in-process Local backend, composed into one federation — the
+// sharded counterpart of texservice.NewLocal, used by tests, benchmarks
+// and demos that want an N-shard cluster without TCP.
+//
+// localOpts configure every shard's Local identically (short fields, term
+// limit); each shard gets its own fresh meter. decorate, when non-nil,
+// wraps each shard backend before composition (fault injection, extra
+// caching, …) and receives the shard index.
+func NewLocalCluster(ix *textidx.Index, n int, localOpts []texservice.LocalOption,
+	decorate func(k int, svc texservice.Service) texservice.Service,
+	opts ...Option) (*Sharded, error) {
+	parts, err := ix.Partition(n)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]texservice.Service, n)
+	for k, part := range parts {
+		local, err := texservice.NewLocal(part, localOpts...)
+		if err != nil {
+			return nil, err
+		}
+		shards[k] = local
+		if decorate != nil {
+			shards[k] = decorate(k, shards[k])
+		}
+	}
+	return New(shards, opts...)
+}

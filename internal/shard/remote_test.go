@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"testing"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// TestRemoteShardedCluster composes TCP-served shard backends — the
+// wiring fedql -remote a,b,c builds — and checks the federation against
+// the unsharded index.
+func TestRemoteShardedCluster(t *testing.T) {
+	ix := fixture(t)
+	const n = 3
+	parts, err := ix.Partition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]texservice.Service, n)
+	for k, part := range parts {
+		local, err := texservice.NewLocal(part,
+			texservice.WithShortFields("title", "author", "year"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := texservice.NewServer(local)
+		srv.Logf = t.Logf
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		remote, err := texservice.Dial(addr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer remote.Close()
+		shards[k] = remote
+	}
+	sharded, err := New(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := localService(t, ix)
+	for _, q := range queries() {
+		want, err := single.Search(bg, q, texservice.FormShort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Search(bg, q, texservice.FormShort)
+		if err != nil {
+			t.Fatalf("%s: %v", q.String(), err)
+		}
+		if len(got.Hits) != len(want.Hits) {
+			t.Fatalf("%s: %d hits, want %d", q.String(), len(got.Hits), len(want.Hits))
+		}
+		for i := range want.Hits {
+			if got.Hits[i].ID != want.Hits[i].ID {
+				t.Fatalf("%s hit %d: id %d, want %d", q.String(), i, got.Hits[i].ID, want.Hits[i].ID)
+			}
+		}
+	}
+	for id := 0; id < ix.NumDocs(); id++ {
+		doc, err := sharded.Retrieve(bg, textidx.DocID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ix.Doc(textidx.DocID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.ExtID != want.ExtID {
+			t.Fatalf("id %d: got %s, want %s", id, doc.ExtID, want.ExtID)
+		}
+	}
+	if total, err := sharded.NumDocs(); err != nil || total != ix.NumDocs() {
+		t.Fatalf("NumDocs = %d, %v", total, err)
+	}
+}

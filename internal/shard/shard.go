@@ -1,0 +1,370 @@
+// Package shard implements a document-partitioned federation of text
+// backends behind the texservice.Service interface: the distribution
+// layer that scales the paper's single Mercury server to N backends
+// without any join method noticing.
+//
+// The corpus is hash-partitioned by docid (textidx's modulo partition,
+// which is invertible by arithmetic — see textidx.Partition), so every
+// document lives on exactly one shard and the union of the shards is
+// exactly the original collection. Search scatters the unchanged Boolean
+// expression to every shard concurrently and k-way-merges the sorted
+// per-shard results back into global docid order; Retrieve routes the
+// point lookup to the owning shard. Boolean search distributes over a
+// disjoint partition of the collection — eval(e, D) = ⊎_k eval(e, D_k) —
+// so a sharded federation is bit-for-bit faithful to the single-server
+// setting the paper studies, while the invocations that its cost model
+// charges c_i for now overlap in time.
+//
+// Cost accounting follows that parallelism: each shard's invocation,
+// processing and transmission charges are summed into Usage.Cost (the
+// work really happens on every backend), but Usage.CritCost grows only
+// by the most expensive shard of each fan-out — the elapsed time under
+// perfect parallelism (see Meter.ChargeScatter).
+//
+// Shard failure is handled per shard with PR 1's transient/retry
+// machinery (wrap backends via WithRetry), and the federation itself
+// degrades in one of two modes: strict (default) fails the whole search
+// when any shard fails, best-effort drops the failed shards' documents
+// and marks the result Partial.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// Sharded is a document-partitioned federation of text backends. It
+// implements texservice.Service (plus the batch and statistics
+// capabilities when every shard has them) and is safe for concurrent use.
+type Sharded struct {
+	shards      []texservice.Service
+	meter       *texservice.Meter
+	bestEffort  bool
+	maxTerms    int
+	shortFields []string
+
+	mu        sync.Mutex
+	degraded  int   // best-effort searches that lost at least one shard
+	shardErrs []int // per-shard failed-call counts
+}
+
+// Option configures a Sharded federation.
+type Option func(*config)
+
+type config struct {
+	meter      *texservice.Meter
+	bestEffort bool
+	retry      *texservice.RetryPolicy
+}
+
+// WithMeter uses the given root meter instead of a fresh one with default
+// costs. The root meter is what the database side reads; each shard's own
+// meter is still charged by its backend (exactly like the remote server's
+// local meter in the client/server split).
+func WithMeter(m *texservice.Meter) Option {
+	return func(c *config) { c.meter = m }
+}
+
+// WithBestEffort switches partial-failure handling from strict (any shard
+// failure fails the search) to best-effort (failed shards' documents are
+// dropped and the result is marked Partial).
+func WithBestEffort() Option {
+	return func(c *config) { c.bestEffort = true }
+}
+
+// WithRetry wraps every shard backend in a texservice.Retrying decorator
+// with the given policy, so transient per-shard failures are retried
+// against that shard alone before the federation sees them.
+func WithRetry(p texservice.RetryPolicy) Option {
+	return func(c *config) { c.retry = &p }
+}
+
+// New composes shard backends into a federation. The slice order is the
+// partition order: shards[k] must hold the documents with global docid ≡ k
+// (mod len(shards)), as textidx.Partition produces. All shards must agree
+// on their short-form fields; the federation's term limit is the smallest
+// shard limit.
+func New(shards []texservice.Service, opts ...Option) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: federation needs at least one shard")
+	}
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	backends := append([]texservice.Service(nil), shards...)
+	if cfg.retry != nil {
+		for i, s := range backends {
+			backends[i] = texservice.NewRetrying(s, *cfg.retry)
+		}
+	}
+	short := canonicalFields(backends[0].ShortFields())
+	maxTerms := backends[0].MaxTerms()
+	for i, s := range backends[1:] {
+		if got := canonicalFields(s.ShortFields()); !equalFields(short, got) {
+			return nil, fmt.Errorf("shard: shard %d short-form fields %v differ from shard 0's %v",
+				i+1, got, short)
+		}
+		if mt := s.MaxTerms(); mt < maxTerms {
+			maxTerms = mt
+		}
+	}
+	meter := cfg.meter
+	if meter == nil {
+		meter = texservice.NewMeter(texservice.DefaultCosts())
+	}
+	return &Sharded{
+		shards:      backends,
+		meter:       meter,
+		bestEffort:  cfg.bestEffort,
+		maxTerms:    maxTerms,
+		shortFields: short,
+		shardErrs:   make([]int, len(backends)),
+	}, nil
+}
+
+func canonicalFields(fields []string) []string {
+	out := append([]string(nil), fields...)
+	sort.Strings(out)
+	return out
+}
+
+func equalFields(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumShards returns the partition width N.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// BestEffort reports whether partial shard failure degrades gracefully
+// instead of failing the search.
+func (s *Sharded) BestEffort() bool { return s.bestEffort }
+
+// shardResult carries one shard's outcome of a fan-out.
+type shardResult struct {
+	res *texservice.Result
+	err error
+}
+
+// scatter runs f concurrently against every shard. In strict mode the
+// first failure cancels the remaining shards' calls.
+func (s *Sharded) scatter(ctx context.Context, f func(ctx context.Context, k int, svc texservice.Service) (*texservice.Result, error)) []shardResult {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]shardResult, len(s.shards))
+	var wg sync.WaitGroup
+	for k, svc := range s.shards {
+		wg.Add(1)
+		go func(k int, svc texservice.Service) {
+			defer wg.Done()
+			res, err := f(ctx, k, svc)
+			out[k] = shardResult{res: res, err: err}
+			if err != nil && !s.bestEffort {
+				cancel() // strict: no point finishing the other shards
+			}
+		}(k, svc)
+	}
+	wg.Wait()
+	return out
+}
+
+// gather folds per-shard outcomes under the failure mode: in strict mode
+// any error aborts; in best-effort mode failed shards are dropped unless
+// every shard failed. It records failure counters and returns the indices
+// of the successful shards. The reported error prefers a root cause over
+// a cancellation: in strict mode the first failing shard cancels the
+// rest, and their "context canceled" must not mask why.
+func (s *Sharded) gather(op string, results []shardResult) (ok []int, partial bool, err error) {
+	var firstErr error
+	firstShard := -1
+	for k, r := range results {
+		if r.err != nil {
+			s.mu.Lock()
+			s.shardErrs[k]++
+			s.mu.Unlock()
+			if firstErr == nil ||
+				(errors.Is(firstErr, context.Canceled) && !errors.Is(r.err, context.Canceled)) {
+				firstErr, firstShard = r.err, k
+			}
+			continue
+		}
+		ok = append(ok, k)
+	}
+	if firstErr == nil {
+		return ok, false, nil
+	}
+	if !s.bestEffort || len(ok) == 0 {
+		return nil, false, fmt.Errorf("shard: %s on shard %d/%d: %w",
+			op, firstShard, len(s.shards), firstErr)
+	}
+	s.mu.Lock()
+	s.degraded++
+	s.mu.Unlock()
+	return ok, true, nil
+}
+
+// Search implements texservice.Service: scatter the expression to every
+// shard, merge the sorted per-shard hits into global docid order, and
+// charge the fan-out to the root meter with parallel cost semantics.
+func (s *Sharded) Search(ctx context.Context, e textidx.Expr, form texservice.Form) (*texservice.Result, error) {
+	if tc := e.TermCount(); tc > s.maxTerms {
+		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, s.maxTerms)
+	}
+	results := s.scatter(ctx, func(ctx context.Context, k int, svc texservice.Service) (*texservice.Result, error) {
+		return svc.Search(ctx, e, form)
+	})
+	ok, partial, err := s.gather("search", results)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]texservice.ScatterPart, 0, len(ok))
+	perShard := make([][]texservice.Hit, 0, len(ok))
+	postings := 0
+	for _, k := range ok {
+		res := results[k].res
+		parts = append(parts, texservice.ScatterPart{Postings: res.Postings, Docs: len(res.Hits)})
+		perShard = append(perShard, s.globalize(k, res.Hits))
+		postings += res.Postings
+	}
+	s.meter.ChargeScatter(parts, form)
+	return &texservice.Result{
+		Hits:     mergeHits(perShard),
+		Postings: postings,
+		Partial:  partial,
+	}, nil
+}
+
+// globalize rewrites one shard's hit docids from shard-local to global
+// under the partition invariant. Local docids are dense and increasing
+// with global docids, so the rewritten slice stays sorted.
+func (s *Sharded) globalize(k int, hits []texservice.Hit) []texservice.Hit {
+	n := len(s.shards)
+	out := make([]texservice.Hit, len(hits))
+	for i, h := range hits {
+		h.ID = textidx.GlobalID(k, h.ID, n)
+		out[i] = h
+	}
+	return out
+}
+
+// mergeHits k-way-merges per-shard hit lists (each sorted by global
+// docid) into one globally sorted list — the exact order the unsharded
+// index would have produced.
+func mergeHits(perShard [][]texservice.Hit) []texservice.Hit {
+	total := 0
+	for _, hits := range perShard {
+		total += len(hits)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]texservice.Hit, 0, total)
+	cursors := make([]int, len(perShard))
+	for len(out) < total {
+		best := -1
+		for k, hits := range perShard {
+			c := cursors[k]
+			if c >= len(hits) {
+				continue
+			}
+			if best < 0 || hits[c].ID < perShard[best][cursors[best]].ID {
+				best = k
+			}
+		}
+		out = append(out, perShard[best][cursors[best]])
+		cursors[best]++
+	}
+	return out
+}
+
+// Retrieve implements texservice.Service: the point lookup is routed to
+// the owning shard computed from the partition invariant. Retrieval is a
+// single-backend operation, so strict and best-effort behave identically:
+// if the owner is down (after its per-shard retries), the document is
+// unreachable.
+func (s *Sharded) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	n := len(s.shards)
+	if id < 0 {
+		return textidx.Document{}, fmt.Errorf("textidx: no document %d", id)
+	}
+	k := textidx.ShardOf(id, n)
+	doc, err := s.shards[k].Retrieve(ctx, textidx.LocalID(id, n))
+	if err != nil {
+		s.mu.Lock()
+		s.shardErrs[k]++
+		s.mu.Unlock()
+		return textidx.Document{}, err
+	}
+	s.meter.ChargeRetrieve()
+	return doc, nil
+}
+
+// NumDocs implements texservice.Service: the partition is disjoint and
+// exhaustive, so the collection size is the sum of the shard sizes.
+func (s *Sharded) NumDocs() (int, error) {
+	total := 0
+	for k, svc := range s.shards {
+		n, err := svc.NumDocs()
+		if err != nil {
+			return 0, fmt.Errorf("shard: numdocs on shard %d: %w", k, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// MaxTerms implements texservice.Service: the smallest shard limit, since
+// every shard must accept the scattered expression.
+func (s *Sharded) MaxTerms() int { return s.maxTerms }
+
+// ShortFields implements texservice.Service.
+func (s *Sharded) ShortFields() []string {
+	return append([]string(nil), s.shortFields...)
+}
+
+// Meter implements texservice.Service: the root meter, charged with
+// parallel cost semantics for fan-outs.
+func (s *Sharded) Meter() *texservice.Meter { return s.meter }
+
+// Degraded reports how many best-effort searches returned with at least
+// one shard's documents missing.
+func (s *Sharded) Degraded() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// ShardFailures returns the per-shard failed-call counts (after each
+// shard's own retries, if WithRetry was given).
+func (s *Sharded) ShardFailures() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.shardErrs...)
+}
+
+// PerShardUsage snapshots every shard backend's own meter. The counts sum
+// to at least the root meter's (shards also charge local work the root
+// meter summarizes per fan-out).
+func (s *Sharded) PerShardUsage() []texservice.Usage {
+	out := make([]texservice.Usage, len(s.shards))
+	for k, svc := range s.shards {
+		out[k] = svc.Meter().Snapshot()
+	}
+	return out
+}
+
+var _ texservice.Service = (*Sharded)(nil)

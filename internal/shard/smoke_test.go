@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// TestShardedSmoke is the quick gate scripts/check.sh runs under the
+// race detector: a concurrent mixed workload (searches, point lookups,
+// metadata) against a 3-shard federation, verified against the
+// unsharded service.
+func TestShardedSmoke(t *testing.T) {
+	ix := fixture(t)
+	single := localService(t, ix)
+	sharded := cluster(t, ix, 3)
+	qs := queries()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := qs[(w+i)%len(qs)]
+				want, err := single.Search(bg, q, texservice.FormShort)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := sharded.Search(bg, q, texservice.FormShort)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got.Hits) != len(want.Hits) {
+					t.Errorf("%s: %d hits, want %d", q.String(), len(got.Hits), len(want.Hits))
+					return
+				}
+				id := textidx.DocID((w + i) % ix.NumDocs())
+				if _, err := sharded.Retrieve(bg, id); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := sharded.NumDocs(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if u := sharded.Meter().Snapshot(); u.Searches == 0 || u.CritCost > u.Cost {
+		t.Fatalf("meter after smoke run: %+v", u)
+	}
+}

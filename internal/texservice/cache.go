@@ -15,23 +15,40 @@ import (
 // the decorated meter only sees misses. Retrievals and metadata pass
 // through.
 //
+// Concurrent identical searches are deduplicated (singleflight): the
+// first miss becomes the leader and performs the backend call; every
+// concurrent duplicate waits for the leader's result instead of joining a
+// thundering herd, so one logical search is charged one c_i rather than
+// one per caller. A deduplicated waiter counts as a cache hit. If the
+// leader fails, waiters retry independently (a transient leader error
+// must not poison everyone).
+//
 // The cache is only sound while the underlying collection is immutable,
 // which holds for frozen indexes (and for the paper's setting: the
 // optimizer's statistics assume a stable collection too).
 type Cached struct {
 	inner Service
 
-	mu      sync.Mutex
-	lru     *list.List // of *cacheEntry, front = most recent
-	entries map[string]*list.Element
-	cap     int
-	hits    int
-	misses  int
+	mu       sync.Mutex
+	lru      *list.List // of *cacheEntry, front = most recent
+	entries  map[string]*list.Element
+	inflight map[string]*inflightCall
+	cap      int
+	hits     int
+	misses   int
+	dedups   int
 }
 
 type cacheEntry struct {
 	key string
 	res *Result
+}
+
+// inflightCall is one in-progress backend search that duplicates wait on.
+type inflightCall struct {
+	done chan struct{} // closed when res/err are set
+	res  *Result
+	err  error
 }
 
 // NewCached wraps a service with an LRU of the given capacity (entries).
@@ -40,46 +57,75 @@ func NewCached(inner Service, capacity int) *Cached {
 		capacity = 1
 	}
 	return &Cached{
-		inner:   inner,
-		lru:     list.New(),
-		entries: map[string]*list.Element{},
-		cap:     capacity,
+		inner:    inner,
+		lru:      list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*inflightCall{},
+		cap:      capacity,
 	}
 }
 
-// Search implements Service, serving repeats from the cache.
+// Search implements Service, serving repeats from the cache and merging
+// concurrent identical searches into one backend call.
 func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
 	key := form.String() + "\x00" + e.String()
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		res := el.Value.(*cacheEntry).res
-		c.hits++
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			res := el.Value.(*cacheEntry).res
+			c.hits++
+			c.mu.Unlock()
+			return res, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			// A leader is already searching this key: wait for it.
+			c.dedups++
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-call.done:
+			}
+			if call.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return call.res, nil
+			}
+			// The leader failed; loop and try the backend ourselves
+			// rather than inheriting an error that may not be ours.
+			continue
+		}
+		call := &inflightCall{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+
+		res, err := c.inner.Search(ctx, e, form)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		call.res, call.err = res, err
+		close(call.done)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.misses++
+		if el, ok := c.entries[key]; ok {
+			// Raced with another miss; keep the existing entry.
+			c.lru.MoveToFront(el)
+		} else {
+			el := c.lru.PushFront(&cacheEntry{key: key, res: res})
+			c.entries[key] = el
+			if c.lru.Len() > c.cap {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.entries, oldest.Value.(*cacheEntry).key)
+			}
+		}
 		c.mu.Unlock()
 		return res, nil
 	}
-	c.mu.Unlock()
-
-	res, err := c.inner.Search(ctx, e, form)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.misses++
-	if el, ok := c.entries[key]; ok {
-		// Raced with another miss; keep the existing entry.
-		c.lru.MoveToFront(el)
-	} else {
-		el := c.lru.PushFront(&cacheEntry{key: key, res: res})
-		c.entries[key] = el
-		if c.lru.Len() > c.cap {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-		}
-	}
-	c.mu.Unlock()
-	return res, nil
 }
 
 // Retrieve implements Service (pass-through).
@@ -99,11 +145,20 @@ func (c *Cached) ShortFields() []string { return c.inner.ShortFields() }
 // Meter implements Service: the inner meter, which cache hits never touch.
 func (c *Cached) Meter() *Meter { return c.inner.Meter() }
 
-// Stats reports cache hits and misses.
+// Stats reports cache hits and misses. A search answered by waiting on an
+// in-flight identical search counts as a hit.
 func (c *Cached) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Dedups reports how many searches were deduplicated onto a concurrent
+// identical in-flight search instead of calling the backend.
+func (c *Cached) Dedups() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dedups
 }
 
 var _ Service = (*Cached)(nil)

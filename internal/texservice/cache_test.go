@@ -1,8 +1,11 @@
 package texservice
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"textjoin/internal/textidx"
 )
@@ -135,6 +138,172 @@ func TestCachedConcurrent(t *testing.T) {
 	}
 	if misses > 3*8 { // at most a few races beyond the 3 distinct queries
 		t.Fatalf("misses = %d", misses)
+	}
+}
+
+// gatedService blocks every Search on a release channel so tests can
+// hold identical searches in flight deterministically.
+type gatedService struct {
+	*Local
+	release  chan struct{}
+	failures int // the first N searches fail after release
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *gatedService) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	s.mu.Lock()
+	s.calls++
+	n := s.calls
+	s.mu.Unlock()
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if n <= s.failures {
+		return nil, errors.New("injected backend failure")
+	}
+	return s.Local.Search(ctx, e, form)
+}
+
+func (s *gatedService) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestSingleflightDedup: concurrent identical searches make exactly one
+// backend call; the duplicates wait for the leader and count as hits.
+func TestSingleflightDedup(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedService{Local: local, release: make(chan struct{})}
+	c := NewCached(gated, 8)
+	q := textidx.Term{Field: "title", Word: "text"}
+
+	const callers = 6
+	results := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			_, err := c.Search(bg, q, FormShort)
+			results <- err
+		}()
+	}
+	// One caller became the leader (reached the backend), the rest are
+	// parked on its in-flight call.
+	waitFor(t, func() bool { return gated.Calls() == 1 && c.Dedups() == callers-1 })
+	close(gated.release)
+	for i := 0; i < callers; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gated.Calls() != 1 {
+		t.Fatalf("backend saw %d calls, want 1", gated.Calls())
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+	// The meter was charged once.
+	if u := c.Meter().Snapshot(); u.Searches != 1 {
+		t.Fatalf("meter charged %d searches", u.Searches)
+	}
+}
+
+// TestSingleflightLeaderErrorDoesNotPoison: a failing leader must not
+// propagate its error to the waiters — they retry the backend
+// themselves.
+func TestSingleflightLeaderErrorDoesNotPoison(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedService{Local: local, release: make(chan struct{}), failures: 1}
+	c := NewCached(gated, 8)
+	q := textidx.Term{Field: "title", Word: "text"}
+
+	const waiters = 4
+	results := make(chan error, waiters+1)
+	go func() {
+		_, err := c.Search(bg, q, FormShort)
+		results <- err
+	}()
+	waitFor(t, func() bool { return gated.Calls() == 1 })
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := c.Search(bg, q, FormShort)
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return c.Dedups() == waiters })
+	close(gated.release) // leader fails now; waiters retry and succeed
+
+	failures := 0
+	for i := 0; i < waiters+1; i++ {
+		if err := <-results; err != nil {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("%d callers failed, want only the leader", failures)
+	}
+	// The retries deduplicated onto a new leader among themselves, so the
+	// backend saw at least 2 and at most 1+waiters calls.
+	if n := gated.Calls(); n < 2 || n > 1+waiters {
+		t.Fatalf("backend saw %d calls", n)
+	}
+}
+
+// TestSingleflightWaiterHonorsContext: a waiter whose context is
+// cancelled stops waiting on the leader and returns the context error.
+func TestSingleflightWaiterHonorsContext(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedService{Local: local, release: make(chan struct{})}
+	c := NewCached(gated, 8)
+	q := textidx.Term{Field: "title", Word: "text"}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Search(bg, q, FormShort)
+		leaderDone <- err
+	}()
+	waitFor(t, func() bool { return gated.Calls() == 1 })
+
+	ctx, cancel := context.WithCancel(bg)
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.Search(ctx, q, FormShort)
+		waiterDone <- err
+	}()
+	waitFor(t, func() bool { return c.Dedups() == 1 })
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter returned %v, want context.Canceled", err)
+	}
+	// The leader is unaffected.
+	close(gated.release)
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -30,6 +30,10 @@ import (
 //   - HangEvery:  every Nth operation blocks until the context is done —
 //     the hung-server case that only deadlines/cancellation can unwedge.
 //   - Latency:    every operation is delayed (context-aware).
+//   - DocLatency: every document a search transmits (and every retrieve)
+//     adds this delay, modelling transmission time proportional to the
+//     result size — the knob that makes scatter-gather speedups visible
+//     in wall-clock time, since each shard only transmits its fraction.
 //
 // Injected errors are transient (retryable) unless Permanent is set.
 // Metadata operations (NumDocs, MaxTerms, ShortFields, Meter) pass
@@ -69,13 +73,14 @@ type FaultConfig struct {
 	DropEvery  int           // drop the connection every Nth operation (0 = off)
 	HangEvery  int           // hang until cancellation every Nth operation (0 = off)
 	Latency    time.Duration // added to every operation (0 = off)
+	DocLatency time.Duration // added per transmitted document (0 = off)
 	Seed       int64         // seeds the ErrorRate generator (default 1)
 	Permanent  bool          // injected errors are permanent (not retryable)
 }
 
 // ParseFaultConfig parses the comma-separated key=value syntax of the
 // `textserve -chaos` flag, e.g. "rate=0.1,latency=20ms,drop=50,seed=7".
-// Keys: every, rate, drop, hang, latency, seed, permanent.
+// Keys: every, rate, drop, hang, latency, doclat, seed, permanent.
 func ParseFaultConfig(s string) (FaultConfig, error) {
 	var cfg FaultConfig
 	for _, part := range strings.Split(s, ",") {
@@ -96,6 +101,8 @@ func ParseFaultConfig(s string) (FaultConfig, error) {
 			cfg.HangEvery, err = strconv.Atoi(val)
 		case "latency":
 			cfg.Latency, err = time.ParseDuration(val)
+		case "doclat":
+			cfg.DocLatency, err = time.ParseDuration(val)
 		case "seed":
 			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "permanent":
@@ -157,12 +164,27 @@ func (f *Faulty) gate(ctx context.Context) error {
 	return nil
 }
 
+// transmit applies the per-document latency for nDocs documents.
+func (f *Faulty) transmit(ctx context.Context, nDocs int) error {
+	if f.cfg.DocLatency <= 0 || nDocs <= 0 {
+		return nil
+	}
+	return sleepCtx(ctx, time.Duration(nDocs)*f.cfg.DocLatency)
+}
+
 // Search implements Service.
 func (f *Faulty) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
 	if err := f.gate(ctx); err != nil {
 		return nil, err
 	}
-	return f.inner.Search(ctx, e, form)
+	res, err := f.inner.Search(ctx, e, form)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.transmit(ctx, len(res.Hits)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Retrieve implements Service.
@@ -170,7 +192,14 @@ func (f *Faulty) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Docume
 	if err := f.gate(ctx); err != nil {
 		return textidx.Document{}, err
 	}
-	return f.inner.Retrieve(ctx, id)
+	doc, err := f.inner.Retrieve(ctx, id)
+	if err != nil {
+		return textidx.Document{}, err
+	}
+	if err := f.transmit(ctx, 1); err != nil {
+		return textidx.Document{}, err
+	}
+	return doc, nil
 }
 
 // BatchSearch implements BatchSearcher when the inner service does.
@@ -182,7 +211,18 @@ func (f *Faulty) BatchSearch(ctx context.Context, exprs []textidx.Expr, form For
 	if err := f.gate(ctx); err != nil {
 		return nil, err
 	}
-	return batcher.BatchSearch(ctx, exprs, form)
+	out, err := batcher.BatchSearch(ctx, exprs, form)
+	if err != nil {
+		return nil, err
+	}
+	docs := 0
+	for _, res := range out {
+		docs += len(res.Hits)
+	}
+	if err := f.transmit(ctx, docs); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TermDocFrequency implements StatsProvider when the inner service does.

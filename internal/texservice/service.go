@@ -72,6 +72,10 @@ type Result struct {
 	// Postings is the total length of the inverted lists the text system
 	// processed for this search.
 	Postings int
+	// Partial marks a result that is known to be incomplete: a sharded
+	// service in best-effort mode sets it when one or more shards failed
+	// and their documents are missing. Unsharded services never set it.
+	Partial bool
 }
 
 // IsEmpty reports whether no documents matched (a fail-query, §3.3).
@@ -110,7 +114,13 @@ type Usage struct {
 	LongDocs  int     // documents transmitted in long form (searches + retrieves)
 	RTPDocs   int     // documents string-matched relationally (charged c_a)
 	Retries   int     // failed invocations that were retried (each re-charged c_i)
-	Cost      float64 // total simulated cost in seconds
+	Cost      float64 // total simulated cost in seconds (sum of all work)
+	// CritCost is the critical-path simulated cost in seconds: sequential
+	// operations charge it exactly like Cost, but a scatter-gather search
+	// fanned out over shards charges only its most expensive shard — the
+	// elapsed time under perfect parallelism. CritCost == Cost for any
+	// unsharded service; CritCost ≤ Cost always.
+	CritCost float64
 }
 
 // Add returns the sum of two usages.
@@ -124,6 +134,7 @@ func (u Usage) Add(v Usage) Usage {
 		RTPDocs:   u.RTPDocs + v.RTPDocs,
 		Retries:   u.Retries + v.Retries,
 		Cost:      u.Cost + v.Cost,
+		CritCost:  u.CritCost + v.CritCost,
 	}
 }
 
@@ -138,6 +149,7 @@ func (u Usage) Sub(v Usage) Usage {
 		RTPDocs:   u.RTPDocs - v.RTPDocs,
 		Retries:   u.Retries - v.Retries,
 		Cost:      u.Cost - v.Cost,
+		CritCost:  u.CritCost - v.CritCost,
 	}
 }
 
@@ -155,6 +167,15 @@ func NewMeter(costs Costs) *Meter { return &Meter{costs: costs} }
 // Costs returns the constants this meter charges.
 func (m *Meter) Costs() Costs { return m.costs }
 
+// searchCost is the simulated cost of one search under these constants.
+func (c Costs) searchCost(postings, nDocs int, form Form) float64 {
+	cost := c.CI + c.CP*float64(postings)
+	if form == FormLong {
+		return cost + c.CL*float64(nDocs)
+	}
+	return cost + c.CS*float64(nDocs)
+}
+
 // ChargeSearch records one search that processed the given number of
 // postings and transmitted nDocs documents in the given form.
 func (m *Meter) ChargeSearch(postings, nDocs int, form Form) {
@@ -162,14 +183,49 @@ func (m *Meter) ChargeSearch(postings, nDocs int, form Form) {
 	defer m.mu.Unlock()
 	m.usage.Searches++
 	m.usage.Postings += postings
-	m.usage.Cost += m.costs.CI + m.costs.CP*float64(postings)
+	cost := m.costs.searchCost(postings, nDocs, form)
+	m.usage.Cost += cost
+	m.usage.CritCost += cost
 	if form == FormLong {
 		m.usage.LongDocs += nDocs
-		m.usage.Cost += m.costs.CL * float64(nDocs)
 	} else {
 		m.usage.ShortDocs += nDocs
-		m.usage.Cost += m.costs.CS * float64(nDocs)
 	}
+}
+
+// ScatterPart is one shard's share of a scatter-gather search: the
+// postings it processed and the documents it transmitted.
+type ScatterPart struct {
+	Postings int
+	Docs     int
+}
+
+// ChargeScatter records one logical search fanned out concurrently over
+// len(parts) shards. Every shard pays its own invocation, processing and
+// transmission charges (total Cost is the sum — the work really happens
+// on every backend), but the shards run in parallel, so CritCost grows
+// only by the most expensive part: the paper's cost model charges c_i per
+// invocation, and a scatter-gather turns N sequential c_i charges into
+// max-of-shards elapsed time.
+func (m *Meter) ChargeScatter(parts []ScatterPart, form Form) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var crit float64
+	for _, p := range parts {
+		m.usage.Searches++
+		m.usage.Postings += p.Postings
+		cost := m.costs.searchCost(p.Postings, p.Docs, form)
+		m.usage.Cost += cost
+		if cost > crit {
+			crit = cost
+		}
+		if form == FormLong {
+			m.usage.LongDocs += p.Docs
+		} else {
+			m.usage.ShortDocs += p.Docs
+		}
+	}
+	m.usage.CritCost += crit
 }
 
 // ChargeRetrieve records one long-form document retrieval.
@@ -179,6 +235,7 @@ func (m *Meter) ChargeRetrieve() {
 	m.usage.Retrieves++
 	m.usage.LongDocs++
 	m.usage.Cost += m.costs.CL
+	m.usage.CritCost += m.costs.CL
 }
 
 // ChargeRetry records one failed invocation that is about to be resent.
@@ -189,6 +246,7 @@ func (m *Meter) ChargeRetry() {
 	defer m.mu.Unlock()
 	m.usage.Retries++
 	m.usage.Cost += m.costs.CI
+	m.usage.CritCost += m.costs.CI
 }
 
 // ChargeRTP records relational string matching over nDocs documents
@@ -198,6 +256,7 @@ func (m *Meter) ChargeRTP(nDocs int) {
 	defer m.mu.Unlock()
 	m.usage.RTPDocs += nDocs
 	m.usage.Cost += m.costs.CA * float64(nDocs)
+	m.usage.CritCost += m.costs.CA * float64(nDocs)
 }
 
 // Snapshot returns the accumulated usage.

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"strings"
+
+	"textjoin/internal/shard"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// Scatter-gather workload: the corpus served by an N-shard federation
+// plus fan-out-heavy searches, the scenario the sharded text service is
+// built for. Each query matches a sizable slice of the collection, so the
+// transmission work dominates and splitting it N ways pays.
+
+// ShardedService partitions the corpus n ways and serves each piece from
+// an in-process Local backend with the bibliographic short form, composed
+// into one federation. decorate, when non-nil, wraps each shard backend
+// before composition (fault injection, retries, latency models) and
+// receives the shard index.
+func (c *Corpus) ShardedService(n int, decorate func(k int, svc texservice.Service) texservice.Service,
+	opts ...shard.Option) (*shard.Sharded, error) {
+	return shard.NewLocalCluster(c.Index, n,
+		[]texservice.LocalOption{texservice.WithShortFields("title", "author", "year")},
+		decorate, opts...)
+}
+
+// ScatterQueries returns up to k distinct searches that each match many
+// documents: the common topic phrases of the corpus plus the deliberately
+// unselective title word "text". These are the searches whose cost is
+// transmission-dominated — exactly where a document-sharded fan-out
+// approaches an N-fold elapsed-time speedup.
+func (c *Corpus) ScatterQueries(k int) []textidx.Expr {
+	var out []textidx.Expr
+	out = append(out, textidx.Term{Field: "title", Word: "text"})
+	for _, topic := range c.Topics {
+		words := strings.Fields(topic)
+		if len(words) == 1 {
+			out = append(out, textidx.Term{Field: "title", Word: words[0]})
+			continue
+		}
+		out = append(out, textidx.Phrase{Field: "title", Words: words})
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,13 +1,25 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate:
-#   build + vet + unit tests + race-detector pass.
+#   formatting + build + vet + unit tests + race-detector pass.
 # Tier-1 (go build && go test) is the fast subset; this script is what a
 # change must pass before merging.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting gate: gofmt must have nothing to rewrite.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
+
+# Quick race-detector smoke of the sharded federation before the full runs.
+go test -run TestShardedSmoke -race ./internal/shard
+
 go test ./...
 go test -race ./...
