@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, all")
+		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, all")
 		docs = flag.Int("docs", 2000, "corpus size D")
 		seed = flag.Int64("seed", 42, "generation seed")
 	)
@@ -136,6 +136,15 @@ func run(exp string, docs int, seed int64) error {
 			return err
 		}
 		bench.FormatOverhead(os.Stdout, rows)
+	}
+	if want("gateway") {
+		ran = true
+		header("Gateway saturation — closed-loop load at 1x, 4x, 16x the worker pool")
+		rows, err := bench.GatewayLoad(docs, seed, 4, []int{1, 4, 16}, 8)
+		if err != nil {
+			return err
+		}
+		bench.FormatGatewayLoad(os.Stdout, rows)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -2,6 +2,12 @@
 // queries over relational tables and an external text source — the
 // end-to-end loose integration the paper builds.
 //
+// fedql is the single-query / interactive tool: it builds one engine,
+// runs one query (or a REPL), and exits. To *serve* many concurrent
+// clients over HTTP against one shared engine — with admission control,
+// load shedding and live stats — use the queryd command instead; both
+// binaries share the same engine flags (see internal/appcfg).
+//
 // Usage:
 //
 //	fedql -query "select student.name, mercury.docid from student, mercury
@@ -25,55 +31,29 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"time"
 
+	"textjoin/internal/appcfg"
 	"textjoin/internal/core"
-	"textjoin/internal/optimizer"
 	"textjoin/internal/relation"
-	"textjoin/internal/shard"
-	"textjoin/internal/texservice"
-	"textjoin/internal/workload"
 )
 
-// tableFlags collects repeatable -table name=path.csv flags.
-type tableFlags []string
-
-func (t *tableFlags) String() string { return strings.Join(*t, ",") }
-
-func (t *tableFlags) Set(v string) error {
-	*t = append(*t, v)
-	return nil
-}
-
 func main() {
-	var tables tableFlags
+	cfg := config{EngineConfig: appcfg.Defaults()}
+	cfg.EngineConfig.RegisterFlags(flag.CommandLine)
 	var (
 		query       = flag.String("query", "", "query to run (or use -i)")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
-		docs        = flag.Int("docs", 2000, "corpus size for the generated text source")
-		seed        = flag.Int64("seed", 1, "generation seed")
-		mode        = flag.String("mode", "prl", "optimizer mode: traditional, prl, greedy")
-		remote      = flag.String("remote", "", "textserve address(es) instead of the in-process index; a comma-separated list (host:port,host:port,…) is treated as a document-sharded cluster in partition order")
-		bestEffort  = flag.Bool("besteffort", false, "with a sharded -remote list: degrade gracefully on shard failure instead of failing the query (results may be partial)")
 		explain     = flag.Bool("explain", true, "print the chosen plan")
 		maxRows     = flag.Int("maxrows", 20, "result rows to print")
-		pool        = flag.Int("pool", texservice.DefaultPoolSize, "remote connection-pool size (with -remote)")
-		timeout     = flag.Duration("timeout", 0, "per-call timeout against the remote server, 0 = none (with -remote)")
-		retries     = flag.Int("retries", 1, "total attempt budget for transient remote failures (with -remote)")
 	)
-	flag.Var(&tables, "table", "register a CSV table as name=path.csv (repeatable)")
 	flag.Parse()
 	if *query == "" && !*interactive {
-		fmt.Fprintln(os.Stderr, "fedql: -query or -i is required")
+		fmt.Fprintln(os.Stderr, "fedql: -query or -i is required (to serve queries over HTTP, use queryd)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := config{
-		docs: *docs, seed: *seed, mode: *mode, remote: *remote,
-		explain: *explain, maxRows: *maxRows, tables: tables,
-		pool: *pool, timeout: *timeout, retries: *retries,
-		bestEffort: *bestEffort,
-	}
+	cfg.explain = *explain
+	cfg.maxRows = *maxRows
 	var err error
 	if *interactive {
 		err = repl(os.Stdout, os.Stdin, cfg)
@@ -86,144 +66,16 @@ func main() {
 	}
 }
 
+// config is the shared engine configuration plus fedql's output options.
 type config struct {
-	docs       int
-	seed       int64
-	mode       string
-	remote     string
-	explain    bool
-	maxRows    int
-	tables     []string
-	pool       int
-	timeout    time.Duration
-	retries    int
-	bestEffort bool
-}
-
-// dialText connects the remote text service: one endpoint is a plain
-// client, several comma-separated endpoints are composed into a
-// document-sharded federation (each endpoint serving one partition, in
-// order — e.g. three textserve processes started with -shard 0/3, 1/3,
-// 2/3). Per-endpoint pools, timeouts and retries apply to each shard.
-func dialText(cfg config) (texservice.Service, func(), error) {
-	dialOpts := []texservice.DialOption{texservice.WithPoolSize(cfg.pool)}
-	if cfg.timeout > 0 {
-		dialOpts = append(dialOpts, texservice.WithTimeout(cfg.timeout))
-	}
-	if cfg.retries > 1 {
-		policy := texservice.DefaultRetryPolicy()
-		policy.MaxAttempts = cfg.retries
-		dialOpts = append(dialOpts, texservice.WithRetry(policy))
-	}
-	var remotes []*texservice.Remote
-	cleanup := func() {
-		for _, r := range remotes {
-			r.Close()
-		}
-	}
-	endpoints := strings.Split(cfg.remote, ",")
-	for _, ep := range endpoints {
-		ep = strings.TrimSpace(ep)
-		if ep == "" {
-			cleanup()
-			return nil, nil, fmt.Errorf("empty endpoint in -remote %q", cfg.remote)
-		}
-		r, err := texservice.Dial(ep, nil, dialOpts...)
-		if err != nil {
-			cleanup()
-			return nil, nil, fmt.Errorf("dialing %s: %w", ep, err)
-		}
-		remotes = append(remotes, r)
-	}
-	if len(remotes) == 1 {
-		return remotes[0], cleanup, nil
-	}
-	shards := make([]texservice.Service, len(remotes))
-	for i, r := range remotes {
-		shards[i] = r
-	}
-	var shardOpts []shard.Option
-	if cfg.bestEffort {
-		shardOpts = append(shardOpts, shard.WithBestEffort())
-	}
-	svc, err := shard.New(shards, shardOpts...)
-	if err != nil {
-		cleanup()
-		return nil, nil, err
-	}
-	return svc, cleanup, nil
-}
-
-// buildEngine assembles the engine: demo or CSV tables + local or remote
-// text service.
-func buildEngine(cfg config) (*core.Engine, func(), error) {
-	opts := core.DefaultOptions()
-	switch cfg.mode {
-	case "traditional":
-		opts.Optimizer.Mode = optimizer.ModeTraditional
-	case "prl":
-		opts.Optimizer.Mode = optimizer.ModePrL
-	case "greedy":
-		opts.Optimizer.Mode = optimizer.ModePrLGreedy
-	default:
-		return nil, nil, fmt.Errorf("unknown mode %q", cfg.mode)
-	}
-	opts.Seed = cfg.seed
-
-	demo := workload.NewDemo(cfg.docs, cfg.seed)
-	cleanup := func() {}
-	var svc texservice.Service
-	if cfg.remote != "" {
-		var err error
-		svc, cleanup, err = dialText(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-	} else {
-		local, err := texservice.NewLocal(demo.Corpus.Index,
-			texservice.WithShortFields("title", "author", "year"))
-		if err != nil {
-			return nil, nil, err
-		}
-		svc = local
-	}
-
-	eng := core.NewEngineWith(opts)
-	if len(cfg.tables) > 0 {
-		for _, spec := range cfg.tables {
-			name, path, ok := strings.Cut(spec, "=")
-			if !ok {
-				cleanup()
-				return nil, nil, fmt.Errorf("bad -table %q; want name=path.csv", spec)
-			}
-			tbl, err := relation.LoadCSVFile(strings.ToLower(name), path)
-			if err != nil {
-				cleanup()
-				return nil, nil, err
-			}
-			if err := eng.RegisterTable(tbl); err != nil {
-				cleanup()
-				return nil, nil, err
-			}
-		}
-	} else {
-		for _, tbl := range demo.Catalog.Tables {
-			if err := eng.RegisterTable(tbl); err != nil {
-				cleanup()
-				return nil, nil, err
-			}
-		}
-	}
-	if err := eng.RegisterTextSource("mercury", svc, demo.Corpus.Fields()...); err != nil {
-		cleanup()
-		return nil, nil, err
-	}
-	return eng, cleanup, nil
+	appcfg.EngineConfig
+	explain bool
+	maxRows int
 }
 
 // runOnce builds an engine and executes one query.
 func runOnce(w io.Writer, query string, cfg config) error {
-	eng, cleanup, err := buildEngine(cfg)
+	eng, cleanup, err := cfg.BuildEngine()
 	if err != nil {
 		return err
 	}
@@ -235,7 +87,7 @@ func runOnce(w io.Writer, query string, cfg config) error {
 // Meta commands: \tables lists the catalog, \explain toggles plan
 // printing, \quit exits.
 func repl(w io.Writer, r io.Reader, cfg config) error {
-	eng, cleanup, err := buildEngine(cfg)
+	eng, cleanup, err := cfg.BuildEngine()
 	if err != nil {
 		return err
 	}
@@ -301,7 +153,7 @@ func execute(w io.Writer, eng *core.Engine, query string, cfg config) error {
 	fmt.Fprintln(w, "classified:", prepared.Analyzed())
 	if cfg.explain {
 		fmt.Fprintf(w, "\nplan (mode=%s, estimated cost %.2fs):\n%s",
-			cfg.mode, prepared.EstCost(), prepared.Explain())
+			cfg.Mode, prepared.EstCost(), prepared.Explain())
 	}
 	res, err := prepared.Run()
 	if err != nil {

@@ -2,10 +2,12 @@ package main
 
 import (
 	"io"
+
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"textjoin/internal/appcfg"
 	"time"
 
 	"textjoin/internal/texservice"
@@ -13,7 +15,9 @@ import (
 )
 
 func baseConfig() config {
-	return config{docs: 400, seed: 1, mode: "prl", explain: true, maxRows: 5}
+	ec := appcfg.Defaults()
+	ec.Docs = 400
+	return config{EngineConfig: ec, explain: true, maxRows: 5}
 }
 
 func TestRunQueries(t *testing.T) {
@@ -28,7 +32,7 @@ func TestRunQueries(t *testing.T) {
 	}
 	for _, mode := range []string{"traditional", "prl", "greedy"} {
 		cfg := baseConfig()
-		cfg.mode = mode
+		cfg.Mode = mode
 		for _, q := range queries {
 			if err := runOnce(io.Discard, q, cfg); err != nil {
 				t.Errorf("mode=%s query=%q: %v", mode, q, err)
@@ -39,7 +43,7 @@ func TestRunQueries(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cfg := baseConfig()
-	cfg.mode = "bogusmode"
+	cfg.Mode = "bogusmode"
 	if err := runOnce(io.Discard, "select * from student", cfg); err == nil {
 		t.Error("unknown mode accepted")
 	}
@@ -48,7 +52,7 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad query accepted")
 	}
 	cfg = baseConfig()
-	cfg.remote = "127.0.0.1:1"
+	cfg.Remote = "127.0.0.1:1"
 	if err := runOnce(io.Discard, "select * from student", cfg); err == nil {
 		t.Error("unreachable remote accepted")
 	}
@@ -62,7 +66,7 @@ func TestCSVTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseConfig()
-	cfg.tables = []string{"patients=" + path}
+	cfg.Tables = appcfg.TableList{"patients=" + path}
 	err := runOnce(io.Discard, `select patients.name, mercury.docid from patients, mercury
 		where patients.diagnosis in mercury.abstract`, cfg)
 	if err != nil {
@@ -70,11 +74,11 @@ func TestCSVTables(t *testing.T) {
 	}
 
 	// Bad specs.
-	cfg.tables = []string{"nopath"}
+	cfg.Tables = appcfg.TableList{"nopath"}
 	if err := runOnce(io.Discard, "select * from patients", cfg); err == nil {
 		t.Error("bad -table spec accepted")
 	}
-	cfg.tables = []string{"x=" + filepath.Join(dir, "missing.csv")}
+	cfg.Tables = appcfg.TableList{"x=" + filepath.Join(dir, "missing.csv")}
 	if err := runOnce(io.Discard, "select * from x", cfg); err == nil {
 		t.Error("missing CSV accepted")
 	}
@@ -139,10 +143,10 @@ func TestRemoteWithFaultTolerance(t *testing.T) {
 	defer srv.Close()
 
 	cfg := baseConfig()
-	cfg.remote = addr
-	cfg.pool = 4
-	cfg.timeout = 5 * time.Second
-	cfg.retries = 5
+	cfg.Remote = addr
+	cfg.Pool = 4
+	cfg.Timeout = 5 * time.Second
+	cfg.Retries = 5
 	q := `select student.name, mercury.docid from student, mercury
 	      where 'belief update' in mercury.title and student.name in mercury.author`
 	if err := runOnce(io.Discard, q, cfg); err != nil {

@@ -1,0 +1,100 @@
+// Command queryd serves conjunctive text-join queries over HTTP against
+// one shared engine — the concurrent, production-shaped counterpart of
+// the single-query fedql tool. Many clients share one text-service stack
+// (cache → shards/remote → backend); the gateway in front of it admits a
+// bounded number of queries, queues a bounded overflow, sheds the rest
+// with structured "overloaded" errors, enforces per-query deadlines and
+// text-cost budgets, and exposes live stats.
+//
+// Endpoints:
+//
+//	POST /query    {"query": "select ..."}  (or GET /query?q=...)
+//	POST /explain  plan + cost estimate without executing
+//	GET  /stats    admission counters, latency/cost histograms, cache hit rate
+//
+// Usage:
+//
+//	queryd -addr 127.0.0.1:8080 -workers 8 -queue 16
+//	queryd -remote host:7070,host:7071,host:7072   # 3-shard textserve cluster
+//
+// Engine flags (-docs, -mode, -remote, -table, -cache, …) are shared with
+// fedql; see internal/appcfg. SIGINT/SIGTERM drain gracefully: in-flight
+// queries finish, new ones are rejected.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"textjoin/internal/appcfg"
+	"textjoin/internal/gateway"
+)
+
+func main() {
+	ec := appcfg.Defaults()
+	ec.SearchCache = 256 // a server shares its cache across clients by default
+	ec.RegisterFlags(flag.CommandLine)
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		workers      = flag.Int("workers", 8, "maximum concurrently executing queries")
+		queueDepth   = flag.Int("queue", 0, "wait-queue depth beyond the workers (0 = 2×workers)")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "shed a query queued longer than this")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock deadline, 0 = none")
+		costLimit    = flag.Float64("cost-limit", 0, "per-query simulated text-cost cap in seconds, 0 = none")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	)
+	flag.Parse()
+	if err := run(ec, *addr, gateway.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		QueueTimeout: *queueTimeout,
+		QueryTimeout: *queryTimeout,
+		CostLimit:    *costLimit,
+	}, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "queryd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ec appcfg.EngineConfig, addr string, gcfg gateway.Config, drainWait time.Duration) error {
+	eng, cleanup, err := ec.BuildEngine()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	gw := gateway.New(eng, gcfg)
+	srv := &http.Server{Addr: addr, Handler: gw.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	cfg := gw.Config()
+	fmt.Printf("queryd: serving on %s (workers %d, queue %d, queue timeout %s, query timeout %s, cost limit %.1fs, cache %d)\n",
+		addr, cfg.Workers, cfg.QueueDepth, cfg.QueueTimeout, cfg.QueryTimeout, cfg.CostLimit, ec.SearchCache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	}
+
+	fmt.Println("\nqueryd: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := gw.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "queryd: drain incomplete:", err)
+	}
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"textjoin/internal/appcfg"
+	"textjoin/internal/gateway"
+)
+
+// TestQuerydWiring exercises the exact assembly run() performs — shared
+// engine config → gateway → HTTP handler — end to end against a test
+// listener.
+func TestQuerydWiring(t *testing.T) {
+	ec := appcfg.Defaults()
+	ec.Docs = 300
+	ec.SearchCache = 64
+	eng, cleanup, err := ec.BuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	gw := gateway.New(eng, gateway.Config{Workers: 2})
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+
+	q := `select student.name, mercury.docid from student, mercury
+	      where student.year > 2 and student.name in mercury.author`
+	resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out gateway.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) == 0 {
+		t.Fatal("no rows over HTTP")
+	}
+
+	stats, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var snap gateway.Snapshot
+	if err := json.NewDecoder(stats.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed != 1 {
+		t.Fatalf("stats completed = %d, want 1", snap.Completed)
+	}
+}
+
+// TestQuerydRunBadAddr: run() surfaces listener errors instead of hanging.
+func TestQuerydRunBadAddr(t *testing.T) {
+	ec := appcfg.Defaults()
+	ec.Docs = 100
+	err := run(ec, "127.0.0.1:-1", gateway.Config{Workers: 1}, time.Second)
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package appcfg is the engine configuration shared by the command-line
+// binaries. fedql (the single-query / REPL tool) and queryd (the
+// concurrent query server) assemble the same stack — demo or CSV tables
+// plus a local, remote, or sharded-remote text service — so the flag
+// names, help strings, defaults and wiring live here once, and the two
+// binaries cannot drift apart.
+package appcfg
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"textjoin/internal/core"
+	"textjoin/internal/optimizer"
+	"textjoin/internal/relation"
+	"textjoin/internal/shard"
+	"textjoin/internal/texservice"
+	"textjoin/internal/workload"
+)
+
+// TableList collects repeatable -table name=path.csv flags.
+type TableList []string
+
+// String implements flag.Value.
+func (t *TableList) String() string { return strings.Join(*t, ",") }
+
+// Set implements flag.Value.
+func (t *TableList) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+// EngineConfig selects the tables, the text backend and the optimizer
+// mode for one engine. Zero values are filled by Defaults; binaries may
+// override individual defaults (e.g. queryd enables the search cache)
+// before calling RegisterFlags.
+type EngineConfig struct {
+	Docs        int           // generated corpus size
+	Seed        int64         // generation seed
+	Mode        string        // optimizer mode: traditional, prl, greedy
+	Remote      string        // textserve endpoint(s); comma-separated list = sharded cluster
+	BestEffort  bool          // sharded remote: degrade on shard failure
+	Pool        int           // remote connection-pool size
+	Timeout     time.Duration // per-call remote timeout, 0 = none
+	Retries     int           // remote attempt budget
+	SearchCache int           // shared search-result LRU entries, 0 = off
+	Tables      TableList     // CSV tables as name=path.csv
+}
+
+// Defaults returns the shared defaults (in-process demo database, PrL
+// optimizer, no cache).
+func Defaults() EngineConfig {
+	return EngineConfig{
+		Docs:    2000,
+		Seed:    1,
+		Mode:    "prl",
+		Pool:    texservice.DefaultPoolSize,
+		Retries: 1,
+	}
+}
+
+// RegisterFlags registers the shared engine flags on fs, using the
+// config's current values as defaults and writing parsed values back into
+// it.
+func (c *EngineConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.Docs, "docs", c.Docs, "corpus size for the generated text source")
+	fs.Int64Var(&c.Seed, "seed", c.Seed, "generation seed")
+	fs.StringVar(&c.Mode, "mode", c.Mode, "optimizer mode: traditional, prl, greedy")
+	fs.StringVar(&c.Remote, "remote", c.Remote, "textserve address(es) instead of the in-process index; a comma-separated list (host:port,host:port,…) is treated as a document-sharded cluster in partition order")
+	fs.BoolVar(&c.BestEffort, "besteffort", c.BestEffort, "with a sharded -remote list: degrade gracefully on shard failure instead of failing the query (results may be partial)")
+	fs.IntVar(&c.Pool, "pool", c.Pool, "remote connection-pool size (with -remote)")
+	fs.DurationVar(&c.Timeout, "timeout", c.Timeout, "per-call timeout against the remote server, 0 = none (with -remote)")
+	fs.IntVar(&c.Retries, "retries", c.Retries, "total attempt budget for transient remote failures (with -remote)")
+	fs.IntVar(&c.SearchCache, "cache", c.SearchCache, "shared search-result cache entries, 0 = off")
+	fs.Var(&c.Tables, "table", "register a CSV table as name=path.csv (repeatable)")
+}
+
+// DialText connects the remote text service: one endpoint is a plain
+// client, several comma-separated endpoints are composed into a
+// document-sharded federation (each endpoint serving one partition, in
+// order — e.g. three textserve processes started with -shard 0/3, 1/3,
+// 2/3). Per-endpoint pools, timeouts and retries apply to each shard.
+func (c *EngineConfig) DialText() (texservice.Service, func(), error) {
+	dialOpts := []texservice.DialOption{texservice.WithPoolSize(c.Pool)}
+	if c.Timeout > 0 {
+		dialOpts = append(dialOpts, texservice.WithTimeout(c.Timeout))
+	}
+	if c.Retries > 1 {
+		policy := texservice.DefaultRetryPolicy()
+		policy.MaxAttempts = c.Retries
+		dialOpts = append(dialOpts, texservice.WithRetry(policy))
+	}
+	var remotes []*texservice.Remote
+	cleanup := func() {
+		for _, r := range remotes {
+			r.Close()
+		}
+	}
+	endpoints := strings.Split(c.Remote, ",")
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			cleanup()
+			return nil, nil, fmt.Errorf("empty endpoint in -remote %q", c.Remote)
+		}
+		r, err := texservice.Dial(ep, nil, dialOpts...)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("dialing %s: %w", ep, err)
+		}
+		remotes = append(remotes, r)
+	}
+	if len(remotes) == 1 {
+		return remotes[0], cleanup, nil
+	}
+	shards := make([]texservice.Service, len(remotes))
+	for i, r := range remotes {
+		shards[i] = r
+	}
+	var shardOpts []shard.Option
+	if c.BestEffort {
+		shardOpts = append(shardOpts, shard.WithBestEffort())
+	}
+	svc, err := shard.New(shards, shardOpts...)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return svc, cleanup, nil
+}
+
+// BuildEngine assembles the engine the config describes: demo or CSV
+// tables plus a local or remote text service registered as "mercury".
+// The returned cleanup closes remote connections and is safe to call
+// even on a nil error path exactly once.
+func (c *EngineConfig) BuildEngine() (*core.Engine, func(), error) {
+	opts := core.DefaultOptions()
+	switch c.Mode {
+	case "traditional":
+		opts.Optimizer.Mode = optimizer.ModeTraditional
+	case "prl":
+		opts.Optimizer.Mode = optimizer.ModePrL
+	case "greedy":
+		opts.Optimizer.Mode = optimizer.ModePrLGreedy
+	default:
+		return nil, nil, fmt.Errorf("unknown mode %q", c.Mode)
+	}
+	opts.Seed = c.Seed
+	opts.SearchCache = c.SearchCache
+
+	demo := workload.NewDemo(c.Docs, c.Seed)
+	cleanup := func() {}
+	var svc texservice.Service
+	if c.Remote != "" {
+		var err error
+		svc, cleanup, err = c.DialText()
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		local, err := texservice.NewLocal(demo.Corpus.Index,
+			texservice.WithShortFields("title", "author", "year"))
+		if err != nil {
+			return nil, nil, err
+		}
+		svc = local
+	}
+
+	eng := core.NewEngineWith(opts)
+	if len(c.Tables) > 0 {
+		for _, spec := range c.Tables {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				cleanup()
+				return nil, nil, fmt.Errorf("bad -table %q; want name=path.csv", spec)
+			}
+			tbl, err := relation.LoadCSVFile(strings.ToLower(name), path)
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			if err := eng.RegisterTable(tbl); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+	} else {
+		for _, tbl := range demo.Catalog.Tables {
+			if err := eng.RegisterTable(tbl); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+	}
+	if err := eng.RegisterTextSource("mercury", svc, demo.Corpus.Fields()...); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return eng, cleanup, nil
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"textjoin/internal/core"
+	"textjoin/internal/gateway"
+	"textjoin/internal/loadgen"
+	"textjoin/internal/texservice"
+	"textjoin/internal/workload"
+)
+
+// Gateway saturation experiment: a fixed worker pool is offered closed-
+// loop load at multiples of its size. Below capacity every query is
+// admitted; past pool+queue capacity the gateway sheds the excess with
+// structured errors while admitted queries keep completing — throughput
+// plateaus instead of collapsing, which is the point of admission
+// control. The text backend is slowed by a per-operation latency so the
+// pool actually saturates on a small corpus.
+
+// GatewayLoadRow is one operating point of the saturation sweep.
+type GatewayLoadRow struct {
+	Multiplier int     // offered clients as a multiple of the pool
+	Clients    int     // offered concurrency
+	Workers    int     // pool size
+	Issued     uint64  // client-side issued queries
+	OK         uint64  // client-side completions
+	Shed       uint64  // client-side structured overload rejections
+	Failed     uint64  // client-side other failures
+	Throughput float64 // completions per wall-clock second
+	ShedRate   float64 // shed / issued
+	HitRate    float64 // shared search-cache hit rate at the end of the point
+	Consistent bool    // gateway-side counters match the client-side tally
+}
+
+// GatewayLoad sweeps offered concurrency over the given multipliers of
+// the worker pool and returns one row per multiplier. Each operating
+// point gets a fresh engine and gateway so the points are independent.
+func GatewayLoad(docs int, seed int64, workers int, multipliers []int, perClient int) ([]GatewayLoadRow, error) {
+	var rows []GatewayLoadRow
+	queries := loadgen.GatewayQueries()
+	for _, mult := range multipliers {
+		gw, cleanup, err := buildLoadGateway(docs, seed, workers)
+		if err != nil {
+			return nil, err
+		}
+		before := gw.Stats()
+		tally, err := loadgen.RunLoad(context.Background(), gw, loadgen.LoadConfig{
+			Clients:   mult * workers,
+			PerClient: perClient,
+			Queries:   queries,
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		after := gw.Stats()
+		row := GatewayLoadRow{
+			Multiplier: mult,
+			Clients:    mult * workers,
+			Workers:    workers,
+			Issued:     tally.Issued,
+			OK:         tally.OK,
+			Shed:       tally.Shed,
+			Failed:     tally.Failed,
+			Throughput: tally.Throughput(),
+			ShedRate:   tally.ShedRate(),
+			HitRate:    after.Cache.HitRate,
+			Consistent: after.Completed-before.Completed == tally.OK &&
+				after.Shed-before.Shed == tally.Shed &&
+				after.Received-before.Received == tally.Issued,
+		}
+		rows = append(rows, row)
+		cleanup()
+	}
+	return rows, nil
+}
+
+// buildLoadGateway assembles a demo engine whose text backend has enough
+// per-call latency for a small pool to saturate, wrapped in a gateway
+// with a tight queue.
+func buildLoadGateway(docs int, seed int64, workers int) (*gateway.Gateway, func(), error) {
+	demo := workload.NewDemo(docs, seed)
+	local, err := texservice.NewLocal(demo.Corpus.Index,
+		texservice.WithShortFields("title", "author", "year"))
+	if err != nil {
+		return nil, nil, err
+	}
+	// A few milliseconds per text call stands in for the WAN hop to the
+	// external system; without it an in-process backend never queues.
+	slow := texservice.NewFaulty(local, texservice.FaultConfig{Latency: 2 * time.Millisecond})
+
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.SearchCache = 256
+	eng := core.NewEngineWith(opts)
+	for _, tbl := range demo.Catalog.Tables {
+		if err := eng.RegisterTable(tbl); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := eng.RegisterTextSource("mercury", slow, demo.Corpus.Fields()...); err != nil {
+		return nil, nil, err
+	}
+	gw := gateway.New(eng, gateway.Config{
+		Workers:      workers,
+		QueueDepth:   workers,
+		QueueTimeout: 50 * time.Millisecond,
+	})
+	cleanup := func() { _ = gw.Drain(context.Background()) }
+	return gw, cleanup, nil
+}
+
+// FormatGatewayLoad renders the sweep as a table.
+func FormatGatewayLoad(w io.Writer, rows []GatewayLoadRow) {
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %8s %12s %9s %8s %s\n",
+		"offered", "clients", "issued", "ok", "shed", "failed", "throughput", "shed-rate", "cache", "stats")
+	for _, r := range rows {
+		consistency := "consistent"
+		if !r.Consistent {
+			consistency = "MISMATCH"
+		}
+		fmt.Fprintf(w, "%-10s %8d %8d %8d %8d %8d %9.1f/s %8.0f%% %7.0f%% %s\n",
+			fmt.Sprintf("%dx pool", r.Multiplier), r.Clients, r.Issued, r.OK, r.Shed, r.Failed,
+			r.Throughput, 100*r.ShedRate, 100*r.HitRate, consistency)
+	}
+}

@@ -32,8 +32,12 @@ import (
 
 // Engine is a federated query engine over registered tables and one or
 // more external text sources. It is not safe for concurrent registration;
-// queries may run concurrently once registration is complete, provided
-// each uses its own text-service meter.
+// once registration is complete, any number of queries may run
+// concurrently against it — per-query usage accounting is isolated
+// through a context-carried meter (texservice.WithQueryMeter, installed
+// automatically by the executor), the statistics estimator serializes its
+// sampling internally, and the shared search cache deduplicates
+// concurrent identical searches.
 type Engine struct {
 	catalog   *sqlparse.Catalog
 	services  map[string]texservice.Service
@@ -130,6 +134,12 @@ func (e *Engine) RegisterTextSource(name string, svc texservice.Service, fields 
 
 // Catalog exposes the engine's catalog (read-only use).
 func (e *Engine) Catalog() *sqlparse.Catalog { return e.catalog }
+
+// TextService returns the service registered under the given source name
+// as the engine uses it — including the cache decorator when SearchCache
+// is enabled — or nil if no such source exists. Serving layers use it to
+// read cache statistics and shared meters.
+func (e *Engine) TextService(name string) texservice.Service { return e.services[name] }
 
 // Result is the outcome of one query.
 type Result struct {

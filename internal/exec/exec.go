@@ -35,27 +35,6 @@ func (e *Executor) svcFor(source string) (texservice.Service, error) {
 	return nil, fmt.Errorf("exec: no service for text source %q", source)
 }
 
-// meters returns the distinct meters of all configured services.
-func (e *Executor) meters() []*texservice.Meter {
-	seen := map[*texservice.Meter]bool{}
-	var out []*texservice.Meter
-	add := func(s texservice.Service) {
-		if s == nil {
-			return
-		}
-		m := s.Meter()
-		if m != nil && !seen[m] {
-			seen[m] = true
-			out = append(out, m)
-		}
-	}
-	add(e.Svc)
-	for _, s := range e.Services {
-		add(s)
-	}
-	return out
-}
-
 // RunStats aggregates execution-wide statistics.
 type RunStats struct {
 	// Usage is the total text-service resource consumption of the whole
@@ -67,21 +46,26 @@ type RunStats struct {
 }
 
 // Run evaluates the plan and returns the result table along with the
-// text-service usage it caused.
+// text-service usage it caused. Usage is accounted through a per-query
+// meter carried in the context (texservice.WithQueryMeter): every charge
+// the run causes on the shared services' meters is mirrored there, so the
+// measurement is exact even when other queries hammer the same services
+// concurrently — a before/after snapshot of the shared meters would bill
+// this run for everyone's interleaved work. If the caller has not
+// installed a query meter, Run installs a fresh one for the duration.
 func (e *Executor) Run(ctx context.Context, n plan.Node) (*relation.Table, RunStats, error) {
-	meters := e.meters()
-	befores := make([]texservice.Usage, len(meters))
-	for i, m := range meters {
-		befores[i] = m.Snapshot()
+	qm := texservice.QueryMeterFrom(ctx)
+	if qm == nil {
+		qm = texservice.NewMeter(texservice.DefaultCosts())
+		ctx = texservice.WithQueryMeter(ctx, qm)
 	}
+	before := qm.Snapshot()
 	st := &RunStats{}
 	out, err := e.eval(ctx, n, st)
 	if err != nil {
 		return nil, RunStats{}, err
 	}
-	for i, m := range meters {
-		st.Usage = st.Usage.Add(m.Snapshot().Sub(befores[i]))
-	}
+	st.Usage = qm.Snapshot().Sub(before)
 	return out, *st, nil
 }
 

@@ -1,0 +1,430 @@
+// Package gateway is the concurrent query-serving subsystem: it accepts
+// conjunctive SQL text, plans it with the engine's optimizer, and executes
+// it against one shared text-service stack from many clients at once —
+// the setting where the paper's per-invocation text-source costs dominate
+// and a production system must protect itself from its own traffic.
+//
+// The gateway owns four concerns the single-query engine does not have:
+//
+//   - Admission control. A bounded worker pool executes at most Workers
+//     queries concurrently; excess arrivals wait in a bounded queue of
+//     QueueDepth and are shed with a structured *OverloadError when the
+//     queue is full or when they have waited longer than QueueTimeout.
+//     Shedding returns a fast, explicit "overloaded" instead of degrading
+//     every query's latency.
+//
+//   - Per-query budgets. Every admitted query runs under an optional
+//     wall-clock deadline (QueryTimeout) and an optional simulated
+//     text-cost cap (CostLimit): a per-query texservice.Meter — isolated
+//     from the shared meters via the query-meter context — is armed with
+//     the cap and cancels the query's context the moment its accumulated
+//     cost crosses it, aborting runaway plans mid-flight.
+//
+//   - A stats surface. Lock-free counters (admitted/queued/shed/failed/…),
+//     latency and per-query text-cost histograms, shared-cache hit rates
+//     and the shared meters' cumulative usage, snapshotable as JSON.
+//
+//   - Graceful drain. Drain stops admission (new queries get ErrDraining,
+//     queued ones are woken and rejected) and waits for in-flight queries
+//     to finish.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"textjoin/internal/core"
+	"textjoin/internal/texservice"
+)
+
+// Config tunes the gateway.
+type Config struct {
+	// Workers is the maximum number of concurrently executing queries
+	// (default 4).
+	Workers int
+	// QueueDepth bounds how many queries may wait for a worker slot
+	// beyond the executing ones (default 2×Workers).
+	QueueDepth int
+	// QueueTimeout sheds a queued query that has not been admitted in
+	// time (default 1s).
+	QueueTimeout time.Duration
+	// QueryTimeout is the per-query wall-clock deadline, applied after
+	// admission; 0 disables it.
+	QueryTimeout time.Duration
+	// CostLimit caps a query's simulated text-service cost in seconds
+	// (the paper's cost model); a query whose accumulated per-query cost
+	// crosses it is aborted with a *BudgetError. 0 disables it.
+	CostLimit float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	return c
+}
+
+// Overload reasons.
+const (
+	ReasonQueueFull    = "queue full"
+	ReasonQueueTimeout = "queue timeout"
+)
+
+// OverloadError is the structured load-shedding error: the gateway had no
+// worker slot and either the wait queue was at capacity or the query
+// waited longer than the queue timeout. Clients should back off and
+// retry; the query was never admitted and consumed no text-service work.
+type OverloadError struct {
+	Reason     string // ReasonQueueFull or ReasonQueueTimeout
+	Workers    int
+	QueueDepth int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("gateway: overloaded (%s; %d workers, queue depth %d)",
+		e.Reason, e.Workers, e.QueueDepth)
+}
+
+// IsOverloaded reports whether err is a load-shedding rejection.
+func IsOverloaded(err error) bool {
+	var o *OverloadError
+	return errors.As(err, &o)
+}
+
+// BudgetError reports a query aborted by its per-query cost cap.
+type BudgetError struct {
+	Limit float64 // the configured cap, simulated seconds
+	Spent float64 // cost accumulated when the abort fired
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("gateway: query exceeded its text-cost budget (spent %.2fs of %.2fs)",
+		e.Spent, e.Limit)
+}
+
+// ErrDraining rejects queries arriving while (or after) the gateway
+// drains.
+var ErrDraining = errors.New("gateway: shutting down, not accepting queries")
+
+// Gateway serves queries concurrently against one shared engine. It is
+// safe for concurrent use by any number of goroutines.
+type Gateway struct {
+	eng   *core.Engine
+	cfg   Config
+	slots chan struct{} // worker tokens; len == executing queries
+
+	ctrs     counters
+	latency  histogram
+	textCost histogram
+
+	caches []*texservice.Cached // cache decorators discovered on the engine
+	meters []*texservice.Meter  // distinct shared meters, for Snapshot.Text
+
+	mu       sync.Mutex
+	draining bool
+	drainCh  chan struct{}  // closed when draining starts; wakes queued waiters
+	inflight sync.WaitGroup // admitted, not yet finished
+}
+
+// New builds a gateway over a fully registered engine. The engine must
+// not be mutated (no further registrations) once the gateway serves it.
+func New(eng *core.Engine, cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		eng:     eng,
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Workers),
+		drainCh: make(chan struct{}),
+	}
+	// Discover the per-source cache decorators and shared meters for the
+	// stats surface. Sources are walked in sorted order so snapshots are
+	// deterministic.
+	var names []string
+	for name := range eng.Catalog().Text {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	seen := map[*texservice.Meter]bool{}
+	for _, name := range names {
+		svc := eng.TextService(name)
+		if svc == nil {
+			continue
+		}
+		if c, ok := svc.(*texservice.Cached); ok {
+			g.caches = append(g.caches, c)
+		}
+		if m := svc.Meter(); m != nil && !seen[m] {
+			seen[m] = true
+			g.meters = append(g.meters, m)
+		}
+	}
+	return g
+}
+
+// Config returns the effective (defaulted) configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+// Response is one query's outcome.
+type Response struct {
+	// Columns are the qualified result column names.
+	Columns []string `json:"columns"`
+	// Rows are the result tuples, rendered as text.
+	Rows [][]string `json:"rows"`
+	// Plan is the executed physical plan, rendered.
+	Plan string `json:"plan,omitempty"`
+	// EstCost is the optimizer's estimate (simulated seconds).
+	EstCost float64 `json:"est_cost"`
+	// Usage is this query's own text-service consumption — isolated from
+	// concurrent queries via the per-query meter.
+	Usage texservice.Usage `json:"usage"`
+	// Queued is how long the query waited for a worker slot.
+	Queued time.Duration `json:"queued_ns"`
+	// Elapsed is the post-admission latency (plan + execute).
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// ExplainResponse is a plan-only answer: the query was optimized but not
+// executed, so it reports the estimate without any execution usage.
+type ExplainResponse struct {
+	Classified string  `json:"classified"`
+	Plan       string  `json:"plan"`
+	EstCost    float64 `json:"est_cost"`
+}
+
+// Query plans and executes one conjunctive query under admission control
+// and the per-query budgets. It blocks until the query completes, is
+// shed, or ctx ends.
+func (g *Gateway) Query(ctx context.Context, sql string) (*Response, error) {
+	release, queued, err := g.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	start := time.Now()
+	resp, err := g.execute(ctx, sql)
+	elapsed := time.Since(start)
+	if err != nil {
+		g.ctrs.failed.Add(1)
+		return nil, err
+	}
+	resp.Queued = queued
+	resp.Elapsed = elapsed
+	g.ctrs.completed.Add(1)
+	g.latency.observe(elapsed.Seconds())
+	g.textCost.observe(resp.Usage.Cost)
+	return resp, nil
+}
+
+// Explain plans one query without executing it, under the same admission
+// control (planning probes the shared text service for statistics, so it
+// competes for the same resources as execution).
+func (g *Gateway) Explain(ctx context.Context, sql string) (*ExplainResponse, error) {
+	release, _, err := g.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	prep, err := g.eng.Prepare(sql)
+	if err != nil {
+		g.ctrs.planFailed.Add(1)
+		g.ctrs.failed.Add(1)
+		return nil, err
+	}
+	g.ctrs.completed.Add(1)
+	return &ExplainResponse{
+		Classified: prep.Analyzed().String(),
+		Plan:       prep.Explain(),
+		EstCost:    prep.EstCost(),
+	}, nil
+}
+
+// admit implements the bounded pool + bounded queue + queue timeout. On
+// success it returns a release function (which must be called exactly
+// once) and the time spent queued.
+func (g *Gateway) admit(ctx context.Context) (release func(), queued time.Duration, err error) {
+	g.ctrs.received.Add(1)
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		g.ctrs.rejectedDraining.Add(1)
+		return nil, 0, ErrDraining
+	}
+	g.mu.Unlock()
+
+	enqueued := time.Now()
+	select {
+	case g.slots <- struct{}{}:
+		// Fast path: a worker slot is free.
+	default:
+		// Queue, bounded: the counter is incremented optimistically and
+		// rolled back when the queue is full, so the bound holds without
+		// a lock around the whole wait.
+		if g.ctrs.queued.Add(1) > int64(g.cfg.QueueDepth) {
+			g.ctrs.queued.Add(-1)
+			g.ctrs.shedQueueFull.Add(1)
+			return nil, 0, &OverloadError{Reason: ReasonQueueFull, Workers: g.cfg.Workers, QueueDepth: g.cfg.QueueDepth}
+		}
+		timer := time.NewTimer(g.cfg.QueueTimeout)
+		select {
+		case g.slots <- struct{}{}:
+			timer.Stop()
+			g.ctrs.queued.Add(-1)
+		case <-timer.C:
+			g.ctrs.queued.Add(-1)
+			g.ctrs.shedQueueTimeout.Add(1)
+			return nil, 0, &OverloadError{Reason: ReasonQueueTimeout, Workers: g.cfg.Workers, QueueDepth: g.cfg.QueueDepth}
+		case <-ctx.Done():
+			timer.Stop()
+			g.ctrs.queued.Add(-1)
+			g.ctrs.abandonedQueue.Add(1)
+			return nil, 0, ctx.Err()
+		case <-g.drainCh:
+			timer.Stop()
+			g.ctrs.queued.Add(-1)
+			g.ctrs.rejectedDraining.Add(1)
+			return nil, 0, ErrDraining
+		}
+	}
+
+	// Slot acquired. Registering with the drain group must be atomic with
+	// the draining check, or Drain could return while this query runs.
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		<-g.slots
+		g.ctrs.rejectedDraining.Add(1)
+		return nil, 0, ErrDraining
+	}
+	g.inflight.Add(1)
+	g.mu.Unlock()
+	g.ctrs.admitted.Add(1)
+	g.ctrs.inFlight.Add(1)
+
+	return func() {
+		g.ctrs.inFlight.Add(-1)
+		g.inflight.Done()
+		<-g.slots
+	}, time.Since(enqueued), nil
+}
+
+// execute plans and runs one admitted query with an isolated per-query
+// meter and the configured budgets.
+func (g *Gateway) execute(ctx context.Context, sql string) (*Response, error) {
+	prep, err := g.eng.Prepare(sql)
+	if err != nil {
+		g.ctrs.planFailed.Add(1)
+		return nil, err
+	}
+
+	// The per-query meter: every charge this query causes on the shared
+	// service stack is mirrored here and nowhere else sees it, so Usage
+	// is exact under any concurrency. Its cost constants are irrelevant —
+	// mirrored charges arrive as precomputed deltas.
+	qm := texservice.NewMeter(texservice.DefaultCosts())
+	ctx = texservice.WithQueryMeter(ctx, qm)
+	if g.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.QueryTimeout)
+		defer cancel()
+	}
+	if g.cfg.CostLimit > 0 {
+		budgetCtx, abort := context.WithCancel(ctx)
+		defer abort()
+		qm.SetBudget(g.cfg.CostLimit, abort)
+		ctx = budgetCtx
+	}
+
+	res, err := prep.RunContext(ctx)
+	// The cap is a hard policy, not best-effort: a short plan can finish
+	// between the charge that crossed the limit and the next cancellation
+	// check, so the budget verdict overrides even a successful run.
+	if qm.BudgetExceeded() {
+		g.ctrs.budgetAborted.Add(1)
+		return nil, &BudgetError{Limit: g.cfg.CostLimit, Spent: qm.Snapshot().Cost}
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			g.ctrs.timedOut.Add(1)
+		}
+		return nil, err
+	}
+
+	resp := &Response{
+		Plan:    prep.Explain(),
+		EstCost: res.EstCost,
+		Usage:   res.Usage,
+	}
+	for _, c := range res.Table.Schema.Cols {
+		resp.Columns = append(resp.Columns, c.Name)
+	}
+	resp.Rows = make([][]string, len(res.Table.Rows))
+	for i, row := range res.Table.Rows {
+		out := make([]string, len(row))
+		for j, v := range row {
+			out[j] = v.Text()
+		}
+		resp.Rows[i] = out
+	}
+	return resp, nil
+}
+
+// Stats snapshots the gateway's counters, histograms, cache statistics
+// and shared-meter usage.
+func (g *Gateway) Stats() Snapshot {
+	s := g.ctrs.snapshot()
+	s.Workers = g.cfg.Workers
+	s.QueueDepth = g.cfg.QueueDepth
+	g.mu.Lock()
+	s.Draining = g.draining
+	g.mu.Unlock()
+	for _, c := range g.caches {
+		hits, misses := c.Stats()
+		s.Cache.Hits += hits
+		s.Cache.Misses += misses
+		s.Cache.Dedups += c.Dedups()
+	}
+	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
+		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
+	}
+	for _, m := range g.meters {
+		s.Text = s.Text.Add(m.Snapshot())
+	}
+	s.Latency = g.latency.snapshot()
+	s.TextCost = g.textCost.snapshot()
+	return s
+}
+
+// Drain gracefully shuts the gateway down: new queries are rejected with
+// ErrDraining, queued-but-unadmitted queries are woken and rejected, and
+// Drain blocks until every in-flight query finishes or ctx ends (in which
+// case the remaining queries keep running and ctx.Err() is returned).
+// Drain is idempotent and safe to call concurrently.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.mu.Lock()
+	if !g.draining {
+		g.draining = true
+		close(g.drainCh)
+	}
+	g.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,141 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTP surface: three endpoints over the in-process API, with structured
+// JSON errors and status codes that distinguish client mistakes (400),
+// load shedding (503 + Retry-After), budget aborts (422), deadline expiry
+// (504) and drain (503).
+//
+//	POST /query    {"query": "select ..."}   → Response
+//	GET  /query?q=select+...                 → Response
+//	POST /explain  {"query": "select ..."}   → ExplainResponse
+//	GET  /explain?q=select+...               → ExplainResponse
+//	GET  /stats                              → Snapshot
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Handler returns the gateway's HTTP API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		sql, ok := readQuery(w, r)
+		if !ok {
+			return
+		}
+		resp, err := g.Query(r.Context(), sql)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		sql, ok := readQuery(w, r)
+		if !ok {
+			return
+		}
+		resp, err := g.Explain(r.Context(), sql)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "bad_request"})
+			return
+		}
+		writeJSON(w, http.StatusOK, g.Stats())
+	})
+	return mux
+}
+
+// readQuery extracts the SQL text from ?q= or a JSON/raw body.
+func readQuery(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, true
+	}
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing ?q= query parameter", Kind: "bad_request"})
+		return "", false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+		return "", false
+	}
+	// Accept {"query": "..."} or the raw SQL text.
+	var req struct {
+		Query string `json:"query"`
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+			return "", false
+		}
+		trimmed = req.Query
+	}
+	if trimmed == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty query", Kind: "bad_request"})
+		return "", false
+	}
+	return trimmed, true
+}
+
+// writeError maps gateway errors to HTTP statuses and the JSON envelope.
+func writeError(w http.ResponseWriter, err error) {
+	var overload *OverloadError
+	var budget *BudgetError
+	switch {
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "overloaded"})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Kind: "draining"})
+	case errors.As(err, &budget):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error(), Kind: "budget_exceeded"})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Kind: "timeout"})
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 is the de-facto convention.
+		writeJSON(w, 499, errorBody{Error: err.Error(), Kind: "canceled"})
+	case isPlanError(err):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_query"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Kind: "internal"})
+	}
+}
+
+// isPlanError classifies parse/analyze errors (client mistakes) versus
+// execution failures. The sqlparse and core packages prefix their errors.
+func isPlanError(err error) bool {
+	msg := err.Error()
+	for _, prefix := range []string{"sqlparse:", "parse:", "core:", "optimizer:"} {
+		if strings.Contains(msg, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

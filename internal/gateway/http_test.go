@@ -1,0 +1,159 @@
+package gateway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"textjoin/internal/gateway"
+)
+
+func newServer(t *testing.T) (*gateway.Gateway, *httptest.Server) {
+	t.Helper()
+	gw, _ := newGateway(t, gateway.Config{Workers: 2}, 64)
+	srv := httptest.NewServer(gw.Handler())
+	t.Cleanup(srv.Close)
+	return gw, srv
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+}
+
+func TestGatewayHTTPQueryGet(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape(testQueries[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out gateway.Response
+	decodeBody(t, resp, &out)
+	if len(out.Rows) == 0 || out.Usage.Searches == 0 {
+		t.Fatalf("thin response: %+v", out)
+	}
+}
+
+func TestGatewayHTTPQueryPost(t *testing.T) {
+	_, srv := newServer(t)
+	for _, body := range []string{
+		fmt.Sprintf(`{"query": %q}`, testQueries[2]), // JSON envelope
+		testQueries[2], // raw SQL
+	} {
+		resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d for body %q", resp.StatusCode, body)
+		}
+		var out gateway.Response
+		decodeBody(t, resp, &out)
+		if len(out.Rows) == 0 {
+			t.Fatalf("no rows for body %q", body)
+		}
+	}
+}
+
+func TestGatewayHTTPBadQuery(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape("select nonsense"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var e struct{ Error, Kind string }
+	decodeBody(t, resp, &e)
+	if e.Kind != "bad_query" || e.Error == "" {
+		t.Fatalf("error envelope: %+v", e)
+	}
+	// Missing query entirely.
+	resp, err = http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-query status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestGatewayHTTPExplain(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/explain?q=" + url.QueryEscape(testQueries[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out gateway.ExplainResponse
+	decodeBody(t, resp, &out)
+	if out.Plan == "" || out.EstCost <= 0 {
+		t.Fatalf("explain response: %+v", out)
+	}
+}
+
+func TestGatewayHTTPStats(t *testing.T) {
+	gw, srv := newServer(t)
+	if _, err := gw.Query(bg, testQueries[0]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap gateway.Snapshot
+	decodeBody(t, resp, &snap)
+	if snap.Workers != 2 || snap.Completed != 1 {
+		t.Fatalf("snapshot over HTTP: %+v", snap)
+	}
+	// Stats is read-only.
+	post, err := http.Post(srv.URL+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestGatewayHTTPDraining(t *testing.T) {
+	gw, srv := newServer(t)
+	if err := gw.Drain(bg); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape(testQueries[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var e struct{ Error, Kind string }
+	decodeBody(t, resp, &e)
+	if e.Kind != "draining" {
+		t.Fatalf("kind = %q, want draining", e.Kind)
+	}
+}

@@ -1,0 +1,194 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"textjoin/internal/texservice"
+)
+
+// counters is the gateway's live admission/outcome accounting. Everything
+// is atomic so the hot path never takes a lock for bookkeeping; Snapshot
+// reads are equally lock-free and the arithmetic invariants
+//
+//	Admitted  = Completed + Failed + InFlight
+//	Shed      = ShedQueueFull + ShedQueueTimeout
+//	Received  = Admitted + Shed + RejectedDraining + AbandonedQueue
+//
+// hold for every snapshot taken while the gateway is quiescent (and up to
+// in-flight transitions otherwise).
+type counters struct {
+	received         atomic.Uint64 // every call that reached admission
+	admitted         atomic.Uint64 // got a worker slot
+	completed        atomic.Uint64 // admitted and returned rows
+	failed           atomic.Uint64 // admitted and returned an error
+	shedQueueFull    atomic.Uint64 // shed: wait queue at capacity
+	shedQueueTimeout atomic.Uint64 // shed: queued longer than QueueTimeout
+	rejectedDraining atomic.Uint64 // rejected: gateway draining
+	abandonedQueue   atomic.Uint64 // caller's context ended while queued
+	budgetAborted    atomic.Uint64 // failed: per-query cost cap fired (subset of failed)
+	timedOut         atomic.Uint64 // failed: per-query deadline expired (subset of failed)
+	planFailed       atomic.Uint64 // failed: parse/analyze/optimize error (subset of failed)
+	inFlight         atomic.Int64  // currently executing
+	queued           atomic.Int64  // currently waiting for a slot
+}
+
+// histogram is a fixed-boundary log-scale histogram of non-negative
+// float64 observations (seconds). The boundaries span 100µs to ~100ks by
+// powers of two, which covers both wall-clock latencies and the paper's
+// simulated text-source costs.
+type histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+const (
+	histBuckets = 32
+	histBase    = 1e-4 // first bucket upper bound, seconds
+)
+
+// bucketOf maps an observation to its bucket: bucket i holds values in
+// (histBase·2^(i-1), histBase·2^i], bucket 0 holds (0, histBase], and the
+// last bucket is unbounded above.
+func bucketOf(v float64) int {
+	if v <= histBase {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(v / histBase))) // v ≤ histBase·2^i
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// upperBound returns bucket i's upper boundary.
+func upperBound(i int) float64 {
+	return histBase * math.Pow(2, float64(i))
+}
+
+func (h *histogram) observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// HistSnapshot is a JSON-friendly view of a histogram: moments plus
+// approximate quantiles read off the bucket boundaries (each quantile is
+// the upper bound of the bucket containing it, so it over-estimates by at
+// most 2×).
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func (h *histogram) snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / float64(h.count)
+	s.P50 = h.quantileLocked(0.50)
+	s.P90 = h.quantileLocked(0.90)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked returns the upper bound of the bucket holding the q-th
+// observation, clamped to the observed max.
+func (h *histogram) quantileLocked(q float64) float64 {
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			return math.Min(upperBound(i), h.max)
+		}
+	}
+	return h.max
+}
+
+// CacheStats reports the shared search cache's effectiveness across every
+// registered text source that has a cache decorator.
+type CacheStats struct {
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	Dedups  int     `json:"dedups"` // hits that were singleflight waits on an in-flight search
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Snapshot is a point-in-time JSON-serializable view of the gateway: its
+// configuration, admission counters, latency and per-query text-cost
+// histograms, shared cache statistics, and the shared text-service meters'
+// cumulative usage.
+type Snapshot struct {
+	Workers    int  `json:"workers"`
+	QueueDepth int  `json:"queue_depth"`
+	InFlight   int  `json:"in_flight"`
+	Queued     int  `json:"queued"`
+	Draining   bool `json:"draining"`
+
+	Received         uint64 `json:"received"`
+	Admitted         uint64 `json:"admitted"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	ShedQueueFull    uint64 `json:"shed_queue_full"`
+	ShedQueueTimeout uint64 `json:"shed_queue_timeout"`
+	Shed             uint64 `json:"shed"` // ShedQueueFull + ShedQueueTimeout
+	RejectedDraining uint64 `json:"rejected_draining"`
+	AbandonedQueue   uint64 `json:"abandoned_queue"`
+	BudgetAborted    uint64 `json:"budget_aborted"`
+	TimedOut         uint64 `json:"timed_out"`
+	PlanFailed       uint64 `json:"plan_failed"`
+
+	Cache    CacheStats       `json:"cache"`
+	Latency  HistSnapshot     `json:"latency_seconds"`
+	TextCost HistSnapshot     `json:"text_cost_seconds"`
+	Text     texservice.Usage `json:"text_usage"`
+}
+
+func (c *counters) snapshot() Snapshot {
+	s := Snapshot{
+		Received:         c.received.Load(),
+		Admitted:         c.admitted.Load(),
+		Completed:        c.completed.Load(),
+		Failed:           c.failed.Load(),
+		ShedQueueFull:    c.shedQueueFull.Load(),
+		ShedQueueTimeout: c.shedQueueTimeout.Load(),
+		RejectedDraining: c.rejectedDraining.Load(),
+		AbandonedQueue:   c.abandonedQueue.Load(),
+		BudgetAborted:    c.budgetAborted.Load(),
+		TimedOut:         c.timedOut.Load(),
+		PlanFailed:       c.planFailed.Load(),
+		InFlight:         int(c.inFlight.Load()),
+		Queued:           int(c.queued.Load()),
+	}
+	s.Shed = s.ShedQueueFull + s.ShedQueueTimeout
+	return s
+}

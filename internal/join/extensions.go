@@ -171,7 +171,7 @@ func (m PRTPAdaptive) Execute(ctx context.Context, spec *Spec, svc texservice.Se
 				continue
 			}
 			shipped += len(pres.Hits)
-			svc.Meter().ChargeRTP(len(pres.Hits))
+			svc.Meter().ChargeRTP(ex.ctx, len(pres.Hits))
 			tuples := make([]relation.Tuple, len(members))
 			for i, rowIdx := range members {
 				tuples[i] = spec.Relation.Rows[rowIdx]

@@ -340,7 +340,7 @@ func (m PRTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (
 			if pres.IsEmpty() {
 				continue
 			}
-			svc.Meter().ChargeRTP(len(pres.Hits))
+			svc.Meter().ChargeRTP(ex.ctx, len(pres.Hits))
 			tuples := make([]relation.Tuple, len(members))
 			for i, rowIdx := range members {
 				tuples[i] = spec.Relation.Rows[rowIdx]

@@ -154,7 +154,7 @@ func (ex *execution) runSJBatch(batchKeys []string, groups map[string][]int, orP
 	if err != nil {
 		return err
 	}
-	ex.svc.Meter().ChargeRTP(len(res.Hits))
+	ex.svc.Meter().ChargeRTP(ex.ctx, len(res.Hits))
 	for _, key := range batchKeys {
 		for _, rowIdx := range groups[key] {
 			tuple := spec.Relation.Rows[rowIdx]

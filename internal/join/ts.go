@@ -155,7 +155,7 @@ func (RTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Re
 		if err != nil {
 			return err
 		}
-		svc.Meter().ChargeRTP(len(res.Hits))
+		svc.Meter().ChargeRTP(ex.ctx, len(res.Hits))
 		return matchHitsRelationally(ex, spec.Relation.Rows, res.Hits, spec.Preds)
 	})
 }

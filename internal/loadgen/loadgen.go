@@ -1,0 +1,147 @@
+// Package loadgen is the closed-loop load generator for the query
+// gateway. It lives outside internal/workload so that workload (which
+// core's tests import) never depends on the gateway layer.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"textjoin/internal/gateway"
+)
+
+// Each simulated client issues its next query as soon as the previous
+// one returns, so the offered concurrency equals the number of clients.
+// This is the canonical way to measure a bounded-pool server: as clients
+// grow past the pool+queue capacity, throughput plateaus and the shed
+// rate rises — the saturation curve the gateway's admission control is
+// designed to shape.
+
+// LoadConfig drives RunLoad.
+type LoadConfig struct {
+	// Clients is the offered concurrency (number of closed-loop clients).
+	Clients int
+	// PerClient is how many queries each client issues.
+	PerClient int
+	// Queries is the workload mix; client c's i-th query is
+	// Queries[(c+i) mod len(Queries)], staggering the mix across clients.
+	Queries []string
+	// ThinkTime pauses each client between queries (0 = none).
+	ThinkTime time.Duration
+}
+
+// LoadTally is the client-side account of one load-generator run. Its
+// counters are tallied at the clients, so they can be cross-checked
+// against the gateway's own /stats counters: OK must equal the gateway's
+// completed delta, Shed its shed delta, and so on.
+type LoadTally struct {
+	Issued    uint64        // queries sent
+	OK        uint64        // completed with rows
+	Shed      uint64        // rejected with a structured overload error
+	Rejected  uint64        // rejected because the gateway was draining
+	Failed    uint64        // failed any other way (parse, budget, timeout, …)
+	Rows      uint64        // total result rows received
+	Elapsed   time.Duration // wall-clock duration of the whole run
+	SumQueued time.Duration // total time OK queries spent waiting for a slot
+}
+
+// Throughput returns completed queries per wall-clock second.
+func (t *LoadTally) Throughput() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.OK) / t.Elapsed.Seconds()
+}
+
+// ShedRate returns the fraction of issued queries that were shed.
+func (t *LoadTally) ShedRate() float64 {
+	if t.Issued == 0 {
+		return 0
+	}
+	return float64(t.Shed) / float64(t.Issued)
+}
+
+// String renders the tally in one line.
+func (t *LoadTally) String() string {
+	return fmt.Sprintf("issued %d, ok %d, shed %d (%.0f%%), rejected %d, failed %d in %s (%.1f q/s)",
+		t.Issued, t.OK, t.Shed, 100*t.ShedRate(), t.Rejected, t.Failed,
+		t.Elapsed.Round(time.Millisecond), t.Throughput())
+}
+
+// RunLoad drives the gateway with cfg.Clients closed-loop clients and
+// returns the client-side tally. Individual query failures are counted,
+// not returned; the only error is a config mistake.
+func RunLoad(ctx context.Context, gw *gateway.Gateway, cfg LoadConfig) (*LoadTally, error) {
+	if cfg.Clients <= 0 || cfg.PerClient <= 0 || len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: load config needs clients, per-client count and queries")
+	}
+	var tally LoadTally
+	var issued, ok, shed, rejected, failed, rows atomic.Uint64
+	var sumQueued atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < cfg.PerClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				q := cfg.Queries[(c+i)%len(cfg.Queries)]
+				issued.Add(1)
+				resp, err := gw.Query(ctx, q)
+				switch {
+				case err == nil:
+					ok.Add(1)
+					rows.Add(uint64(len(resp.Rows)))
+					sumQueued.Add(int64(resp.Queued))
+				case gateway.IsOverloaded(err):
+					shed.Add(1)
+				case errors.Is(err, gateway.ErrDraining):
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+				if cfg.ThinkTime > 0 {
+					select {
+					case <-time.After(cfg.ThinkTime):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	tally.Elapsed = time.Since(start)
+	tally.Issued = issued.Load()
+	tally.OK = ok.Load()
+	tally.Shed = shed.Load()
+	tally.Rejected = rejected.Load()
+	tally.Failed = failed.Load()
+	tally.Rows = rows.Load()
+	tally.SumQueued = time.Duration(sumQueued.Load())
+	return &tally, nil
+}
+
+// GatewayQueries returns the demo workload mix the load generator runs:
+// a few distinct conjunctive queries over the demo university database,
+// so a shared search cache sees both repeats (hits) and variety (misses).
+func GatewayQueries() []string {
+	return []string{
+		`select student.name, mercury.docid from student, mercury
+		 where 'belief update' in mercury.title and student.name in mercury.author`,
+		`select docid from project, mercury
+		 where project.sponsor = 'NSF' and project.pname in mercury.title
+		 and project.member in mercury.author`,
+		`select student.name, faculty.fname from student, faculty
+		 where student.advisor = faculty.fname and student.year > 4`,
+		`select faculty.fname, mercury.docid from faculty, mercury
+		 where 'database' in mercury.title and faculty.fname in mercury.author`,
+	}
+}

@@ -62,7 +62,7 @@ func (s *Sharded) BatchSearch(ctx context.Context, exprs []textidx.Expr, form te
 			parts[i].Docs += len(res.Hits)
 		}
 	}
-	s.meter.ChargeScatter(parts, form)
+	s.meter.ChargeScatter(ctx, parts, form)
 	out := make([]*texservice.Result, len(exprs))
 	for i := range exprs {
 		perShard := make([][]texservice.Hit, 0, len(ok))

@@ -161,9 +161,12 @@ type shardResult struct {
 }
 
 // scatter runs f concurrently against every shard. In strict mode the
-// first failure cancels the remaining shards' calls.
+// first failure cancels the remaining shards' calls. The per-query meter
+// is detached from the shard calls' context: each backend charges its own
+// local meter, and the query-visible accounting is the root meter's
+// single ChargeScatter — mirroring both would double-charge the query.
 func (s *Sharded) scatter(ctx context.Context, f func(ctx context.Context, k int, svc texservice.Service) (*texservice.Result, error)) []shardResult {
-	ctx, cancel := context.WithCancel(ctx)
+	ctx, cancel := context.WithCancel(texservice.DetachQueryMeter(ctx))
 	defer cancel()
 	out := make([]shardResult, len(s.shards))
 	var wg sync.WaitGroup
@@ -240,7 +243,7 @@ func (s *Sharded) Search(ctx context.Context, e textidx.Expr, form texservice.Fo
 		perShard = append(perShard, s.globalize(k, res.Hits))
 		postings += res.Postings
 	}
-	s.meter.ChargeScatter(parts, form)
+	s.meter.ChargeScatter(ctx, parts, form)
 	return &texservice.Result{
 		Hits:     mergeHits(perShard),
 		Postings: postings,
@@ -302,14 +305,14 @@ func (s *Sharded) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Docum
 		return textidx.Document{}, fmt.Errorf("textidx: no document %d", id)
 	}
 	k := textidx.ShardOf(id, n)
-	doc, err := s.shards[k].Retrieve(ctx, textidx.LocalID(id, n))
+	doc, err := s.shards[k].Retrieve(texservice.DetachQueryMeter(ctx), textidx.LocalID(id, n))
 	if err != nil {
 		s.mu.Lock()
 		s.shardErrs[k]++
 		s.mu.Unlock()
 		return textidx.Document{}, err
 	}
-	s.meter.ChargeRetrieve()
+	s.meter.ChargeRetrieve(ctx)
 	return doc, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"textjoin/internal/relation"
 	"textjoin/internal/texservice"
@@ -46,13 +47,18 @@ type SelectionStats struct {
 	Postings float64
 }
 
-// Estimator samples and caches statistics against one text service.
+// Estimator samples and caches statistics against one text service. It is
+// safe for concurrent use: a mutex guards the caches and the sampling RNG,
+// and is held across a predicate's whole sampling pass so concurrent
+// queries needing the same estimate never duplicate the probe traffic —
+// the second caller finds the cache filled when it acquires the lock.
 type Estimator struct {
 	svc        texservice.Service
 	sampleSize int
-	rng        *rand.Rand
 	useExport  bool
 
+	mu        sync.Mutex
+	rng       *rand.Rand
 	predCache map[string]Estimate
 	selCache  map[string]SelectionStats
 }
@@ -99,6 +105,8 @@ func New(svc texservice.Service, opts ...Option) *Estimator {
 // Results are cached by (table name, column, field).
 func (e *Estimator) Predicate(tbl *relation.Table, column, field string) (Estimate, error) {
 	key := tbl.Name + "\x00" + column + "\x00" + field
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if est, ok := e.predCache[key]; ok {
 		return est, nil
 	}
@@ -175,6 +183,8 @@ func (e *Estimator) Predicate(tbl *relation.Table, column, field string) (Estima
 // single short-form search, cached by the expression's rendering.
 func (e *Estimator) Selection(sel textidx.Expr) (SelectionStats, error) {
 	key := sel.String()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if st, ok := e.selCache[key]; ok {
 		return st, nil
 	}
@@ -188,4 +198,8 @@ func (e *Estimator) Selection(sel textidx.Expr) (SelectionStats, error) {
 }
 
 // CacheSize reports how many predicate estimates are cached.
-func (e *Estimator) CacheSize() int { return len(e.predCache) }
+func (e *Estimator) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.predCache)
+}

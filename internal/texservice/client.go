@@ -268,7 +268,7 @@ func (r *Remote) call(ctx context.Context, op string, req wireRequest) (*wireRes
 	attempts := r.cfg.retry.MaxAttempts
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			r.meter.ChargeRetry()
+			r.meter.ChargeRetry(ctx)
 			r.mu.Lock()
 			d := r.cfg.retry.delay(r.rng, attempt-1)
 			r.mu.Unlock()
@@ -312,7 +312,7 @@ func (r *Remote) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 	// The server's own meter is also charged; the client meter is the one
 	// the experiments read, since the cost model describes the integrated
 	// system from the database side.
-	r.meter.ChargeSearch(resp.Postings, len(out.Hits), form)
+	r.meter.ChargeSearch(ctx, resp.Postings, len(out.Hits), form)
 	return out, nil
 }
 
@@ -322,7 +322,7 @@ func (r *Remote) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Docume
 	if err != nil {
 		return textidx.Document{}, err
 	}
-	r.meter.ChargeRetrieve()
+	r.meter.ChargeRetrieve(ctx)
 	return textidx.Document{ExtID: resp.DocExt, Fields: resp.DocField}, nil
 }
 
@@ -360,7 +360,7 @@ func (r *Remote) BatchSearch(ctx context.Context, exprs []textidx.Expr, form For
 	// One invocation for the batch (the server's local meter double-
 	// charges its own side; the client meter is authoritative for the
 	// integrated system's experiments).
-	r.meter.ChargeSearch(postings, docs, form)
+	r.meter.ChargeSearch(ctx, postings, docs, form)
 	return out, nil
 }
 

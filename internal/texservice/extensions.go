@@ -106,7 +106,7 @@ func (l *Local) BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form
 	}
 	// One invocation for the whole batch: charge c_i once by reporting
 	// the batch as a single search.
-	l.meter.ChargeSearch(postings, docs, form)
+	l.meter.ChargeSearch(ctx, postings, docs, form)
 	return out, nil
 }
 

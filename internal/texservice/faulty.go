@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"textjoin/internal/textidx"
@@ -39,8 +40,9 @@ import (
 // Metadata operations (NumDocs, MaxTerms, ShortFields, Meter) pass
 // through unharmed.
 type Faulty struct {
-	inner Service
-	cfg   FaultConfig
+	inner   Service
+	cfg     FaultConfig
+	latency atomic.Int64 // current per-operation latency in ns; see SetLatency
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -129,13 +131,20 @@ func NewFaulty(inner Service, cfg FaultConfig) *Faulty {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	f := &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	f.latency.Store(int64(cfg.Latency))
+	return f
 }
+
+// SetLatency changes the per-operation latency at runtime. Safe to call
+// concurrently with operations; lets a harness warm caches against a fast
+// backend and then degrade it mid-run.
+func (f *Faulty) SetLatency(d time.Duration) { f.latency.Store(int64(d)) }
 
 // gate applies latency and decides this operation's fate.
 func (f *Faulty) gate(ctx context.Context) error {
-	if f.cfg.Latency > 0 {
-		if err := sleepCtx(ctx, f.cfg.Latency); err != nil {
+	if d := time.Duration(f.latency.Load()); d > 0 {
+		if err := sleepCtx(ctx, d); err != nil {
 			return err
 		}
 	}

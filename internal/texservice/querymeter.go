@@ -1,0 +1,67 @@
+package texservice
+
+import "context"
+
+// Per-query meter isolation.
+//
+// A single service stack (Cached → Sharded/Remote → backend) is shared by
+// every concurrent query a gateway serves, and its meters accumulate the
+// *global* totals. Per-query accounting cannot be read off a shared meter
+// with a before/after snapshot — concurrent queries' charges interleave
+// and every query would be billed for everyone's work. Instead the
+// executing query carries its own Meter in the context: every charge a
+// service applies to its own meter is mirrored, as the same precomputed
+// Usage delta, into the query meter found in the context. The shared
+// meters keep the global totals, the query meter sees exactly this
+// query's share, and the two compose without double-charging:
+//
+//   - A cache hit in Cached charges nothing anywhere, so it is free for
+//     the query too.
+//   - A deduplicated (singleflight) search is charged once, to the
+//     leader's query; waiters ride along free, exactly as the shared
+//     meter sees it.
+//   - A sharded fan-out detaches the query meter before scattering
+//     (DetachQueryMeter), because per-shard backends charge their own
+//     local meters while the root meter's single ChargeScatter is the
+//     database-side accounting; only that scatter charge is mirrored.
+//
+// Invariant (tested): with no pre-existing traffic, the sum of all
+// per-query usages equals the shared root meter's usage.
+
+type queryMeterKey struct{}
+
+// WithQueryMeter returns a context carrying m as the per-query meter:
+// every service charge made under the returned context is mirrored into
+// m in addition to the service's own meter.
+func WithQueryMeter(ctx context.Context, m *Meter) context.Context {
+	return context.WithValue(ctx, queryMeterKey{}, m)
+}
+
+// QueryMeterFrom returns the per-query meter carried by ctx, or nil.
+func QueryMeterFrom(ctx context.Context) *Meter {
+	m, _ := ctx.Value(queryMeterKey{}).(*Meter)
+	return m
+}
+
+// DetachQueryMeter returns ctx without a per-query meter. Composite
+// services whose root meter summarizes a fan-out (shard.Sharded) detach
+// the query meter before calling their backends so the per-backend
+// charges are not mirrored on top of the root summary charge.
+func DetachQueryMeter(ctx context.Context) context.Context {
+	if QueryMeterFrom(ctx) == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, queryMeterKey{}, (*Meter)(nil))
+}
+
+// mirror applies a usage delta to the per-query meter in ctx, if any.
+// The delta was computed by the charging service's own meter, so the
+// query meter's cost constants are never consulted — mirrored charges
+// are exact copies regardless of how the query meter was constructed.
+func mirror(ctx context.Context, charged *Meter, delta Usage) {
+	qm := QueryMeterFrom(ctx)
+	if qm == nil || qm == charged {
+		return
+	}
+	qm.accumulate(delta)
+}

@@ -1,0 +1,190 @@
+package texservice
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"textjoin/internal/textidx"
+)
+
+// TestQueryMeterMirrorsCharges: charges made under a query-meter context
+// land on both the service's shared meter and the query meter, as the
+// same deltas.
+func TestQueryMeterMirrorsCharges(t *testing.T) {
+	svc, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := NewMeter(DefaultCosts())
+	ctx := WithQueryMeter(bg, qm)
+	if _, err := svc.Search(ctx, textidx.Term{Field: "title", Word: "text"}, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Retrieve(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	shared, query := svc.Meter().Snapshot(), qm.Snapshot()
+	if shared != query {
+		t.Fatalf("query meter diverged from shared meter:\nshared %+v\nquery  %+v", shared, query)
+	}
+	if query.Searches != 1 || query.Retrieves != 1 || query.Cost <= 0 {
+		t.Fatalf("query usage implausible: %+v", query)
+	}
+}
+
+// TestQueryMeterSumEqualsShared: the isolation invariant — with no other
+// traffic, the per-query usages of concurrent queries sum to exactly the
+// shared meter's total. No charge is lost and none is double-counted.
+func TestQueryMeterSumEqualsShared(t *testing.T) {
+	svc, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"text", "belief", "update", "filtering", "retrieval"}
+	meters := make([]*Meter, 8)
+	var wg sync.WaitGroup
+	for i := range meters {
+		meters[i] = NewMeter(DefaultCosts())
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := WithQueryMeter(bg, meters[i])
+			for j := 0; j < 5; j++ {
+				w := words[(i+j)%len(words)]
+				if _, err := svc.Search(ctx, textidx.Term{Field: "title", Word: w}, FormShort); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := svc.Retrieve(ctx, textidx.DocID(i%3)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var sum Usage
+	for _, m := range meters {
+		sum = sum.Add(m.Snapshot())
+	}
+	shared := svc.Meter().Snapshot()
+	// Float sums are order-dependent; compare costs with a tolerance and
+	// everything else exactly.
+	if math.Abs(shared.Cost-sum.Cost) > 1e-9 || math.Abs(shared.CritCost-sum.CritCost) > 1e-9 {
+		t.Fatalf("per-query costs do not sum to the shared cost:\nshared %+v\nsum    %+v", shared, sum)
+	}
+	shared.Cost, shared.CritCost, sum.Cost, sum.CritCost = 0, 0, 0, 0
+	if shared != sum {
+		t.Fatalf("per-query meters do not sum to the shared meter:\nshared %+v\nsum    %+v", shared, sum)
+	}
+}
+
+// TestQueryMeterCacheHit: a cache hit charges nothing to the shared meter
+// and therefore nothing to the hitting query's meter either.
+func TestQueryMeterCacheHit(t *testing.T) {
+	svc, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := NewCached(svc, 16)
+	term := textidx.Term{Field: "title", Word: "text"}
+
+	leader := NewMeter(DefaultCosts())
+	if _, err := cached.Search(WithQueryMeter(bg, leader), term, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if leader.Snapshot().Searches != 1 {
+		t.Fatalf("leader usage = %+v, want 1 search", leader.Snapshot())
+	}
+
+	follower := NewMeter(DefaultCosts())
+	if _, err := cached.Search(WithQueryMeter(bg, follower), term, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if u := follower.Snapshot(); u != (Usage{}) {
+		t.Fatalf("cache hit charged the query meter: %+v", u)
+	}
+	if shared := svc.Meter().Snapshot(); shared != leader.Snapshot() {
+		t.Fatalf("shared meter %+v != leader's usage %+v", shared, leader.Snapshot())
+	}
+}
+
+// TestQueryMeterSelfMirrorSkipped: when the charged meter is itself the
+// context's query meter, the charge is applied once, not twice.
+func TestQueryMeterSelfMirrorSkipped(t *testing.T) {
+	svc, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithQueryMeter(bg, svc.Meter())
+	if _, err := svc.Search(ctx, textidx.Term{Field: "title", Word: "text"}, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if u := svc.Meter().Snapshot(); u.Searches != 1 {
+		t.Fatalf("self-mirror double-charged: %+v", u)
+	}
+}
+
+// TestDetachQueryMeter: a detached context mirrors nothing.
+func TestDetachQueryMeter(t *testing.T) {
+	svc, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := NewMeter(DefaultCosts())
+	ctx := DetachQueryMeter(WithQueryMeter(bg, qm))
+	if got := QueryMeterFrom(ctx); got != nil {
+		t.Fatalf("detached context still carries meter %p", got)
+	}
+	if _, err := svc.Search(ctx, textidx.Term{Field: "title", Word: "text"}, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if u := qm.Snapshot(); u != (Usage{}) {
+		t.Fatalf("detached charge was mirrored: %+v", u)
+	}
+	// Detaching a context that never had a meter is the identity.
+	if got := DetachQueryMeter(bg); got != bg {
+		t.Fatal("DetachQueryMeter rewrapped a meterless context")
+	}
+}
+
+// TestMeterBudget: the budget callback fires exactly once, when the
+// accumulated cost first crosses the limit, and Reset re-arms it.
+func TestMeterBudget(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	fired := 0
+	m.SetBudget(5, func() { fired++ })
+
+	m.ChargeRetrieve(bg) // cost 4 (= c_l), under the limit
+	if fired != 0 || m.BudgetExceeded() {
+		t.Fatalf("under the limit: fired=%d exceeded=%v", fired, m.BudgetExceeded())
+	}
+	m.ChargeRetrieve(bg) // cost 8, crosses
+	if fired != 1 || !m.BudgetExceeded() {
+		t.Fatalf("after crossing: fired=%d exceeded=%v", fired, m.BudgetExceeded())
+	}
+	m.ChargeRetrieve(bg)
+	if fired != 1 {
+		t.Fatalf("budget callback re-fired: %d", fired)
+	}
+
+	m.Reset()
+	if m.BudgetExceeded() {
+		t.Fatal("Reset did not clear the exceeded flag")
+	}
+	m.ChargeRetrieve(bg) // 4, then 8 crosses again
+	m.ChargeRetrieve(bg)
+	if fired != 2 {
+		t.Fatalf("re-armed budget did not fire: %d", fired)
+	}
+}
+
+// TestMeterBudgetUnderLimit: charges below the limit never fire.
+func TestMeterBudgetUnderLimit(t *testing.T) {
+	m := NewMeter(DefaultCosts())
+	m.SetBudget(1e9, func() { t.Error("budget fired below the limit") })
+	m.ChargeSearch(bg, 10, 2, FormShort)
+	if m.BudgetExceeded() {
+		t.Fatal("exceeded below the limit")
+	}
+}

@@ -164,7 +164,7 @@ func (r *Retrying) do(ctx context.Context, op string, f func() error) error {
 	var err error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			r.inner.Meter().ChargeRetry()
+			r.inner.Meter().ChargeRetry(ctx)
 			r.mu.Lock()
 			r.retries++
 			d := r.policy.delay(r.rng, attempt-1)

@@ -155,10 +155,22 @@ func (u Usage) Sub(v Usage) Usage {
 
 // Meter accumulates Usage under the paper's cost model. It is safe for
 // concurrent use.
+//
+// Charge methods take the operation's context: the charge is applied to
+// this meter and mirrored into the per-query meter the context carries,
+// if any (see WithQueryMeter) — that is how a query's share of a shared
+// service's traffic is isolated without double-charging.
 type Meter struct {
 	mu    sync.Mutex
 	costs Costs
 	usage Usage
+
+	// budget, when positive, arms a cost cap: the first charge that
+	// pushes usage.Cost past it invokes onExceed exactly once (outside
+	// the lock). Used by gateways to abort runaway queries.
+	budget   float64
+	exceeded bool
+	onExceed func()
 }
 
 // NewMeter returns a meter charging the given constants.
@@ -166,6 +178,49 @@ func NewMeter(costs Costs) *Meter { return &Meter{costs: costs} }
 
 // Costs returns the constants this meter charges.
 func (m *Meter) Costs() Costs { return m.costs }
+
+// SetBudget arms a cost cap on the meter: the first charge that pushes
+// accumulated Cost past limit calls onExceed, exactly once. A typical
+// onExceed is a context.CancelFunc, turning the cap into an abort of the
+// in-flight work that is charging the meter. A non-positive limit
+// disarms the budget.
+func (m *Meter) SetBudget(limit float64, onExceed func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = limit
+	m.exceeded = false
+	m.onExceed = onExceed
+}
+
+// BudgetExceeded reports whether an armed budget has fired.
+func (m *Meter) BudgetExceeded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exceeded
+}
+
+// accumulate applies a precomputed usage delta (a mirrored charge or a
+// merge of another meter) and fires the budget callback if the delta
+// crossed an armed cost cap.
+func (m *Meter) accumulate(delta Usage) {
+	m.mu.Lock()
+	m.usage = m.usage.Add(delta)
+	fire := m.armBudgetLocked()
+	m.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// armBudgetLocked checks the cost cap and returns the callback to run
+// (once, outside the lock) if this charge crossed it.
+func (m *Meter) armBudgetLocked() func() {
+	if m.budget <= 0 || m.exceeded || m.usage.Cost <= m.budget {
+		return nil
+	}
+	m.exceeded = true
+	return m.onExceed
+}
 
 // searchCost is the simulated cost of one search under these constants.
 func (c Costs) searchCost(postings, nDocs int, form Form) float64 {
@@ -178,19 +233,16 @@ func (c Costs) searchCost(postings, nDocs int, form Form) float64 {
 
 // ChargeSearch records one search that processed the given number of
 // postings and transmitted nDocs documents in the given form.
-func (m *Meter) ChargeSearch(postings, nDocs int, form Form) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.usage.Searches++
-	m.usage.Postings += postings
+func (m *Meter) ChargeSearch(ctx context.Context, postings, nDocs int, form Form) {
 	cost := m.costs.searchCost(postings, nDocs, form)
-	m.usage.Cost += cost
-	m.usage.CritCost += cost
+	delta := Usage{Searches: 1, Postings: postings, Cost: cost, CritCost: cost}
 	if form == FormLong {
-		m.usage.LongDocs += nDocs
+		delta.LongDocs = nDocs
 	} else {
-		m.usage.ShortDocs += nDocs
+		delta.ShortDocs = nDocs
 	}
+	m.accumulate(delta)
+	mirror(ctx, m, delta)
 }
 
 // ScatterPart is one shard's share of a scatter-gather search: the
@@ -207,56 +259,51 @@ type ScatterPart struct {
 // only by the most expensive part: the paper's cost model charges c_i per
 // invocation, and a scatter-gather turns N sequential c_i charges into
 // max-of-shards elapsed time.
-func (m *Meter) ChargeScatter(parts []ScatterPart, form Form) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+func (m *Meter) ChargeScatter(ctx context.Context, parts []ScatterPart, form Form) {
+	var delta Usage
 	var crit float64
 	for _, p := range parts {
-		m.usage.Searches++
-		m.usage.Postings += p.Postings
+		delta.Searches++
+		delta.Postings += p.Postings
 		cost := m.costs.searchCost(p.Postings, p.Docs, form)
-		m.usage.Cost += cost
+		delta.Cost += cost
 		if cost > crit {
 			crit = cost
 		}
 		if form == FormLong {
-			m.usage.LongDocs += p.Docs
+			delta.LongDocs += p.Docs
 		} else {
-			m.usage.ShortDocs += p.Docs
+			delta.ShortDocs += p.Docs
 		}
 	}
-	m.usage.CritCost += crit
+	delta.CritCost = crit
+	m.accumulate(delta)
+	mirror(ctx, m, delta)
 }
 
 // ChargeRetrieve records one long-form document retrieval.
-func (m *Meter) ChargeRetrieve() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.usage.Retrieves++
-	m.usage.LongDocs++
-	m.usage.Cost += m.costs.CL
-	m.usage.CritCost += m.costs.CL
+func (m *Meter) ChargeRetrieve(ctx context.Context) {
+	delta := Usage{Retrieves: 1, LongDocs: 1, Cost: m.costs.CL, CritCost: m.costs.CL}
+	m.accumulate(delta)
+	mirror(ctx, m, delta)
 }
 
 // ChargeRetry records one failed invocation that is about to be resent.
 // The wasted attempt still paid the invocation overhead, so each retry is
 // charged another c_i on top of whatever the eventual success charges.
-func (m *Meter) ChargeRetry() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.usage.Retries++
-	m.usage.Cost += m.costs.CI
-	m.usage.CritCost += m.costs.CI
+func (m *Meter) ChargeRetry(ctx context.Context) {
+	delta := Usage{Retries: 1, Cost: m.costs.CI, CritCost: m.costs.CI}
+	m.accumulate(delta)
+	mirror(ctx, m, delta)
 }
 
 // ChargeRTP records relational string matching over nDocs documents
 // (§3.2's SQL-side processing, the c_a constant).
-func (m *Meter) ChargeRTP(nDocs int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.usage.RTPDocs += nDocs
-	m.usage.Cost += m.costs.CA * float64(nDocs)
-	m.usage.CritCost += m.costs.CA * float64(nDocs)
+func (m *Meter) ChargeRTP(ctx context.Context, nDocs int) {
+	cost := m.costs.CA * float64(nDocs)
+	delta := Usage{RTPDocs: nDocs, Cost: cost, CritCost: cost}
+	m.accumulate(delta)
+	mirror(ctx, m, delta)
 }
 
 // Snapshot returns the accumulated usage.
@@ -266,11 +313,12 @@ func (m *Meter) Snapshot() Usage {
 	return m.usage
 }
 
-// Reset zeroes the accumulated usage.
+// Reset zeroes the accumulated usage and re-arms any budget.
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.usage = Usage{}
+	m.exceeded = false
 }
 
 // Local serves searches from an in-process index. It implements Service.
@@ -342,7 +390,7 @@ func (l *Local) Search(ctx context.Context, e textidx.Expr, form Form) (*Result,
 		}
 		out.Hits = append(out.Hits, Hit{ID: id, ExtID: doc.ExtID, Fields: l.formFields(doc, form)})
 	}
-	l.meter.ChargeSearch(res.Postings, len(out.Hits), form)
+	l.meter.ChargeSearch(ctx, res.Postings, len(out.Hits), form)
 	return out, nil
 }
 
@@ -372,7 +420,7 @@ func (l *Local) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Documen
 	if err != nil {
 		return textidx.Document{}, err
 	}
-	l.meter.ChargeRetrieve()
+	l.meter.ChargeRetrieve(ctx)
 	return doc, nil
 }
 

@@ -123,7 +123,7 @@ func TestMeterCharges(t *testing.T) {
 		t.Fatal(err)
 	}
 	meterChargesRTP := meter
-	meterChargesRTP.ChargeRTP(10)
+	meterChargesRTP.ChargeRTP(bg, 10)
 	u = meter.Snapshot()
 	if u.Searches != 2 || u.Retrieves != 1 || u.LongDocs != 2 || u.RTPDocs != 10 {
 		t.Fatalf("usage = %+v", u)

@@ -21,5 +21,10 @@ go vet ./...
 # Quick race-detector smoke of the sharded federation before the full runs.
 go test -run TestShardedSmoke -race ./internal/shard
 
+# Gateway concurrency suite under the race detector: equivalence,
+# saturation shedding, budgets, drain.
+go vet ./cmd/queryd ./internal/gateway ./internal/loadgen ./internal/appcfg
+go test -race -run Gateway ./internal/gateway
+
 go test ./...
 go test -race ./...
