@@ -25,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +35,8 @@ import (
 
 	"textjoin/internal/appcfg"
 	"textjoin/internal/core"
+	"textjoin/internal/exec"
+	"textjoin/internal/obs"
 	"textjoin/internal/relation"
 )
 
@@ -44,6 +47,8 @@ func main() {
 		query       = flag.String("query", "", "query to run (or use -i)")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
 		explain     = flag.Bool("explain", true, "print the chosen plan")
+		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print per-operator estimated vs. actual cost, and the span trace")
+		trace       = flag.Bool("trace", false, "print the query's span trace (implied by -analyze)")
 		maxRows     = flag.Int("maxrows", 20, "result rows to print")
 	)
 	flag.Parse()
@@ -53,6 +58,8 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.explain = *explain
+	cfg.analyze = *analyze
+	cfg.trace = *trace || *analyze
 	cfg.maxRows = *maxRows
 	var err error
 	if *interactive {
@@ -70,6 +77,8 @@ func main() {
 type config struct {
 	appcfg.EngineConfig
 	explain bool
+	analyze bool
+	trace   bool
 	maxRows int
 }
 
@@ -146,7 +155,19 @@ func printCatalog(w io.Writer, eng *core.Engine) {
 
 // execute runs one query against the engine and prints the outcome.
 func execute(w io.Writer, eng *core.Engine, query string, cfg config) error {
-	prepared, err := eng.Prepare(query)
+	// -analyze collects per-operator actuals; -trace (implied by
+	// -analyze) records the span tree. Both ride on the context, so a
+	// plain run pays nothing for them.
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if cfg.trace {
+		rec = obs.NewRecorder("fedql")
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	if cfg.analyze {
+		ctx = exec.WithAnalysis(ctx, exec.NewAnalysis())
+	}
+	prepared, err := eng.PrepareContext(ctx, query)
 	if err != nil {
 		return err
 	}
@@ -155,9 +176,18 @@ func execute(w io.Writer, eng *core.Engine, query string, cfg config) error {
 		fmt.Fprintf(w, "\nplan (mode=%s, estimated cost %.2fs):\n%s",
 			cfg.Mode, prepared.EstCost(), prepared.Explain())
 	}
-	res, err := prepared.Run()
+	res, err := prepared.RunContext(ctx)
 	if err != nil {
 		return err
+	}
+	if cfg.analyze && res.Analyze != nil {
+		fmt.Fprintf(w, "\nanalyze (est vs act, cost cumulative per subtree):\n")
+		exec.FormatAnalyze(w, res.Analyze)
+	}
+	if rec != nil {
+		rec.Root().End()
+		fmt.Fprintf(w, "\ntrace %s:\n", rec.ID)
+		obs.Dump(w, rec.Root())
 	}
 	fmt.Fprintf(w, "\n%d rows in %s (optimize %s); text-service usage: %d searches (%d probes), %d postings, %d short + %d long docs, simulated cost %.2fs (critical path %.2fs)\n\n",
 		res.Table.Cardinality(), res.ExecuteTime.Round(10e3), res.OptimizeTime.Round(10e3),

@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"regexp"
+	"strconv"
 
 	"os"
 	"path/filepath"
@@ -154,5 +156,66 @@ func TestRemoteWithFaultTolerance(t *testing.T) {
 	}
 	if flaky.Injected() == 0 {
 		t.Fatal("no faults injected; test is vacuous")
+	}
+}
+
+// TestAnalyzeOutput is the EXPLAIN ANALYZE acceptance check: -analyze
+// must print, for every operator of the plan, the optimizer's estimate
+// and execution's actual side by side; the query hits the text backend,
+// so actual cost is nonzero, and on the deterministic demo workload the
+// estimate tracks the actual within tolerance.
+func TestAnalyzeOutput(t *testing.T) {
+	cfg := baseConfig()
+	cfg.analyze = true
+	cfg.trace = true
+	var out strings.Builder
+	query := `select student.name, mercury.docid from student, mercury
+	          where 'belief update' in mercury.title and student.name in mercury.author`
+	if err := runOnce(&out, query, cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+
+	// Extract the analyze section's node lines.
+	_, rest, ok := strings.Cut(text, "analyze (est vs act")
+	if !ok {
+		t.Fatalf("no analyze section in output:\n%s", text)
+	}
+	_, rest, _ = strings.Cut(rest, "\n")
+	var nodes []string
+	for _, line := range strings.Split(rest, "\n") {
+		if strings.TrimSpace(line) == "" {
+			break
+		}
+		nodes = append(nodes, line)
+	}
+	if len(nodes) < 3 {
+		t.Fatalf("analyze tree has %d operators, want >= 3 (project, text join, scan):\n%s", len(nodes), text)
+	}
+	lineRe := regexp.MustCompile(`est: card=\S+\s+cost=(\S+)\s+act: rows=\S+\s+cost=(\S+)\s+time=\S+`)
+	for i, line := range nodes {
+		m := lineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("operator line %d lacks est/act columns: %q", i, line)
+			continue
+		}
+		est, err1 := strconv.ParseFloat(m[1], 64)
+		act, err2 := strconv.ParseFloat(m[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Errorf("operator line %d: unparsable costs %q %q", i, m[1], m[2])
+			continue
+		}
+		if i == 0 { // root: cumulative over the whole text-hitting plan
+			if act <= 0 {
+				t.Errorf("root actual cost = %g, want > 0 for a text-hitting query", act)
+			}
+			if diff := est - act; diff < -0.5*act || diff > 0.5*act {
+				t.Errorf("root estimate %g vs actual %g: outside 50%% tolerance", est, act)
+			}
+		}
+	}
+	// The span trace rides along.
+	if !strings.Contains(text, "trace t-") || !strings.Contains(text, "local.search") {
+		t.Errorf("span trace missing from -analyze output:\n%s", text)
 	}
 }

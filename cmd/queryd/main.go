@@ -10,12 +10,16 @@
 //
 //	POST /query    {"query": "select ..."}  (or GET /query?q=...)
 //	POST /explain  plan + cost estimate without executing
+//	POST /analyze  execute with EXPLAIN ANALYZE: per-operator est vs act + span trace
 //	GET  /stats    admission counters, latency/cost histograms, cache hit rate
+//	GET  /metrics  the same in Prometheus text exposition format
+//	/debug/pprof/  Go profiling endpoints (with -pprof)
 //
 // Usage:
 //
 //	queryd -addr 127.0.0.1:8080 -workers 8 -queue 16
 //	queryd -remote host:7070,host:7071,host:7072   # 3-shard textserve cluster
+//	queryd -trace -slow-query 500ms -pprof         # observability surface
 //
 // Engine flags (-docs, -mode, -remote, -table, -cache, …) are shared with
 // fedql; see internal/appcfg. SIGINT/SIGTERM drain gracefully: in-flight
@@ -27,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,21 +53,28 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock deadline, 0 = none")
 		costLimit    = flag.Float64("cost-limit", 0, "per-query simulated text-cost cap in seconds, 0 = none")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+		trace        = flag.Bool("trace", false, "record a span trace for every query (needed for span trees in the slow-query log)")
+		slowQuery    = flag.Duration("slow-query", 0, "log queries slower than this post-admission latency, 0 = off")
+		slowCost     = flag.Float64("slow-cost", 0, "log queries whose simulated text cost exceeds this many seconds, 0 = off")
+		withPprof    = flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
 	)
 	flag.Parse()
 	if err := run(ec, *addr, gateway.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		QueueTimeout: *queueTimeout,
-		QueryTimeout: *queryTimeout,
-		CostLimit:    *costLimit,
-	}, *drainWait); err != nil {
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		QueueTimeout:     *queueTimeout,
+		QueryTimeout:     *queryTimeout,
+		CostLimit:        *costLimit,
+		Trace:            *trace,
+		SlowQueryLatency: *slowQuery,
+		SlowQueryCost:    *slowCost,
+	}, *drainWait, *withPprof); err != nil {
 		fmt.Fprintln(os.Stderr, "queryd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ec appcfg.EngineConfig, addr string, gcfg gateway.Config, drainWait time.Duration) error {
+func run(ec appcfg.EngineConfig, addr string, gcfg gateway.Config, drainWait time.Duration, withPprof bool) error {
 	eng, cleanup, err := ec.BuildEngine()
 	if err != nil {
 		return err
@@ -70,7 +82,16 @@ func run(ec appcfg.EngineConfig, addr string, gcfg gateway.Config, drainWait tim
 	defer cleanup()
 
 	gw := gateway.New(eng, gcfg)
-	srv := &http.Server{Addr: addr, Handler: gw.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", gw.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: addr, Handler: mux}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -64,7 +64,7 @@ func TestQuerydWiring(t *testing.T) {
 func TestQuerydRunBadAddr(t *testing.T) {
 	ec := appcfg.Defaults()
 	ec.Docs = 100
-	err := run(ec, "127.0.0.1:-1", gateway.Config{Workers: 1}, time.Second)
+	err := run(ec, "127.0.0.1:-1", gateway.Config{Workers: 1}, time.Second, false)
 	if err == nil {
 		t.Fatal("bad listen address accepted")
 	}

@@ -37,9 +37,10 @@ func main() {
 		latency  = flag.Duration("latency", 0, "simulated WAN latency added to every request (e.g. 50ms)")
 		chaos    = flag.String("chaos", "", `fault injection spec, e.g. "rate=0.1,drop=50,latency=20ms" (keys: every, rate, drop, hang, latency, doclat, seed, permanent)`)
 		shardArg = flag.String("shard", "", `serve one document partition, as "k/n" (e.g. -shard 0/3); composes with -load/-snapshot/-write-snapshot`)
+		logReqs  = flag.Bool("log-requests", false, "log every request with its op, client trace ID and duration")
 	)
 	flag.Parse()
-	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency, *chaos, *shardArg); err != nil {
+	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency, *chaos, *shardArg, *logReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "textserve:", err)
 		os.Exit(1)
 	}
@@ -61,7 +62,7 @@ type jsonDoc struct {
 	Fields map[string]string `json:"fields"`
 }
 
-func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration, chaos, shardArg string) error {
+func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration, chaos, shardArg string, logReqs bool) error {
 	var ix *textidx.Index
 	switch {
 	case snapshot != "":
@@ -124,6 +125,7 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 	}
 	srv := texservice.NewServer(svc)
 	srv.Latency = latency
+	srv.LogRequests = logReqs
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"textjoin/internal/exec"
+	"textjoin/internal/obs"
 	"textjoin/internal/optimizer"
 	"textjoin/internal/plan"
 	"textjoin/internal/relation"
@@ -155,6 +156,10 @@ type Result struct {
 	Probes int
 	// OptimizeTime and ExecuteTime are wall-clock durations.
 	OptimizeTime, ExecuteTime time.Duration
+	// Analyze holds the EXPLAIN ANALYZE tree (per-node estimates next to
+	// actuals) when the run's context carried an exec.Analysis; nil
+	// otherwise.
+	Analyze *exec.AnalyzeNode
 }
 
 // Query parses, optimizes and executes a conjunctive query.
@@ -165,7 +170,7 @@ func (e *Engine) Query(src string) (*Result, error) {
 // QueryContext is Query bounded by a context: cancellation or deadline
 // expiry aborts the text-service calls the execution issues.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
-	pl, err := e.Prepare(src)
+	pl, err := e.PrepareContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}
@@ -184,11 +189,22 @@ type Prepared struct {
 
 // Prepare parses, analyzes and optimizes a query without executing it.
 func (e *Engine) Prepare(src string) (*Prepared, error) {
+	return e.PrepareContext(context.Background(), src)
+}
+
+// PrepareContext is Prepare under a context: when the context carries an
+// obs recorder, the parse, analyze and optimize phases each get a span,
+// with the optimizer's per-candidate costing nested under "optimize".
+func (e *Engine) PrepareContext(ctx context.Context, src string) (*Prepared, error) {
+	_, psp := obs.StartSpan(ctx, "parse")
 	q, err := sqlparse.Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, asp := obs.StartSpan(ctx, "analyze")
 	a, err := sqlparse.Analyze(q, e.catalog)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -199,13 +215,20 @@ func (e *Engine) Prepare(src string) (*Prepared, error) {
 		estimators[part.Source] = e.estimator[part.Source]
 	}
 	start := time.Now()
+	octx, osp := obs.StartSpan(ctx, "optimize")
 	o, err := optimizer.NewMulti(a, e.catalog, services, estimators, e.opts.Optimizer)
 	if err != nil {
+		osp.End()
 		return nil, err
 	}
-	res, err := o.Optimize()
+	res, err := o.OptimizeContext(octx)
 	if err != nil {
+		osp.End()
 		return nil, err
+	}
+	if osp != nil {
+		osp.SetAttr(obs.F64("est_cost", res.EstCost), obs.Str("mode", e.opts.Optimizer.Mode.String()))
+		osp.End()
 	}
 	return &Prepared{
 		engine:   e,
@@ -238,12 +261,17 @@ func (p *Prepared) Run() (*Result, error) {
 // deadline expiry aborts the run's text-service calls.
 func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
 	ex := &exec.Executor{Cat: p.engine.catalog, Svc: inertService{}, Services: p.services}
+	ectx, esp := obs.StartSpan(ctx, "execute")
 	start := time.Now()
-	table, st, err := ex.Run(ctx, p.plan)
+	table, st, err := ex.Run(ectx, p.plan)
+	if esp != nil {
+		esp.SetAttr(obs.F64("text_cost", st.Usage.Cost), obs.Int("probes", st.Probes))
+		esp.End()
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Table:        table,
 		Plan:         p.plan,
 		EstCost:      p.estCost,
@@ -251,5 +279,9 @@ func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
 		Probes:       st.Probes,
 		OptimizeTime: p.optTime,
 		ExecuteTime:  time.Since(start),
-	}, nil
+	}
+	if an := exec.AnalysisFrom(ctx); an != nil {
+		res.Analyze = an.Tree(p.plan)
+	}
+	return res, nil
 }

@@ -6,9 +6,11 @@ package exec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"textjoin/internal/cost"
 	"textjoin/internal/join"
+	"textjoin/internal/obs"
 	"textjoin/internal/plan"
 	"textjoin/internal/relation"
 	"textjoin/internal/sqlparse"
@@ -69,7 +71,65 @@ func (e *Executor) Run(ctx context.Context, n plan.Node) (*relation.Table, RunSt
 	return out, *st, nil
 }
 
+// eval evaluates one node, wrapping evalNode with the per-node
+// instrumentation: a span named "exec.<op>" and, when the context
+// carries an Analysis, a before/after query-meter snapshot that yields
+// the node's cumulative actual usage for EXPLAIN ANALYZE. With neither a
+// recorder nor an analysis attached, it falls through to evalNode after
+// two context lookups — the zero-overhead path.
 func (e *Executor) eval(ctx context.Context, n plan.Node, st *RunStats) (*relation.Table, error) {
+	an := AnalysisFrom(ctx)
+	if an == nil && obs.SpanFrom(ctx) == nil {
+		return e.evalNode(ctx, n, st)
+	}
+	sctx, sp := obs.StartSpan(ctx, "exec."+opName(n))
+	qm := texservice.QueryMeterFrom(sctx)
+	var before texservice.Usage
+	if qm != nil {
+		before = qm.Snapshot()
+	}
+	start := time.Now()
+	out, err := e.evalNode(sctx, n, st)
+	elapsed := time.Since(start)
+	var usage texservice.Usage
+	if qm != nil {
+		usage = qm.Snapshot().Sub(before)
+	}
+	rows := 0
+	if out != nil {
+		rows = out.Cardinality()
+	}
+	if sp != nil {
+		sp.SetAttr(obs.Str("op", n.Describe()),
+			obs.F64("est_card", n.Card()), obs.F64("est_cost", n.Cost()),
+			obs.Int("rows", rows), obs.F64("text_cost", usage.Cost))
+		sp.End()
+	}
+	if an != nil && err == nil {
+		an.record(n, NodeActual{Rows: rows, Elapsed: elapsed, Usage: usage})
+	}
+	return out, err
+}
+
+// opName names a node's span.
+func opName(n plan.Node) string {
+	switch n := n.(type) {
+	case *plan.Scan:
+		return "scan"
+	case *plan.Probe:
+		return "probe"
+	case *plan.Join:
+		return "join"
+	case *plan.TextJoin:
+		return fmt.Sprintf("textjoin.%v", n.Method)
+	case *plan.Project:
+		return "project"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+func (e *Executor) evalNode(ctx context.Context, n plan.Node, st *RunStats) (*relation.Table, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
 		return e.evalScan(n)

@@ -33,11 +33,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"textjoin/internal/core"
+	"textjoin/internal/exec"
+	"textjoin/internal/obs"
+	"textjoin/internal/plan"
 	"textjoin/internal/texservice"
 )
 
@@ -59,6 +65,19 @@ type Config struct {
 	// (the paper's cost model); a query whose accumulated per-query cost
 	// crosses it is aborted with a *BudgetError. 0 disables it.
 	CostLimit float64
+	// Trace attaches a per-query obs recorder ("q-<n>") to every query
+	// that does not already carry one, so the slow-query log can dump the
+	// full span tree. Off by default: tracing costs a few allocations per
+	// span on the query path.
+	Trace bool
+	// SlowQueryLatency logs any query whose post-admission latency meets
+	// or exceeds it (span tree included when Trace is on). 0 disables it.
+	SlowQueryLatency time.Duration
+	// SlowQueryCost logs any query whose simulated text cost meets or
+	// exceeds it, independently of SlowQueryLatency. 0 disables it.
+	SlowQueryCost float64
+	// SlowLogf receives slow-query log entries; log.Printf when nil.
+	SlowLogf func(format string, args ...interface{})
 }
 
 func (c Config) withDefaults() Config {
@@ -126,9 +145,18 @@ type Gateway struct {
 	ctrs     counters
 	latency  histogram
 	textCost histogram
+	qseq     atomic.Uint64 // per-gateway query trace IDs ("q-<n>")
 
-	caches []*texservice.Cached // cache decorators discovered on the engine
-	meters []*texservice.Meter  // distinct shared meters, for Snapshot.Text
+	caches  []*texservice.Cached // cache decorators discovered on the engine
+	meters  []*texservice.Meter  // distinct shared meters, for Snapshot.Text
+	sources []namedMeter         // same meters with a source label, for /metrics
+
+	// methods accumulates per-join-method outcome series for /metrics:
+	// which of the paper's §3 methods the optimizer picked and what each
+	// cost. Guarded by methodMu — touched once per completed query, so a
+	// mutex-guarded map beats preregistering every method name.
+	methodMu sync.Mutex
+	methods  map[string]*methodCounts
 
 	mu       sync.Mutex
 	draining bool
@@ -145,6 +173,7 @@ func New(eng *core.Engine, cfg Config) *Gateway {
 		cfg:     cfg,
 		slots:   make(chan struct{}, cfg.Workers),
 		drainCh: make(chan struct{}),
+		methods: map[string]*methodCounts{},
 	}
 	// Discover the per-source cache decorators and shared meters for the
 	// stats surface. Sources are walked in sorted order so snapshots are
@@ -166,9 +195,25 @@ func New(eng *core.Engine, cfg Config) *Gateway {
 		if m := svc.Meter(); m != nil && !seen[m] {
 			seen[m] = true
 			g.meters = append(g.meters, m)
+			g.sources = append(g.sources, namedMeter{name: name, meter: m})
 		}
 	}
 	return g
+}
+
+// namedMeter labels a shared meter with its text source's name for the
+// per-source /metrics series. When several sources share one backend
+// meter, the first (sorted) source names it — the label identifies the
+// meter, and emitting it once per name would double-count the usage.
+type namedMeter struct {
+	name  string
+	meter *texservice.Meter
+}
+
+// methodCounts is one join method's outcome series.
+type methodCounts struct {
+	queries  uint64
+	textCost float64
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -191,6 +236,14 @@ type Response struct {
 	Queued time.Duration `json:"queued_ns"`
 	// Elapsed is the post-admission latency (plan + execute).
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// TraceID identifies the query's trace when one was recorded (the
+	// gateway's Trace config, or analyze mode).
+	TraceID string `json:"trace_id,omitempty"`
+	// Analyze is the EXPLAIN ANALYZE tree — per-operator estimates next
+	// to actuals — populated by Analyze (and /analyze) only.
+	Analyze *exec.AnalyzeNode `json:"analyze,omitempty"`
+	// Trace is the query's span tree, populated by Analyze only.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // ExplainResponse is a plan-only answer: the query was optimized but not
@@ -205,24 +258,138 @@ type ExplainResponse struct {
 // and the per-query budgets. It blocks until the query completes, is
 // shed, or ctx ends.
 func (g *Gateway) Query(ctx context.Context, sql string) (*Response, error) {
-	release, queued, err := g.admit(ctx)
+	return g.serve(ctx, sql, false)
+}
+
+// Analyze runs the query like Query but also collects EXPLAIN ANALYZE:
+// the response carries the per-operator estimate-vs-actual tree and the
+// full span trace. It pays the tracing overhead regardless of the Trace
+// config.
+func (g *Gateway) Analyze(ctx context.Context, sql string) (*Response, error) {
+	return g.serve(ctx, sql, true)
+}
+
+func (g *Gateway) serve(ctx context.Context, sql string, analyze bool) (*Response, error) {
+	// Attach a per-query recorder when tracing is wanted and the caller
+	// has not already installed one (an embedding caller's recorder wins —
+	// the gateway's spans then nest under its tree).
+	var rec *obs.Recorder
+	if (g.cfg.Trace || analyze) && obs.RecorderFrom(ctx) == nil {
+		rec = obs.NewRecorder("query")
+		rec.ID = fmt.Sprintf("q-%d", g.qseq.Add(1))
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+
+	actx, asp := obs.StartSpan(ctx, "gateway.admit")
+	release, queued, err := g.admit(actx)
+	if asp != nil {
+		asp.SetAttr(obs.F64("queued_s", queued.Seconds()),
+			obs.Int("in_flight", int(g.ctrs.inFlight.Load())),
+			obs.Int("workers", g.cfg.Workers))
+		if err != nil {
+			asp.SetAttr(obs.Str("err", err.Error()))
+		}
+		asp.End()
+	}
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+
 	start := time.Now()
-	resp, err := g.execute(ctx, sql)
+	resp, err := g.execute(ctx, sql, analyze)
 	elapsed := time.Since(start)
+	if rec != nil {
+		rec.Root().End()
+	}
 	if err != nil {
 		g.ctrs.failed.Add(1)
+		g.maybeSlowLog(rec, sql, elapsed, 0, err)
 		return nil, err
 	}
 	resp.Queued = queued
 	resp.Elapsed = elapsed
+	if rec != nil {
+		resp.TraceID = rec.ID
+		if analyze {
+			snap := rec.Root().Snapshot()
+			resp.Trace = &snap
+		}
+	}
 	g.ctrs.completed.Add(1)
 	g.latency.observe(elapsed.Seconds())
 	g.textCost.observe(resp.Usage.Cost)
+	g.maybeSlowLog(rec, sql, elapsed, resp.Usage.Cost, nil)
 	return resp, nil
+}
+
+// maybeSlowLog dumps the query (and its span tree, when recorded) if it
+// crossed either slow-query threshold.
+func (g *Gateway) maybeSlowLog(rec *obs.Recorder, sql string, elapsed time.Duration, cost float64, qerr error) {
+	overLat := g.cfg.SlowQueryLatency > 0 && elapsed >= g.cfg.SlowQueryLatency
+	overCost := g.cfg.SlowQueryCost > 0 && cost >= g.cfg.SlowQueryCost
+	if !overLat && !overCost {
+		return
+	}
+	g.ctrs.slowLogged.Add(1)
+	logf := g.cfg.SlowLogf
+	if logf == nil {
+		logf = log.Printf
+	}
+	var b strings.Builder
+	id := "-"
+	if rec != nil {
+		id = rec.ID
+	}
+	fmt.Fprintf(&b, "gateway: slow query trace=%s elapsed=%s text_cost=%.3fs err=%v sql=%q",
+		id, elapsed.Round(time.Millisecond), cost, qerr, sql)
+	if rec != nil {
+		b.WriteByte('\n')
+		obs.Dump(&b, rec.Root())
+	}
+	logf("%s", b.String())
+}
+
+// recordMethods feeds the per-join-method /metrics series: each TextJoin
+// in the executed plan counts one query for its method, and the query's
+// text cost is attributed to the (usually single) method involved.
+func (g *Gateway) recordMethods(p plan.Node, cost float64) {
+	joins := plan.TextJoins(p)
+	if len(joins) == 0 {
+		return
+	}
+	share := cost / float64(len(joins))
+	g.methodMu.Lock()
+	defer g.methodMu.Unlock()
+	for _, tj := range joins {
+		name := tj.Method.String()
+		m := g.methods[name]
+		if m == nil {
+			m = &methodCounts{}
+			g.methods[name] = m
+		}
+		m.queries++
+		m.textCost += share
+	}
+}
+
+// methodSnapshot copies the per-method series in sorted order.
+func (g *Gateway) methodSnapshot() []MethodStats {
+	g.methodMu.Lock()
+	defer g.methodMu.Unlock()
+	out := make([]MethodStats, 0, len(g.methods))
+	for name, m := range g.methods {
+		out = append(out, MethodStats{Method: name, Queries: m.queries, TextCost: m.textCost})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Method < out[j].Method })
+	return out
+}
+
+// MethodStats is one join method's cumulative outcome series.
+type MethodStats struct {
+	Method   string  `json:"method"`
+	Queries  uint64  `json:"queries"`
+	TextCost float64 `json:"text_cost"`
 }
 
 // Explain plans one query without executing it, under the same admission
@@ -269,11 +436,13 @@ func (g *Gateway) admit(ctx context.Context) (release func(), queued time.Durati
 		// Queue, bounded: the counter is incremented optimistically and
 		// rolled back when the queue is full, so the bound holds without
 		// a lock around the whole wait.
-		if g.ctrs.queued.Add(1) > int64(g.cfg.QueueDepth) {
+		q := g.ctrs.queued.Add(1)
+		if q > int64(g.cfg.QueueDepth) {
 			g.ctrs.queued.Add(-1)
 			g.ctrs.shedQueueFull.Add(1)
 			return nil, 0, &OverloadError{Reason: ReasonQueueFull, Workers: g.cfg.Workers, QueueDepth: g.cfg.QueueDepth}
 		}
+		raisePeak(&g.ctrs.queuedPeak, q)
 		timer := time.NewTimer(g.cfg.QueueTimeout)
 		select {
 		case g.slots <- struct{}{}:
@@ -308,7 +477,7 @@ func (g *Gateway) admit(ctx context.Context) (release func(), queued time.Durati
 	g.inflight.Add(1)
 	g.mu.Unlock()
 	g.ctrs.admitted.Add(1)
-	g.ctrs.inFlight.Add(1)
+	raisePeak(&g.ctrs.inFlightPeak, g.ctrs.inFlight.Add(1))
 
 	return func() {
 		g.ctrs.inFlight.Add(-1)
@@ -318,12 +487,16 @@ func (g *Gateway) admit(ctx context.Context) (release func(), queued time.Durati
 }
 
 // execute plans and runs one admitted query with an isolated per-query
-// meter and the configured budgets.
-func (g *Gateway) execute(ctx context.Context, sql string) (*Response, error) {
-	prep, err := g.eng.Prepare(sql)
+// meter and the configured budgets. With analyze set, it collects the
+// per-operator EXPLAIN ANALYZE actuals into the response.
+func (g *Gateway) execute(ctx context.Context, sql string, analyze bool) (*Response, error) {
+	prep, err := g.eng.PrepareContext(ctx, sql)
 	if err != nil {
 		g.ctrs.planFailed.Add(1)
 		return nil, err
+	}
+	if analyze {
+		ctx = exec.WithAnalysis(ctx, exec.NewAnalysis())
 	}
 
 	// The per-query meter: every charge this query causes on the shared
@@ -359,10 +532,12 @@ func (g *Gateway) execute(ctx context.Context, sql string) (*Response, error) {
 		return nil, err
 	}
 
+	g.recordMethods(prep.Plan(), res.Usage.Cost)
 	resp := &Response{
 		Plan:    prep.Explain(),
 		EstCost: res.EstCost,
 		Usage:   res.Usage,
+		Analyze: res.Analyze,
 	}
 	for _, c := range res.Table.Schema.Cols {
 		resp.Columns = append(resp.Columns, c.Name)

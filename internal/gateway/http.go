@@ -18,7 +18,10 @@ import (
 //	GET  /query?q=select+...                 → Response
 //	POST /explain  {"query": "select ..."}   → ExplainResponse
 //	GET  /explain?q=select+...               → ExplainResponse
+//	POST /analyze  {"query": "select ..."}   → Response (+ analyze tree, trace)
+//	GET  /analyze?q=select+...               → Response (+ analyze tree, trace)
 //	GET  /stats                              → Snapshot
+//	GET  /metrics                            → Prometheus text exposition
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -53,12 +56,32 @@ func (g *Gateway) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("/analyze", func(w http.ResponseWriter, r *http.Request) {
+		sql, ok := readQuery(w, r)
+		if !ok {
+			return
+		}
+		resp, err := g.Analyze(r.Context(), sql)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "bad_request"})
 			return
 		}
 		writeJSON(w, http.StatusOK, g.Stats())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "bad_request"})
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypeMetrics)
+		g.WriteMetrics(w)
 	})
 	return mux
 }

@@ -157,3 +157,51 @@ func TestGatewayHTTPDraining(t *testing.T) {
 		t.Fatalf("kind = %q, want draining", e.Kind)
 	}
 }
+
+func TestGatewayHTTPMetrics(t *testing.T) {
+	_, srv := newServer(t)
+	if _, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape("select student.name from student, mercury where student.name in mercury.author")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != gateway.ContentTypeMetrics {
+		t.Errorf("content type %q, want %q", ct, gateway.ContentTypeMetrics)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePromText(t, string(body))
+	if samples["textjoin_queries_completed_total"] < 1 {
+		t.Errorf("completed counter missing or zero in:\n%s", body)
+	}
+}
+
+func TestGatewayHTTPAnalyze(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/analyze?q=" + url.QueryEscape("select student.name from student, mercury where student.name in mercury.author"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out gateway.Response
+	decodeBody(t, resp, &out)
+	if out.Analyze == nil {
+		t.Fatal("/analyze response has no analyze tree")
+	}
+	if out.Analyze.Op == "" || out.Analyze.EstCost <= 0 {
+		t.Errorf("analyze root incomplete: op=%q est_cost=%g", out.Analyze.Op, out.Analyze.EstCost)
+	}
+	if out.Trace == nil || out.TraceID == "" {
+		t.Error("/analyze response missing span trace or trace ID")
+	}
+}

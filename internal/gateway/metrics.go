@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled over the
+// gateway's Snapshot so the serving layer needs no client library. Every
+// series is prefixed "textjoin_"; histograms are emitted the Prometheus
+// way — cumulative le-labeled buckets plus _sum and _count — cumulated
+// here from the histogram's raw per-bucket counts.
+
+// ContentTypeMetrics is the Content-Type of the exposition.
+const ContentTypeMetrics = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteMetrics writes the gateway's current state in Prometheus text
+// exposition format.
+func (g *Gateway) WriteMetrics(w io.Writer) {
+	s := g.Stats()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP textjoin_%s %s\n# TYPE textjoin_%s counter\ntextjoin_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP textjoin_%s %s\n# TYPE textjoin_%s gauge\ntextjoin_%s %s\n",
+			name, help, name, name, fnum(v))
+	}
+
+	counter("queries_received_total", "Queries that reached admission.", s.Received)
+	counter("queries_admitted_total", "Queries that got a worker slot.", s.Admitted)
+	counter("queries_completed_total", "Admitted queries that returned rows.", s.Completed)
+	counter("queries_failed_total", "Admitted queries that returned an error.", s.Failed)
+	fmt.Fprintf(w, "# HELP textjoin_queries_shed_total Queries shed by admission control.\n")
+	fmt.Fprintf(w, "# TYPE textjoin_queries_shed_total counter\n")
+	fmt.Fprintf(w, "textjoin_queries_shed_total{reason=\"queue_full\"} %d\n", s.ShedQueueFull)
+	fmt.Fprintf(w, "textjoin_queries_shed_total{reason=\"queue_timeout\"} %d\n", s.ShedQueueTimeout)
+	counter("queries_rejected_draining_total", "Queries rejected while draining.", s.RejectedDraining)
+	counter("queries_abandoned_queue_total", "Queries whose caller gave up while queued.", s.AbandonedQueue)
+	counter("queries_budget_aborted_total", "Queries aborted by the per-query cost cap.", s.BudgetAborted)
+	counter("queries_timed_out_total", "Queries aborted by the per-query deadline.", s.TimedOut)
+	counter("queries_plan_failed_total", "Queries that failed to parse, analyze or optimize.", s.PlanFailed)
+	counter("queries_slow_logged_total", "Queries dumped to the slow-query log.", s.SlowLogged)
+
+	gauge("workers", "Configured worker-pool size.", float64(s.Workers))
+	gauge("queue_depth", "Configured admission queue capacity.", float64(s.QueueDepth))
+	gauge("in_flight", "Queries currently executing.", float64(s.InFlight))
+	gauge("queued", "Queries currently waiting for a worker slot.", float64(s.Queued))
+	gauge("in_flight_peak", "High-water mark of concurrently executing queries.", float64(s.InFlightPeak))
+	gauge("queued_peak", "High-water mark of the admission queue.", float64(s.QueuedPeak))
+	draining := 0.0
+	if s.Draining {
+		draining = 1
+	}
+	gauge("draining", "Whether the gateway is draining (1) or serving (0).", draining)
+
+	counter("cache_hits_total", "Shared search-cache hits.", uint64(s.Cache.Hits))
+	counter("cache_misses_total", "Shared search-cache misses.", uint64(s.Cache.Misses))
+	counter("cache_dedups_total", "Searches answered by waiting on an identical in-flight search.", uint64(s.Cache.Dedups))
+
+	// Per-source cumulative usage, from the shared meters (all queries,
+	// not just this gateway's — the meters are the backends' own books).
+	usages := make([]struct {
+		name                         string
+		searches, retrieves, retries int
+		cost                         float64
+	}, len(g.sources))
+	for i, src := range g.sources {
+		u := src.meter.Snapshot()
+		usages[i].name = src.name
+		usages[i].searches = u.Searches
+		usages[i].retrieves = u.Retrieves
+		usages[i].retries = u.Retries
+		usages[i].cost = u.Cost
+	}
+	fmt.Fprintf(w, "# HELP textjoin_text_searches_total Searches sent to the text source.\n")
+	fmt.Fprintf(w, "# TYPE textjoin_text_searches_total counter\n")
+	for _, u := range usages {
+		fmt.Fprintf(w, "textjoin_text_searches_total{source=%q} %d\n", u.name, u.searches)
+	}
+	fmt.Fprintf(w, "# HELP textjoin_text_retrieves_total Document retrievals from the text source.\n")
+	fmt.Fprintf(w, "# TYPE textjoin_text_retrieves_total counter\n")
+	for _, u := range usages {
+		fmt.Fprintf(w, "textjoin_text_retrieves_total{source=%q} %d\n", u.name, u.retrieves)
+	}
+	fmt.Fprintf(w, "# HELP textjoin_text_retries_total Text-service invocations that were retried after a failure.\n")
+	fmt.Fprintf(w, "# TYPE textjoin_text_retries_total counter\n")
+	for _, u := range usages {
+		fmt.Fprintf(w, "textjoin_text_retries_total{source=%q} %d\n", u.name, u.retries)
+	}
+	fmt.Fprintf(w, "# HELP textjoin_text_cost_seconds_total Simulated text-service cost (the paper's cost model).\n")
+	fmt.Fprintf(w, "# TYPE textjoin_text_cost_seconds_total counter\n")
+	for _, u := range usages {
+		fmt.Fprintf(w, "textjoin_text_cost_seconds_total{source=%q} %s\n", u.name, fnum(u.cost))
+	}
+
+	// Per-join-method outcome series, fed by the executed plans.
+	methods := g.methodSnapshot()
+	fmt.Fprintf(w, "# HELP textjoin_join_method_queries_total Completed queries per chosen join method.\n")
+	fmt.Fprintf(w, "# TYPE textjoin_join_method_queries_total counter\n")
+	for _, m := range methods {
+		fmt.Fprintf(w, "textjoin_join_method_queries_total{method=%q} %d\n", m.Method, m.Queries)
+	}
+	fmt.Fprintf(w, "# HELP textjoin_join_method_text_cost_seconds_total Simulated text cost attributed to each join method.\n")
+	fmt.Fprintf(w, "# TYPE textjoin_join_method_text_cost_seconds_total counter\n")
+	for _, m := range methods {
+		fmt.Fprintf(w, "textjoin_join_method_text_cost_seconds_total{method=%q} %s\n", m.Method, fnum(m.TextCost))
+	}
+
+	writeHistogram(w, "query_latency_seconds", "Post-admission query latency.", s.Latency)
+	writeHistogram(w, "query_text_cost_seconds", "Per-query simulated text-service cost.", s.TextCost)
+}
+
+// writeHistogram emits one histogram: cumulative le buckets, +Inf, _sum,
+// _count.
+func writeHistogram(w io.Writer, name, help string, h HistSnapshot) {
+	fmt.Fprintf(w, "# HELP textjoin_%s %s\n# TYPE textjoin_%s histogram\n", name, help, name)
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		fmt.Fprintf(w, "textjoin_%s_bucket{le=%q} %d\n", name, fnum(upperBound(i)), cum)
+	}
+	fmt.Fprintf(w, "textjoin_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "textjoin_%s_sum %s\n", name, fnum(h.Sum))
+	fmt.Fprintf(w, "textjoin_%s_count %d\n", name, h.Count)
+}
+
+// fnum renders a float the way Prometheus expects (shortest round-trip).
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

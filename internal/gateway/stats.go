@@ -30,8 +30,22 @@ type counters struct {
 	budgetAborted    atomic.Uint64 // failed: per-query cost cap fired (subset of failed)
 	timedOut         atomic.Uint64 // failed: per-query deadline expired (subset of failed)
 	planFailed       atomic.Uint64 // failed: parse/analyze/optimize error (subset of failed)
+	slowLogged       atomic.Uint64 // queries dumped to the slow-query log
 	inFlight         atomic.Int64  // currently executing
 	queued           atomic.Int64  // currently waiting for a slot
+	inFlightPeak     atomic.Int64  // high-water mark of inFlight
+	queuedPeak       atomic.Int64  // high-water mark of queued
+}
+
+// raisePeak lifts a high-water-mark gauge to v if v is higher. The CAS
+// loop keeps it monotonic under concurrent raises without a lock.
+func raisePeak(peak *atomic.Int64, v int64) {
+	for {
+		cur := peak.Load()
+		if v <= cur || peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // histogram is a fixed-boundary log-scale histogram of non-negative
@@ -101,12 +115,19 @@ type HistSnapshot struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// Buckets carries the raw distribution for the Prometheus exposition:
+	// Buckets[i] counts observations in bucket i (non-cumulative; see
+	// bucketOf for the boundaries). Omitted from the /stats JSON — the
+	// quantiles above summarize it — but the /metrics writer cumulates it
+	// into the le-labeled series Prometheus expects.
+	Buckets []int64 `json:"-"`
 }
 
 func (h *histogram) snapshot() HistSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s.Buckets = append(s.Buckets, h.buckets[:]...)
 	if h.count == 0 {
 		return s
 	}
@@ -148,11 +169,13 @@ type CacheStats struct {
 // histograms, shared cache statistics, and the shared text-service meters'
 // cumulative usage.
 type Snapshot struct {
-	Workers    int  `json:"workers"`
-	QueueDepth int  `json:"queue_depth"`
-	InFlight   int  `json:"in_flight"`
-	Queued     int  `json:"queued"`
-	Draining   bool `json:"draining"`
+	Workers      int  `json:"workers"`
+	QueueDepth   int  `json:"queue_depth"`
+	InFlight     int  `json:"in_flight"`
+	Queued       int  `json:"queued"`
+	InFlightPeak int  `json:"in_flight_peak"`
+	QueuedPeak   int  `json:"queued_peak"`
+	Draining     bool `json:"draining"`
 
 	Received         uint64 `json:"received"`
 	Admitted         uint64 `json:"admitted"`
@@ -166,6 +189,7 @@ type Snapshot struct {
 	BudgetAborted    uint64 `json:"budget_aborted"`
 	TimedOut         uint64 `json:"timed_out"`
 	PlanFailed       uint64 `json:"plan_failed"`
+	SlowLogged       uint64 `json:"slow_logged"`
 
 	Cache    CacheStats       `json:"cache"`
 	Latency  HistSnapshot     `json:"latency_seconds"`
@@ -186,8 +210,11 @@ func (c *counters) snapshot() Snapshot {
 		BudgetAborted:    c.budgetAborted.Load(),
 		TimedOut:         c.timedOut.Load(),
 		PlanFailed:       c.planFailed.Load(),
+		SlowLogged:       c.slowLogged.Load(),
 		InFlight:         int(c.inFlight.Load()),
 		Queued:           int(c.queued.Load()),
+		InFlightPeak:     int(c.inFlightPeak.Load()),
+		QueuedPeak:       int(c.queuedPeak.Load()),
 	}
 	s.Shed = s.ShedQueueFull + s.ShedQueueTimeout
 	return s

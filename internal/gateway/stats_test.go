@@ -1,0 +1,103 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the bucket function's edge behavior: an
+// observation exactly on a bucket's upper boundary belongs to that bucket
+// (the buckets are (lo, hi]), values at or below the first boundary land
+// in bucket 0, and values beyond the last boundary land in the final
+// unbounded bucket. Exactness on boundaries matters because bucketOf goes
+// through floating-point log2 — a rounding slip would shift boundary
+// observations into the next bucket and skew every cumulative le series
+// the /metrics exposition emits.
+func TestBucketBoundaries(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		ub := upperBound(i)
+		if got := bucketOf(ub); got != i {
+			t.Errorf("bucketOf(upperBound(%d)=%g) = %d, want %d", i, ub, got, i)
+		}
+	}
+	// Just above a boundary belongs to the next bucket.
+	for i := 0; i < histBuckets-1; i++ {
+		v := upperBound(i) * 1.0001
+		if got := bucketOf(v); got != i+1 {
+			t.Errorf("bucketOf(%g) = %d, want %d", v, got, i+1)
+		}
+	}
+	// At or below the first boundary: bucket 0.
+	for _, v := range []float64{histBase, histBase / 2, 1e-300, 0} {
+		if got := bucketOf(v); got != 0 {
+			t.Errorf("bucketOf(%g) = %d, want 0", v, got)
+		}
+	}
+	// Beyond the last boundary: clamped to the final bucket.
+	for _, v := range []float64{upperBound(histBuckets - 1), upperBound(histBuckets-1) * 2, 1e300} {
+		if got := bucketOf(v); got != histBuckets-1 {
+			t.Errorf("bucketOf(%g) = %d, want %d", v, got, histBuckets-1)
+		}
+	}
+}
+
+// TestHistogramObserveEdges feeds boundary observations through observe
+// and checks the snapshot's raw buckets and moments, including the
+// negative-value clamp.
+func TestHistogramObserveEdges(t *testing.T) {
+	var h histogram
+	h.observe(-1) // clamped to 0 → bucket 0
+	h.observe(0)
+	h.observe(histBase)            // exactly on the first boundary → bucket 0
+	h.observe(upperBound(3))       // exactly on a middle boundary → bucket 3
+	h.observe(upperBound(3) * 1.5) // inside bucket 4
+	h.observe(1e300)               // far beyond the last boundary → bucket 31
+
+	s := h.snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if len(s.Buckets) != histBuckets {
+		t.Fatalf("snapshot has %d buckets, want %d", len(s.Buckets), histBuckets)
+	}
+	want := map[int]int64{0: 3, 3: 1, 4: 1, histBuckets - 1: 1}
+	var total int64
+	for i, n := range s.Buckets {
+		total += n
+		if n != want[i] {
+			t.Errorf("bucket %d holds %d, want %d", i, n, want[i])
+		}
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want count %d", total, s.Count)
+	}
+	if s.Min != 0 {
+		t.Errorf("min = %g, want 0 (negative observation clamps)", s.Min)
+	}
+	if s.Max != 1e300 {
+		t.Errorf("max = %g, want 1e300", s.Max)
+	}
+}
+
+// TestRaisePeak: the CAS loop is monotonic under concurrent raises.
+func TestRaisePeak(t *testing.T) {
+	var c counters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for v := int64(1); v <= 100; v++ {
+				raisePeak(&c.inFlightPeak, v+int64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.inFlightPeak.Load(); got != 107 {
+		t.Fatalf("peak = %d, want 107", got)
+	}
+	raisePeak(&c.inFlightPeak, 5) // lower value must not regress the peak
+	if got := c.inFlightPeak.Load(); got != 107 {
+		t.Fatalf("peak regressed to %d after lower raise", got)
+	}
+}

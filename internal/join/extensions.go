@@ -60,7 +60,7 @@ func (m TSBatch) Execute(ctx context.Context, spec *Spec, svc texservice.Service
 		return nil, err
 	}
 	batcher := svc.(texservice.BatchSearcher)
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -140,7 +140,7 @@ func (m PRTPAdaptive) Execute(ctx context.Context, spec *Spec, svc texservice.Se
 	if err := m.Applicable(spec, svc); err != nil {
 		return nil, err
 	}
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		keys, groups, err := spec.Relation.GroupBy(m.ProbeColumns...)
 		if err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/relation"
 	"textjoin/internal/texservice"
 )
@@ -103,7 +104,7 @@ func (m PTS) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*
 // substitutes for the tuples whose probe succeeded — the execution the
 // C_{P+TS} formula describes.
 func (m PTS) executeEager(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		probePreds := spec.predsOn(m.ProbeColumns)
 		// Phase 1: one probe per distinct probe-column binding.
 		pKeys, pGroups, err := spec.Relation.GroupBy(m.ProbeColumns...)
@@ -157,7 +158,7 @@ func (m PTS) executeEager(ctx context.Context, spec *Spec, svc texservice.Servic
 
 // executeCached is the probe-cache algorithm of §3.3.
 func (m PTS) executeCached(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -214,7 +215,7 @@ func (m PTS) executeCached(ctx context.Context, spec *Spec, svc texservice.Servi
 
 // executeGrouped is the ordered/grouped variant without a cache.
 func (m PTS) executeGrouped(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -318,7 +319,7 @@ func (m PRTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (
 	if err := m.Applicable(spec, svc); err != nil {
 		return nil, err
 	}
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		keys, groups, err := spec.Relation.GroupBy(m.ProbeColumns...)
 		if err != nil {
 			return err
@@ -366,6 +367,8 @@ func ProbeReduce(ctx context.Context, spec *Spec, probeCols []string, svc texser
 	if err := validateProbeColumns(spec, probeCols); err != nil {
 		return nil, Stats{}, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "probe.reduce")
+	defer sp.End()
 	before := svc.Meter().Snapshot()
 	keys, groups, err := spec.Relation.GroupBy(probeCols...)
 	if err != nil {
@@ -397,6 +400,11 @@ func ProbeReduce(ctx context.Context, spec *Spec, probeCols []string, svc texser
 		Usage:      svc.Meter().Snapshot().Sub(before),
 		Probes:     probes,
 		ResultRows: out.Cardinality(),
+	}
+	if sp != nil {
+		sp.SetAttr(obs.Int("input_rows", spec.Relation.Cardinality()),
+			obs.Int("rows", stats.ResultRows), obs.Int("probes", probes),
+			obs.F64("text_cost", stats.Usage.Cost))
 	}
 	return out, stats, nil
 }

@@ -84,7 +84,7 @@ func (s SJRTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) 
 	}
 	orCols := s.orColumns(spec)
 	orPreds := spec.predsOn(orCols)
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, s.Name(), spec, svc, func(ex *execution) error {
 		// Distinct bindings over the OR columns only: restricting the OR
 		// set shrinks the number of disjuncts too.
 		keys, groups, err := spec.Relation.GroupBy(orCols...)

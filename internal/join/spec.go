@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/relation"
 	"textjoin/internal/texservice"
 	"textjoin/internal/textidx"
@@ -218,11 +219,15 @@ type Method interface {
 	Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error)
 }
 
-// run wraps a method body with validation and meter-delta accounting.
-func run(ctx context.Context, spec *Spec, svc texservice.Service, body func(*execution) error) (*Result, error) {
+// run wraps a method body with validation, meter-delta accounting and a
+// per-operator span (named "join.<method>") whose attributes summarize
+// the execution: result rows, probes issued, and metered text cost.
+func run(ctx context.Context, method string, spec *Spec, svc texservice.Service, body func(*execution) error) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "join."+method)
+	defer sp.End()
 	ex := &execution{
 		ctx:    ctx,
 		spec:   spec,
@@ -235,6 +240,11 @@ func run(ctx context.Context, spec *Spec, svc texservice.Service, body func(*exe
 	}
 	ex.stats.Usage = svc.Meter().Snapshot().Sub(ex.before)
 	ex.stats.ResultRows = ex.out.Cardinality()
+	if sp != nil {
+		sp.SetAttr(obs.Int("input_rows", spec.Relation.Cardinality()),
+			obs.Int("rows", ex.stats.ResultRows), obs.Int("probes", ex.stats.Probes),
+			obs.Int("searches", ex.stats.Usage.Searches), obs.F64("text_cost", ex.stats.Usage.Cost))
+	}
 	return &Result{Table: ex.out, Stats: ex.stats}, nil
 }
 

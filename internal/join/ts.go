@@ -34,7 +34,7 @@ func (TS) Applicable(spec *Spec, svc texservice.Service) error {
 
 // Execute implements Method.
 func (m TS) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		cols := spec.JoinColumns()
 		keys, groups, err := spec.Relation.GroupBy(cols...)
 		if err != nil {
@@ -150,7 +150,7 @@ func (RTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*Re
 	if err := (RTP{}).Applicable(spec, svc); err != nil {
 		return nil, err
 	}
-	return run(ctx, spec, svc, func(ex *execution) error {
+	return run(ctx, RTP{}.Name(), spec, svc, func(ex *execution) error {
 		res, err := svc.Search(ex.ctx, spec.TextSel, texservice.FormShort)
 		if err != nil {
 			return err

@@ -1,0 +1,193 @@
+// Package obs is a context-carried, allocation-light span tracer for the
+// query path. A Recorder owns a tree of Spans (name, attributes, start
+// time, duration, children) and is attached to a context with
+// WithRecorder; code anywhere below that context creates child spans with
+// StartSpan. When no recorder is attached — the common case — StartSpan
+// returns a nil *Span after a single context lookup and every method on
+// the nil span is a no-op, so instrumented code pays essentially nothing.
+// Call sites that build expensive attributes guard them with `if sp !=
+// nil` to keep the disabled path free of allocation.
+//
+// Spans are safe for concurrent use: shard scatter legs and gateway
+// workers append children to a shared parent from many goroutines.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are either strings
+// or float64s; the constructors below pick the representation.
+type Attr struct {
+	Key string
+	str string
+	num float64
+	isN bool
+}
+
+// Str builds a string-valued attribute.
+func Str(key, val string) Attr { return Attr{Key: key, str: val} }
+
+// F64 builds a float-valued attribute.
+func F64(key string, val float64) Attr { return Attr{Key: key, num: val, isN: true} }
+
+// Int builds a numeric attribute from an int.
+func Int(key string, val int) Attr { return Attr{Key: key, num: float64(val), isN: true} }
+
+// Value renders the attribute value as text.
+func (a Attr) Value() string {
+	if a.isN {
+		return strconv.FormatFloat(a.num, 'g', -1, 64)
+	}
+	return a.str
+}
+
+// Span is one timed node in a trace tree. The zero Span is not useful;
+// spans come from NewRecorder (the root) or StartSpan (children). All
+// methods are safe on a nil receiver so disabled call sites need no
+// branching.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr appends attributes to the span. Later attributes with the same
+// key shadow earlier ones in rendered output order but both are kept;
+// callers should set each key once.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End stamps the span's duration. Subsequent Ends are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's duration; for a still-open span it is the
+// time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// child creates and attaches a new child span.
+func (s *Span) child(name string) *Span {
+	c := &Span{rec: s.rec, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Recorder owns one trace: an ID and the root span. Create one per query
+// with NewRecorder and attach it with WithRecorder.
+type Recorder struct {
+	// ID identifies the trace; it propagates to remote text services so
+	// server-side logs correlate with client spans. NewRecorder assigns a
+	// process-unique default ("t-<n>"); callers may overwrite it before
+	// the recorder is shared.
+	ID   string
+	root *Span
+}
+
+var traceSeq atomic.Uint64
+
+// NewRecorder starts a trace whose root span has the given name.
+func NewRecorder(name string) *Recorder {
+	r := &Recorder{ID: "t-" + strconv.FormatUint(traceSeq.Add(1), 10)}
+	r.root = &Span{rec: r, name: name, start: time.Now()}
+	return r
+}
+
+// Root returns the trace's root span.
+func (r *Recorder) Root() *Span { return r.root }
+
+// ctxKey carries the *current* span (not the recorder) so StartSpan nests
+// correctly without a second lookup.
+type ctxKey struct{}
+
+// WithRecorder attaches the recorder's root span to the context. A nil
+// recorder returns ctx unchanged.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r.root)
+}
+
+// SpanFrom returns the context's current span, or nil when tracing is
+// disabled.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// RecorderFrom returns the recorder owning the context's current span,
+// or nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	if s := SpanFrom(ctx); s != nil {
+		return s.rec
+	}
+	return nil
+}
+
+// IDFrom returns the context's trace ID, or "" when tracing is disabled.
+func IDFrom(ctx context.Context) string {
+	if r := RecorderFrom(ctx); r != nil {
+		return r.ID
+	}
+	return ""
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context carrying it. When the context has no recorder it returns
+// (ctx, nil) after one context lookup — the zero-overhead disabled path.
+// Callers must End the returned span (nil-safe) and should guard
+// attribute construction with `if sp != nil`.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.child(name)
+	return context.WithValue(ctx, ctxKey{}, c), c
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// SpanSnapshot is an immutable copy of a span subtree, suitable for JSON
+// encoding (the queryd /analyze endpoint) and text dumps (the slow-query
+// log). Attribute values are rendered as strings so the JSON shape is
+// stable regardless of the attribute's native type.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	DurationNs int64          `json:"duration_ns"`
+	Attrs      []AttrSnapshot `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// AttrSnapshot is one rendered attribute.
+type AttrSnapshot struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Snapshot copies the span subtree. Open spans report elapsed-so-far
+// durations. Safe to call while other goroutines are still appending
+// children (they may or may not be included).
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	snap := SpanSnapshot{Name: s.name}
+	if s.ended {
+		snap.DurationNs = s.dur.Nanoseconds()
+	} else {
+		snap.DurationNs = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make([]AttrSnapshot, len(s.attrs))
+		for i, a := range s.attrs {
+			snap.Attrs[i] = AttrSnapshot{Key: a.Key, Value: a.Value()}
+		}
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	if len(kids) > 0 {
+		snap.Children = make([]SpanSnapshot, len(kids))
+		for i, c := range kids {
+			snap.Children[i] = c.Snapshot()
+		}
+	}
+	return snap
+}
+
+// Dump writes an indented text rendering of the span tree, one span per
+// line: name, duration, then key=value attributes.
+func Dump(w io.Writer, s *Span) {
+	if s == nil {
+		return
+	}
+	dumpSnap(w, s.Snapshot(), 0)
+}
+
+// DumpSnapshot renders an already-taken snapshot.
+func DumpSnapshot(w io.Writer, snap SpanSnapshot) { dumpSnap(w, snap, 0) }
+
+func dumpSnap(w io.Writer, s SpanSnapshot, depth int) {
+	fmt.Fprintf(w, "%s%s  %.3fms", strings.Repeat("  ", depth), s.Name,
+		float64(s.DurationNs)/1e6)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		dumpSnap(w, c, depth+1)
+	}
+}

@@ -3,8 +3,10 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"textjoin/internal/cost"
+	"textjoin/internal/obs"
 	"textjoin/internal/plan"
 	"textjoin/internal/relation"
 	"textjoin/internal/sqlparse"
@@ -398,6 +400,11 @@ func (o *Optimizer) probeCand(c cand, source string, avail []int, subset []int, 
 // an input: one per applicable join method, with probe columns optimized
 // for the probe-based methods (§5).
 func (o *Optimizer) textJoinCands(c cand, source string) ([]cand, error) {
+	var sp *obs.Span
+	if o.ctx != nil {
+		_, sp = obs.StartSpan(o.ctx, "optimize.textjoin")
+	}
+	defer sp.End()
 	var all []int
 	for i, f := range o.a.Foreign {
 		if f.Source == source {
@@ -406,6 +413,10 @@ func (o *Optimizer) textJoinCands(c cand, source string) ([]cand, error) {
 	}
 	params := o.costParams(source, c.card, all, c.probed)
 	outCard := math.Max(0, params.V(params.NK(), params.AllColumns()))
+	if sp != nil {
+		sp.SetAttr(obs.Str("source", source), obs.F64("input_card", c.card),
+			obs.F64("out_card", outCard))
+	}
 
 	shortOK := o.shortFieldsCover(source)
 	part := o.a.Part(source)
@@ -435,6 +446,12 @@ func (o *Optimizer) textJoinCands(c cand, source string) ([]cand, error) {
 		}
 		if math.IsInf(methodCost, 1) {
 			continue
+		}
+		if sp != nil {
+			sp.SetAttr(obs.F64("cost."+m.String(), methodCost))
+			if len(probeCols) > 0 {
+				sp.SetAttr(obs.Str("probe_cols."+m.String(), strings.Join(probeCols, ",")))
+			}
 		}
 		total := c.cost + methodCost + o.opts.RelTupleCost*outCard
 		node := &plan.TextJoin{

@@ -23,6 +23,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -109,6 +110,11 @@ type Optimizer struct {
 	foreignBy map[string][]int // table → indexes into a.Foreign
 	predStats []stats.Estimate // per a.Foreign entry
 	selStats  map[string]stats.SelectionStats
+
+	// ctx carries the caller's trace context during OptimizeContext, so
+	// per-candidate costing (textJoinCands) can attach spans. It is
+	// context.Background() under plain Optimize.
+	ctx context.Context
 
 	scanCards map[string]float64
 	distinct  map[string]int // qualified column → base distinct count
@@ -236,6 +242,16 @@ type stateKey struct {
 
 // Optimize runs the enumeration and returns the best complete plan.
 func (o *Optimizer) Optimize() (*Result, error) {
+	return o.OptimizeContext(context.Background())
+}
+
+// OptimizeContext is Optimize under a context: when the context carries
+// an obs recorder, every per-candidate foreign-join costing emits a span
+// ("optimize.textjoin") annotated with each applicable method's
+// estimated cost and, for the probe-based methods, the §5-chosen probe
+// columns — the paper's plan-selection decisions made visible per query.
+func (o *Optimizer) OptimizeContext(ctx context.Context) (*Result, error) {
+	o.ctx = ctx
 	n := len(o.tables)
 	if n == 0 {
 		return nil, fmt.Errorf("optimizer: no relational tables")

@@ -209,6 +209,29 @@ func CountProbes(n Node) int {
 	return count
 }
 
+// Walk calls f on every node of the tree in pre-order.
+func Walk(n Node, f func(Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	for _, c := range n.Children() {
+		Walk(c, f)
+	}
+}
+
+// TextJoins returns every TextJoin node in the tree, in pre-order — a
+// multi-source query has one per text source.
+func TextJoins(n Node) []*TextJoin {
+	var out []*TextJoin
+	Walk(n, func(n Node) {
+		if t, ok := n.(*TextJoin); ok {
+			out = append(out, t)
+		}
+	})
+	return out
+}
+
 // FindTextJoin returns the plan's TextJoin node, or nil.
 func FindTextJoin(n Node) *TextJoin {
 	if t, ok := n.(*TextJoin); ok {

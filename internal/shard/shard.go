@@ -35,6 +35,7 @@ import (
 	"sort"
 	"sync"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/texservice"
 	"textjoin/internal/textidx"
 )
@@ -174,7 +175,12 @@ func (s *Sharded) scatter(ctx context.Context, f func(ctx context.Context, k int
 		wg.Add(1)
 		go func(k int, svc texservice.Service) {
 			defer wg.Done()
-			res, err := f(ctx, k, svc)
+			legCtx, leg := obs.StartSpan(ctx, "shard.leg")
+			res, err := f(legCtx, k, svc)
+			if leg != nil {
+				leg.SetAttr(obs.Int("shard", k), obs.Str("err", errString(err)))
+				leg.End()
+			}
 			out[k] = shardResult{res: res, err: err}
 			if err != nil && !s.bestEffort {
 				cancel() // strict: no point finishing the other shards
@@ -183,6 +189,14 @@ func (s *Sharded) scatter(ctx context.Context, f func(ctx context.Context, k int
 	}
 	wg.Wait()
 	return out
+}
+
+// errString renders an error for a span attribute ("" when nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // gather folds per-shard outcomes under the failure mode: in strict mode
@@ -224,6 +238,8 @@ func (s *Sharded) gather(op string, results []shardResult) (ok []int, partial bo
 // shard, merge the sorted per-shard hits into global docid order, and
 // charge the fan-out to the root meter with parallel cost semantics.
 func (s *Sharded) Search(ctx context.Context, e textidx.Expr, form texservice.Form) (*texservice.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "shard.search")
+	defer sp.End()
 	if tc := e.TermCount(); tc > s.maxTerms {
 		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, s.maxTerms)
 	}
@@ -244,8 +260,20 @@ func (s *Sharded) Search(ctx context.Context, e textidx.Expr, form texservice.Fo
 		postings += res.Postings
 	}
 	s.meter.ChargeScatter(ctx, parts, form)
+	merged := mergeHits(perShard)
+	if sp != nil {
+		crit := 0.0
+		for _, p := range parts {
+			if c := s.meter.Costs().SearchCost(p.Postings, p.Docs, form); c > crit {
+				crit = c
+			}
+		}
+		sp.SetAttr(obs.Int("shards", len(s.shards)), obs.Int("shards_ok", len(ok)),
+			obs.Int("hits", len(merged)), obs.Int("postings", postings),
+			obs.F64("crit_cost", crit), obs.Str("partial", fmt.Sprint(partial)))
+	}
 	return &texservice.Result{
-		Hits:     mergeHits(perShard),
+		Hits:     merged,
 		Postings: postings,
 		Partial:  partial,
 	}, nil
@@ -300,11 +328,16 @@ func mergeHits(perShard [][]texservice.Hit) []texservice.Hit {
 // if the owner is down (after its per-shard retries), the document is
 // unreachable.
 func (s *Sharded) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	ctx, sp := obs.StartSpan(ctx, "shard.retrieve")
+	defer sp.End()
 	n := len(s.shards)
 	if id < 0 {
 		return textidx.Document{}, fmt.Errorf("textidx: no document %d", id)
 	}
 	k := textidx.ShardOf(id, n)
+	if sp != nil {
+		sp.SetAttr(obs.Int("docid", int(id)), obs.Int("owner", k))
+	}
 	doc, err := s.shards[k].Retrieve(texservice.DetachQueryMeter(ctx), textidx.LocalID(id, n))
 	if err != nil {
 		s.mu.Lock()

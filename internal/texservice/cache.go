@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/textidx"
 )
 
@@ -68,6 +69,8 @@ func NewCached(inner Service, capacity int) *Cached {
 // Search implements Service, serving repeats from the cache and merging
 // concurrent identical searches into one backend call.
 func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "cache.search")
+	defer sp.End()
 	key := form.String() + "\x00" + e.String()
 	for {
 		c.mu.Lock()
@@ -76,12 +79,18 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 			res := el.Value.(*cacheEntry).res
 			c.hits++
 			c.mu.Unlock()
+			if sp != nil {
+				sp.SetAttr(obs.Str("cache", "hit"), obs.Int("hits", len(res.Hits)))
+			}
 			return res, nil
 		}
 		if call, ok := c.inflight[key]; ok {
 			// A leader is already searching this key: wait for it.
 			c.dedups++
 			c.mu.Unlock()
+			if sp != nil {
+				sp.SetAttr(obs.Str("cache", "dedup-wait"))
+			}
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -101,6 +110,9 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 		c.inflight[key] = call
 		c.mu.Unlock()
 
+		if sp != nil {
+			sp.SetAttr(obs.Str("cache", "miss"))
+		}
 		res, err := c.inner.Search(ctx, e, form)
 		c.mu.Lock()
 		delete(c.inflight, key)

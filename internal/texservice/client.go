@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/textidx"
 )
 
@@ -261,12 +262,24 @@ func (r *Remote) roundTrip(ctx context.Context, conn net.Conn, req wireRequest) 
 }
 
 // call runs one operation under the retry policy and surfaces server-side
-// application errors.
+// application errors. The span (one per logical call, however many
+// attempts it takes) records the attempt count; the context's trace ID
+// rides the wire so the server's request log can be correlated.
 func (r *Remote) call(ctx context.Context, op string, req wireRequest) (*wireResponse, error) {
+	ctx, sp := obs.StartSpan(ctx, "remote."+req.Op)
+	var used int
+	if sp != nil {
+		req.Trace = obs.IDFrom(ctx)
+		defer func() {
+			sp.SetAttr(obs.Str("addr", r.addr), obs.Int("attempts", used))
+			sp.End()
+		}()
+	}
 	var resp *wireResponse
 	var err error
 	attempts := r.cfg.retry.MaxAttempts
 	for attempt := 0; attempt < attempts; attempt++ {
+		used = attempt + 1
 		if attempt > 0 {
 			r.meter.ChargeRetry(ctx)
 			r.mu.Lock()

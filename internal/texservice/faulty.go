@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/textidx"
 )
 
@@ -48,6 +49,23 @@ type Faulty struct {
 	rng      *rand.Rand
 	calls    int
 	injected int
+	stats    FaultStats
+}
+
+// FaultStats is a snapshot of everything a Faulty has injected, broken
+// down by kind, so chaos tests can assert that injection actually
+// happened (and how much) instead of inferring it from downstream
+// symptoms. Calls counts gated operations; Injected is the sum of
+// Errors, Drops and Hangs.
+type FaultStats struct {
+	Calls      int           // gated operations seen
+	Injected   int           // operations with a fault injected
+	Errors     int           // ErrInjected failures
+	Drops      int           // ErrConnDrop failures
+	Hangs      int           // operations blocked until cancellation
+	DelayedOps int           // operations delayed by the Latency knob
+	DocDelays  int           // documents delayed by the DocLatency knob
+	DelayTotal time.Duration // total injected delay (latency + doc latency)
 }
 
 // ErrInjected is the cause of failures injected by Faulty's error modes.
@@ -143,13 +161,15 @@ func (f *Faulty) SetLatency(d time.Duration) { f.latency.Store(int64(d)) }
 
 // gate applies latency and decides this operation's fate.
 func (f *Faulty) gate(ctx context.Context) error {
-	if d := time.Duration(f.latency.Load()); d > 0 {
-		if err := sleepCtx(ctx, d); err != nil {
+	delayed := time.Duration(f.latency.Load())
+	if delayed > 0 {
+		if err := sleepCtx(ctx, delayed); err != nil {
 			return err
 		}
 	}
 	f.mu.Lock()
 	f.calls++
+	f.stats.Calls++
 	n := f.calls
 	hang := f.cfg.HangEvery > 0 && n%f.cfg.HangEvery == 0
 	drop := !hang && f.cfg.DropEvery > 0 && n%f.cfg.DropEvery == 0
@@ -159,15 +179,31 @@ func (f *Faulty) gate(ctx context.Context) error {
 	}
 	if hang || drop || fail {
 		f.injected++
+		f.stats.Injected++
+	}
+	switch {
+	case hang:
+		f.stats.Hangs++
+	case drop:
+		f.stats.Drops++
+	case fail:
+		f.stats.Errors++
+	}
+	if delayed > 0 {
+		f.stats.DelayedOps++
+		f.stats.DelayTotal += delayed
 	}
 	f.mu.Unlock()
 	switch {
 	case hang:
+		obs.SpanFrom(ctx).SetAttr(obs.Str("fault", "hang"))
 		<-ctx.Done()
 		return ctx.Err()
 	case drop:
+		obs.SpanFrom(ctx).SetAttr(obs.Str("fault", "drop"))
 		return &faultError{cause: ErrConnDrop, transient: !f.cfg.Permanent}
 	case fail:
+		obs.SpanFrom(ctx).SetAttr(obs.Str("fault", "error"))
 		return &faultError{cause: ErrInjected, transient: !f.cfg.Permanent}
 	}
 	return nil
@@ -178,7 +214,12 @@ func (f *Faulty) transmit(ctx context.Context, nDocs int) error {
 	if f.cfg.DocLatency <= 0 || nDocs <= 0 {
 		return nil
 	}
-	return sleepCtx(ctx, time.Duration(nDocs)*f.cfg.DocLatency)
+	d := time.Duration(nDocs) * f.cfg.DocLatency
+	f.mu.Lock()
+	f.stats.DocDelays += nDocs
+	f.stats.DelayTotal += d
+	f.mu.Unlock()
+	return sleepCtx(ctx, d)
 }
 
 // Search implements Service.
@@ -270,6 +311,13 @@ func (f *Faulty) Injected() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.injected
+}
+
+// Stats returns a snapshot of the per-kind injection counters.
+func (f *Faulty) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
 }
 
 var (

@@ -179,3 +179,61 @@ func TestChaosServer(t *testing.T) {
 		t.Fatal("chaos server injected nothing; test is vacuous")
 	}
 }
+
+// TestFaultStatsBreakdown: the per-kind injection counters let chaos
+// tests assert that injection actually happened — and of which kind —
+// instead of inferring it from downstream symptoms.
+func TestFaultStatsBreakdown(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := textidx.Term{Field: "title", Word: "text"}
+
+	// Errors and drops interleave: with ErrorEvery=2 and DropEvery=3,
+	// calls 2,4,8,10 error, 3,6,9 drop (drop wins ties like call 6).
+	f := NewFaulty(local, FaultConfig{ErrorEvery: 2, DropEvery: 3})
+	for i := 0; i < 10; i++ {
+		f.Search(bg, expr, FormShort)
+	}
+	s := f.Stats()
+	if s.Calls != 10 || s.Errors != 4 || s.Drops != 3 || s.Hangs != 0 {
+		t.Fatalf("stats = %+v, want calls=10 errors=4 drops=3 hangs=0", s)
+	}
+	if s.Injected != s.Errors+s.Drops+s.Hangs {
+		t.Fatalf("injected %d != errors+drops+hangs %d", s.Injected, s.Errors+s.Drops+s.Hangs)
+	}
+
+	// Hangs count even though the operation only returns on cancellation.
+	fh := NewFaulty(local, FaultConfig{HangEvery: 1})
+	ctx, cancel := context.WithTimeout(bg, 10*time.Millisecond)
+	defer cancel()
+	if _, err := fh.Search(ctx, expr, FormShort); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung search returned %v, want deadline exceeded", err)
+	}
+	if s := fh.Stats(); s.Hangs != 1 || s.Injected != 1 {
+		t.Fatalf("hang stats = %+v, want hangs=1 injected=1", s)
+	}
+
+	// Delay accounting: per-operation latency and per-document latency
+	// both land in DelayTotal.
+	fd := NewFaulty(local, FaultConfig{Latency: time.Millisecond, DocLatency: time.Millisecond})
+	res, err := fd.Search(bg, expr, FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = fd.Stats()
+	if s.DelayedOps != 1 {
+		t.Errorf("delayed ops = %d, want 1", s.DelayedOps)
+	}
+	if s.DocDelays != len(res.Hits) || len(res.Hits) == 0 {
+		t.Errorf("doc delays = %d, want %d (>0)", s.DocDelays, len(res.Hits))
+	}
+	wantDelay := time.Duration(1+len(res.Hits)) * time.Millisecond
+	if s.DelayTotal != wantDelay {
+		t.Errorf("delay total = %s, want %s", s.DelayTotal, wantDelay)
+	}
+	if s.Injected != 0 {
+		t.Errorf("delays counted as injected faults: %+v", s)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/textidx"
 )
 
@@ -159,10 +160,21 @@ func NewRetrying(inner Service, policy RetryPolicy) *Retrying {
 	return &Retrying{inner: inner, policy: p, rng: rand.New(rand.NewSource(p.Seed))}
 }
 
-// do runs op under the retry loop.
-func (r *Retrying) do(ctx context.Context, op string, f func() error) error {
+// do runs op under the retry loop. One span covers the whole logical
+// operation and records how many attempts it took; the inner service's
+// own spans (one per attempt) nest under it.
+func (r *Retrying) do(ctx context.Context, op string, f func(context.Context) error) error {
+	ctx, sp := obs.StartSpan(ctx, "retry."+op)
+	var used int
+	if sp != nil {
+		defer func() {
+			sp.SetAttr(obs.Int("attempts", used))
+			sp.End()
+		}()
+	}
 	var err error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		used = attempt + 1
 		if attempt > 0 {
 			r.inner.Meter().ChargeRetry(ctx)
 			r.mu.Lock()
@@ -173,7 +185,7 @@ func (r *Retrying) do(ctx context.Context, op string, f func() error) error {
 				return serr
 			}
 		}
-		err = f()
+		err = f(ctx)
 		if err == nil {
 			return nil
 		}
@@ -187,7 +199,7 @@ func (r *Retrying) do(ctx context.Context, op string, f func() error) error {
 // Search implements Service.
 func (r *Retrying) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
 	var res *Result
-	err := r.do(ctx, "search", func() error {
+	err := r.do(ctx, "search", func(ctx context.Context) error {
 		var ferr error
 		res, ferr = r.inner.Search(ctx, e, form)
 		return ferr
@@ -201,7 +213,7 @@ func (r *Retrying) Search(ctx context.Context, e textidx.Expr, form Form) (*Resu
 // Retrieve implements Service.
 func (r *Retrying) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
 	var doc textidx.Document
-	err := r.do(ctx, "retrieve", func() error {
+	err := r.do(ctx, "retrieve", func(ctx context.Context) error {
 		var ferr error
 		doc, ferr = r.inner.Retrieve(ctx, id)
 		return ferr
@@ -219,7 +231,7 @@ func (r *Retrying) BatchSearch(ctx context.Context, exprs []textidx.Expr, form F
 		return nil, fmt.Errorf("texservice: inner service does not support batched invocation")
 	}
 	var out []*Result
-	err := r.do(ctx, "batch search", func() error {
+	err := r.do(ctx, "batch search", func(ctx context.Context) error {
 		var ferr error
 		out, ferr = batcher.BatchSearch(ctx, exprs, form)
 		return ferr
@@ -237,7 +249,7 @@ func (r *Retrying) TermDocFrequency(ctx context.Context, field, term string) (in
 		return 0, fmt.Errorf("texservice: inner service does not export statistics")
 	}
 	var df int
-	err := r.do(ctx, "docfreq", func() error {
+	err := r.do(ctx, "docfreq", func(ctx context.Context) error {
 		var ferr error
 		df, ferr = provider.TermDocFrequency(ctx, field, term)
 		return ferr

@@ -37,6 +37,11 @@ type Server struct {
 	// cost c_i dominate, so wall-clock benchmarks reproduce the regime
 	// physically.
 	Latency time.Duration
+	// LogRequests, when set, logs one line per request through Logf,
+	// including the client's trace ID (wireRequest.Trace) so server-side
+	// logs correlate with the client's span tree. Off by default: the
+	// request log is per-operation and would swamp benchmarks.
+	LogRequests bool
 }
 
 // NewServer wraps a Service (typically a *Local, optionally decorated
@@ -120,7 +125,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.Latency > 0 {
 			time.Sleep(s.Latency)
 		}
+		start := time.Now()
 		resp, drop := s.handle(s.ctx, req)
+		if s.LogRequests {
+			trace := req.Trace
+			if trace == "" {
+				trace = "-"
+			}
+			s.Logf("texservice: op=%s trace=%s remote=%s dur=%s err=%q drop=%v",
+				req.Op, trace, conn.RemoteAddr(), time.Since(start).Round(time.Microsecond), resp.Error, drop)
+		}
 		if drop {
 			// An injected connection drop: sever the connection without
 			// replying, exactly what a crashing server would do mid-call.

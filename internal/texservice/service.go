@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/textidx"
 )
 
@@ -222,8 +223,11 @@ func (m *Meter) armBudgetLocked() func() {
 	return m.onExceed
 }
 
-// searchCost is the simulated cost of one search under these constants.
-func (c Costs) searchCost(postings, nDocs int, form Form) float64 {
+// SearchCost is the simulated cost of one search that processed the
+// given postings and transmitted nDocs documents in the given form —
+// exported so instrumentation (spans, EXPLAIN ANALYZE) can attribute a
+// model cost to an individual call without re-deriving the formula.
+func (c Costs) SearchCost(postings, nDocs int, form Form) float64 {
 	cost := c.CI + c.CP*float64(postings)
 	if form == FormLong {
 		return cost + c.CL*float64(nDocs)
@@ -234,7 +238,7 @@ func (c Costs) searchCost(postings, nDocs int, form Form) float64 {
 // ChargeSearch records one search that processed the given number of
 // postings and transmitted nDocs documents in the given form.
 func (m *Meter) ChargeSearch(ctx context.Context, postings, nDocs int, form Form) {
-	cost := m.costs.searchCost(postings, nDocs, form)
+	cost := m.costs.SearchCost(postings, nDocs, form)
 	delta := Usage{Searches: 1, Postings: postings, Cost: cost, CritCost: cost}
 	if form == FormLong {
 		delta.LongDocs = nDocs
@@ -265,7 +269,7 @@ func (m *Meter) ChargeScatter(ctx context.Context, parts []ScatterPart, form For
 	for _, p := range parts {
 		delta.Searches++
 		delta.Postings += p.Postings
-		cost := m.costs.searchCost(p.Postings, p.Docs, form)
+		cost := m.costs.SearchCost(p.Postings, p.Docs, form)
 		delta.Cost += cost
 		if cost > crit {
 			crit = cost
@@ -372,6 +376,8 @@ func NewLocal(ix *textidx.Index, opts ...LocalOption) (*Local, error) {
 // Search implements Service. The context is honored even though the
 // backend is in-process, so decorators and tests see uniform semantics.
 func (l *Local) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "local.search")
+	defer sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -391,6 +397,11 @@ func (l *Local) Search(ctx context.Context, e textidx.Expr, form Form) (*Result,
 		out.Hits = append(out.Hits, Hit{ID: id, ExtID: doc.ExtID, Fields: l.formFields(doc, form)})
 	}
 	l.meter.ChargeSearch(ctx, res.Postings, len(out.Hits), form)
+	if sp != nil {
+		sp.SetAttr(obs.Str("query", e.String()), obs.Str("form", form.String()),
+			obs.Int("postings", res.Postings), obs.Int("hits", len(out.Hits)),
+			obs.F64("cost", l.meter.Costs().SearchCost(res.Postings, len(out.Hits), form)))
+	}
 	return out, nil
 }
 
@@ -413,6 +424,8 @@ func (l *Local) formFields(doc textidx.Document, form Form) map[string]string {
 
 // Retrieve implements Service.
 func (l *Local) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	ctx, sp := obs.StartSpan(ctx, "local.retrieve")
+	defer sp.End()
 	if err := ctx.Err(); err != nil {
 		return textidx.Document{}, err
 	}
@@ -421,6 +434,9 @@ func (l *Local) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Documen
 		return textidx.Document{}, err
 	}
 	l.meter.ChargeRetrieve(ctx)
+	if sp != nil {
+		sp.SetAttr(obs.Int("docid", int(id)), obs.F64("cost", l.meter.Costs().CL))
+	}
 	return doc, nil
 }
 

@@ -23,6 +23,10 @@ type wireRequest struct {
 	ID      int32    `json:"id,omitempty"`
 	Field   string   `json:"field,omitempty"`
 	Term    string   `json:"term,omitempty"`
+	// Trace carries the client's trace ID (obs.IDFrom) so server-side
+	// request logs correlate with client spans. Empty when the client is
+	// not tracing; servers must treat it as opaque.
+	Trace string `json:"trace,omitempty"`
 }
 
 type wireHit struct {

@@ -26,5 +26,11 @@ go test -run TestShardedSmoke -race ./internal/shard
 go vet ./cmd/queryd ./internal/gateway ./internal/loadgen ./internal/appcfg
 go test -race -run Gateway ./internal/gateway
 
+# Observability gates: the span recorder must be race-clean under
+# concurrent recording/snapshotting, and the /metrics exposition must
+# parse as Prometheus text format (line-grammar validator, no deps).
+go test -race ./internal/obs
+go test -race -run 'Metrics|Analyze|SlowQuery' ./internal/gateway
+
 go test ./...
 go test -race ./...
