@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, all")
+		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, batchprobe, all")
 		docs = flag.Int("docs", 2000, "corpus size D")
 		seed = flag.Int64("seed", 42, "generation seed")
 	)
@@ -145,6 +145,21 @@ func run(exp string, docs int, seed int64) error {
 			return err
 		}
 		bench.FormatGatewayLoad(os.Stdout, rows)
+	}
+	if want("batchprobe") {
+		ran = true
+		header("Batched probe pushdown — probe round trips per tuple vs batched (M = 70)")
+		rows, err := bench.BatchProbeRounds(c)
+		if err != nil {
+			return err
+		}
+		bench.FormatBatchProbe(os.Stdout, rows)
+		header("Batched probe pushdown — gateway saturation with batching + probe cache off vs on")
+		grows, err := bench.BatchProbeGateway(docs, seed, 4, []int{1, 4, 16}, 8)
+		if err != nil {
+			return err
+		}
+		bench.FormatBatchGateway(os.Stdout, grows)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

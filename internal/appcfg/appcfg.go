@@ -46,6 +46,8 @@ type EngineConfig struct {
 	Timeout     time.Duration // per-call remote timeout, 0 = none
 	Retries     int           // remote attempt budget
 	SearchCache int           // shared search-result LRU entries, 0 = off
+	ProbeCache  int           // cross-query probe-result cache entries, 0 = off
+	BatchProbe  bool          // let the optimizer batch probe round trips
 	Tables      TableList     // CSV tables as name=path.csv
 }
 
@@ -74,6 +76,8 @@ func (c *EngineConfig) RegisterFlags(fs *flag.FlagSet) {
 	fs.DurationVar(&c.Timeout, "timeout", c.Timeout, "per-call timeout against the remote server, 0 = none (with -remote)")
 	fs.IntVar(&c.Retries, "retries", c.Retries, "total attempt budget for transient remote failures (with -remote)")
 	fs.IntVar(&c.SearchCache, "cache", c.SearchCache, "shared search-result cache entries, 0 = off")
+	fs.IntVar(&c.ProbeCache, "probe-cache", c.ProbeCache, "cross-query probe-result cache entries (keyed on normalized expressions), 0 = off")
+	fs.BoolVar(&c.BatchProbe, "batch-probe", c.BatchProbe, "let the optimizer batch probe round trips: distinct probe bindings packed into few large OR searches under the service's term limit")
 	fs.Var(&c.Tables, "table", "register a CSV table as name=path.csv (repeatable)")
 }
 
@@ -149,6 +153,8 @@ func (c *EngineConfig) BuildEngine() (*core.Engine, func(), error) {
 	}
 	opts.Seed = c.Seed
 	opts.SearchCache = c.SearchCache
+	opts.ProbeCache = c.ProbeCache
+	opts.Optimizer.BatchProbe = c.BatchProbe
 
 	demo := workload.NewDemo(c.Docs, c.Seed)
 	cleanup := func() {}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+
+	"textjoin/internal/workload"
+)
+
+// TestBatchProbeRounds pins the acceptance numbers of the batched probe
+// pushdown: measured batched round trips equal the closed-form
+// prediction on every scenario probe set, and at the Mercury term limit
+// the workload's larger probe sets come in at a ≥10x round-trip
+// reduction.
+func TestBatchProbeRounds(t *testing.T) {
+	c := workload.NewCorpus(workload.CorpusConfig{Docs: 2000, Seed: 42})
+	rows, err := BatchProbeRounds(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no measurements")
+	}
+	best := 0.0
+	for _, r := range rows {
+		if float64(r.Batched) != r.Predicted {
+			t.Errorf("%s probe %v: %d batched round trips, model predicts %v",
+				r.Query, r.Probes, r.Batched, r.Predicted)
+		}
+		if r.Batched > r.PerTuple {
+			t.Errorf("%s probe %v: batched %d > per-tuple %d round trips",
+				r.Query, r.Probes, r.Batched, r.PerTuple)
+		}
+		if r.Reduction() > best {
+			best = r.Reduction()
+		}
+	}
+	if best < 10 {
+		t.Errorf("best round-trip reduction %.1fx, want ≥10x at M=70", best)
+	}
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// within one query or across queries — are answered locally (§3.1's
 	// caching idea generalized). Sound because indexes are frozen.
 	SearchCache int
+	// ProbeCache, when positive, additionally wraps every registered text
+	// source in a cross-query probe-result cache of that many entries,
+	// keyed on normalized expressions so syntactic variants of the same
+	// probe (a∧b vs b∧a) hit the same entry. Invalidation hooks exist for
+	// future ingest; with frozen indexes the cache is always sound.
+	ProbeCache int
 }
 
 // DefaultOptions returns the engine defaults (PrL space, fully correlated
@@ -127,6 +133,9 @@ func (e *Engine) RegisterTextSource(name string, svc texservice.Service, fields 
 	if e.opts.SearchCache > 0 {
 		svc = texservice.NewCached(svc, e.opts.SearchCache)
 	}
+	if e.opts.ProbeCache > 0 {
+		svc = texservice.NewProbeCache(svc, e.opts.ProbeCache)
+	}
 	e.services[name] = svc
 	e.estimator[name] = stats.New(svc,
 		stats.WithSampleSize(e.opts.SampleSize), stats.WithSeed(e.opts.Seed))
@@ -152,8 +161,10 @@ type Result struct {
 	EstCost float64
 	// Usage is the text-service consumption of the execution.
 	Usage texservice.Usage
-	// Probes is the number of probe searches sent.
-	Probes int
+	// Probes is the number of probe round trips sent; BatchRounds how
+	// many of those were batched (multi-binding) searches.
+	Probes      int
+	BatchRounds int
 	// OptimizeTime and ExecuteTime are wall-clock durations.
 	OptimizeTime, ExecuteTime time.Duration
 	// Analyze holds the EXPLAIN ANALYZE tree (per-node estimates next to
@@ -277,6 +288,7 @@ func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
 		EstCost:      p.estCost,
 		Usage:        st.Usage,
 		Probes:       st.Probes,
+		BatchRounds:  st.BatchRounds,
 		OptimizeTime: p.optTime,
 		ExecuteTime:  time.Since(start),
 	}

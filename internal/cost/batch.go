@@ -1,0 +1,100 @@
+package cost
+
+import "math"
+
+// Closed-form estimates for batched probe pushdown: the probing phase of
+// the P+ methods re-cast with §3.2's semi-join batching. Instead of one
+// invocation per distinct probe binding, the N_J deduplicated bindings
+// are packed into OR groups under the term limit M (the selection's terms
+// counted once per batch), so
+//
+//	B = ⌈N_J / ⌊(M − t_sel)/t_J⌋⌉
+//
+// round trips replace N_J. Invocation cost is paid per batch; each batch
+// re-processes the selection's inverted lists while every binding's join
+// terms are processed exactly once across the batches; the OR result is
+// shipped short-form (capped at the per-batch selection result) and
+// attributed back to bindings by relational matching (c_a per document,
+// the semi-join method's discipline). Batching therefore trades c_i·N_J
+// for c_i·B + c_a·V — the optimizer picks whichever is cheaper, with
+// full-scan RTP remaining the third alternative when a selection exists.
+
+// probeBatchTerms returns the conservative per-binding term count of a
+// probe on columns J: the sum of the observed maximum instantiation sizes
+// (falling back to the mean when no maximum was sampled). Packing is by
+// actual terms, so capacity must not be estimated from the mean alone.
+func (p *Params) probeBatchTerms(J []int) int {
+	n := 0
+	for _, i := range J {
+		t := p.Preds[i].TermsMax
+		if t < p.Preds[i].Terms {
+			t = p.Preds[i].Terms
+		}
+		n += t
+	}
+	return n
+}
+
+// ProbeBatchCapacity is the number of probe bindings one batch holds,
+// ⌊(M − t_sel)/t_J⌋, or 0 when even a single binding cannot fit.
+func (p *Params) ProbeBatchCapacity(J []int) int {
+	per := p.probeBatchTerms(J)
+	room := p.M - p.selTermCount()
+	if per <= 0 || room < per {
+		return 0
+	}
+	return room / per
+}
+
+// ProbeBatchRounds is the number of probe round trips batched probing
+// needs: ⌈N_J / capacity⌉, or +Inf when nothing fits a batch.
+func (p *Params) ProbeBatchRounds(J []int) float64 {
+	c := p.ProbeBatchCapacity(J)
+	if c == 0 {
+		return math.Inf(1)
+	}
+	return math.Ceil(p.NDistinct(J) / float64(c))
+}
+
+// CostProbeBatched is the batched probing phase on columns J:
+//
+//	C_PB = c_i·B + c_p·(B·I_sel + N_J·Σ_{i∈J} f_i) + (c_s+c_a)·min(V_{N_J,J}, B·F_sel)
+//
+// compare CostProbe's c_i·N_J + c_p·I_{N_J,J} + c_s·V_{N_J,J}: invocations
+// collapse to B, the selection's list work is paid per batch instead of
+// per binding, and attribution adds c_a per shipped document.
+func (p *Params) CostProbeBatched(J []int) float64 {
+	b := p.ProbeBatchRounds(J)
+	if math.IsInf(b, 1) {
+		return b
+	}
+	n := p.NDistinct(J)
+	// Every binding's join-term lists are processed exactly once across
+	// the batches; the selection's lists once per batch.
+	listWork := b*p.SelListWork() + (p.I(n, J) - n*p.SelListWork())
+	shipped := p.V(n, J)
+	if p.HasSel {
+		shipped = math.Min(shipped, b*p.SelFanout)
+	} else {
+		shipped = math.Min(shipped, b*float64(p.D))
+	}
+	return p.Costs.CI*b + p.Costs.CP*listWork + (p.Costs.CS+p.Costs.CA)*shipped
+}
+
+// CostPTSBatch is batched probing + tuple substitution on probe columns J:
+// the probing phase of CostPTS replaced by its batched form, the
+// substitution phase unchanged.
+func (p *Params) CostPTSBatch(J []int) float64 {
+	r := p.NK() * p.JointSel(J)
+	K := p.AllColumns()
+	return p.CostProbeBatched(J) +
+		p.Costs.CI*r + p.Costs.CP*p.I(r, K) + p.substTransmission()*p.V(r, K)
+}
+
+// CostPRTPBatch is batched probing + relational text processing on probe
+// columns J: the shipped probe matches (already costed with attribution in
+// CostProbeBatched) are matched relationally on the remaining predicates,
+// and result documents are retrieved long-form when the query needs them.
+func (p *Params) CostPRTPBatch(J []int) float64 {
+	return p.CostProbeBatched(J) + p.resultTransmission()
+}

@@ -1,0 +1,209 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"textjoin/internal/texservice"
+)
+
+// Golden tests for the batched-probe closed forms (batch.go): capacities
+// and round-trip counts pinned to hand-computed values on the Table-1
+// fixture, component deltas against the per-tuple probing cost, the
+// composition identities of the full methods, the BatchProbe gate, and
+// the per-tuple→batched crossover cardinality.
+
+func TestProbeBatchCapacityAndRounds(t *testing.T) {
+	// Fixture: M=70, N=100, N₀=25, N₁=80, one term per predicate.
+	cases := []struct {
+		name     string
+		mutate   func(*Params)
+		J        []int
+		capacity int
+		rounds   float64
+	}{
+		{"single pred fills the limit", nil, []int{0}, 70, 1},
+		{"81 bindings need two batches", nil, []int{1}, 70, 2},
+		{"two-pred bindings halve capacity", nil, []int{0, 1}, 35, 3}, // ⌈100/35⌉
+		{"TermsMax governs packing", func(p *Params) { p.Preds[0].TermsMax = 3 },
+			[]int{0}, 23, 2}, // ⌊70/3⌋ = 23, ⌈25/23⌉ = 2
+		{"selection terms occupy every batch", func(p *Params) {
+			p.HasSel, p.SelFanout, p.SelPostings, p.SelTerms = true, 30, 120, 2
+		}, []int{0, 1}, 34, 3}, // ⌊(70−2)/2⌋ = 34, ⌈100/34⌉ = 3
+		{"binding wider than the limit", func(p *Params) { p.M = 1 },
+			[]int{0, 1}, 0, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		p := twoPredParams()
+		if tc.mutate != nil {
+			tc.mutate(p)
+		}
+		if got := p.ProbeBatchCapacity(tc.J); got != tc.capacity {
+			t.Errorf("%s: capacity %d, want %d", tc.name, got, tc.capacity)
+		}
+		if got := p.ProbeBatchRounds(tc.J); got != tc.rounds && !(math.IsInf(got, 1) && math.IsInf(tc.rounds, 1)) {
+			t.Errorf("%s: rounds %v, want %v", tc.name, got, tc.rounds)
+		}
+	}
+	// An unbatchable probe set poisons every dependent estimate.
+	p := twoPredParams()
+	p.M = 1
+	for _, c := range []float64{p.CostProbeBatched([]int{0, 1}), p.CostPTSBatch([]int{0, 1}), p.CostPRTPBatch([]int{0, 1})} {
+		if !math.IsInf(c, 1) {
+			t.Errorf("oversize binding costed %v, want +Inf", c)
+		}
+	}
+}
+
+// TestCostProbeBatchedDelta pins batching's saving against per-tuple
+// probing: with J={1} (80 one-term bindings, 2 batches) the invocation
+// term collapses from 80·c_i to 2·c_i while attribution adds c_a per
+// shipped document — list work and short-form shipping are unchanged
+// without a selection.
+func TestCostProbeBatchedDelta(t *testing.T) {
+	p := twoPredParams()
+	J := []int{1}
+	full := p.CostProbe(J)
+	batched := p.CostProbeBatched(J)
+	if batched >= full {
+		t.Fatalf("batched probing (%v) not cheaper than per-tuple (%v)", batched, full)
+	}
+	// V_{80,{1}} = 80·5 = 400 shipped documents.
+	wantDelta := p.Costs.CI*(80-2) - p.Costs.CA*400
+	if math.Abs((full-batched)-wantDelta) > 1e-9 {
+		t.Fatalf("delta = %v, want %v", full-batched, wantDelta)
+	}
+}
+
+// TestCostProbeBatchedWithSelection pins the full closed form when a text
+// selection rides in every batch: its inverted lists are re-processed per
+// batch and its result caps what each batch can ship.
+func TestCostProbeBatchedWithSelection(t *testing.T) {
+	p := twoPredParams()
+	p.HasSel, p.SelFanout, p.SelPostings, p.SelTerms = true, 30, 120, 2
+	J := []int{1}
+	// capacity ⌊(70−2)/1⌋ = 68 → B = ⌈80/68⌉ = 2 batches.
+	// List work: 2·120 selection postings + 80·5 join-term postings = 640.
+	// Shipped: min(V_{80,{1}} = 80·min(5,30) = 400, B·SelFanout = 60) = 60.
+	want := p.Costs.CI*2 + p.Costs.CP*640 + (p.Costs.CS+p.Costs.CA)*60
+	if got := p.CostProbeBatched(J); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CostProbeBatched = %v, want %v", got, want)
+	}
+}
+
+// TestBatchMethodCompositions: the full batched methods change only the
+// probing phase — P+TS keeps its substitution phase and P+RTP its result
+// transmission bit for bit.
+func TestBatchMethodCompositions(t *testing.T) {
+	for _, withSel := range []bool{false, true} {
+		p := twoPredParams()
+		if withSel {
+			p.HasSel, p.SelFanout, p.SelPostings, p.SelTerms = true, 30, 120, 2
+		}
+		for _, J := range [][]int{{0}, {1}, {0, 1}} {
+			substitution := p.CostPTS(J) - p.CostProbe(J)
+			if got := p.CostPTSBatch(J) - p.CostProbeBatched(J); math.Abs(got-substitution) > 1e-9 {
+				t.Errorf("withSel=%v J=%v: P+TS substitution phase %v, per-tuple %v",
+					withSel, J, got, substitution)
+			}
+			want := p.CostProbeBatched(J) + p.resultTransmission()
+			if got := p.CostPRTPBatch(J); math.Abs(got-want) > 1e-9 {
+				t.Errorf("withSel=%v J=%v: CostPRTPBatch = %v, want %v", withSel, J, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchProbeGate: with BatchProbe off (the default) the batched
+// methods are inapplicable and invisible — rankings and best choices are
+// exactly the seed model's. Switching the gate on can only improve the
+// best cost.
+func TestBatchProbeGate(t *testing.T) {
+	off := twoPredParams()
+	if off.Applicable(MethodPTSBatch) || off.Applicable(MethodPRTPBatch) {
+		t.Fatal("batched methods applicable without the BatchProbe gate")
+	}
+	if c := off.Cost(MethodPTSBatch); !math.IsInf(c, 1) {
+		t.Fatalf("gated MethodPTSBatch cost = %v, want +Inf", c)
+	}
+	for _, m := range off.Ranking() {
+		if m == MethodPTSBatch || m == MethodPRTPBatch {
+			t.Fatalf("gated ranking contains %v", m)
+		}
+	}
+
+	on := twoPredParams()
+	on.BatchProbe = true
+	if !on.Applicable(MethodPTSBatch) || !on.Applicable(MethodPRTPBatch) {
+		t.Fatal("batched methods inapplicable despite BatchProbe")
+	}
+	if c := on.Cost(MethodPTSBatch); math.IsInf(c, 1) {
+		t.Fatal("MethodPTSBatch cost infinite with BatchProbe on")
+	}
+	// Per-method costs agree wherever both models price the method.
+	for _, m := range off.Ranking() {
+		if offC, onC := off.Cost(m), on.Cost(m); offC != onC {
+			t.Errorf("%v: cost changed %v → %v when enabling BatchProbe", m, offC, onC)
+		}
+	}
+	_, offBest := off.Best()
+	_, onBest := on.Best()
+	if onBest > offBest {
+		t.Errorf("best cost rose from %v to %v when enabling BatchProbe", offBest, onBest)
+	}
+}
+
+// crossoverParams is a regime where batching has a genuine break-even
+// point: attribution is expensive relative to invocation (c_a·f close to
+// c_i), so few-binding probes are cheaper per tuple and many-binding
+// probes are cheaper batched. Predicate 1 is useless to probe on
+// (selectivity 1), pinning the optimal probe set to {0}.
+func crossoverParams(n int) *Params {
+	return &Params{
+		Costs: texservice.Costs{CI: 1, CA: 0.09},
+		D:     100000,
+		M:     70,
+		G:     1,
+		N:     n,
+		Preds: []Pred{
+			{Sel: 0.5, Fanout: 10, Distinct: 100000, Terms: 1},
+			{Sel: 1, Fanout: 50, Distinct: 100000, Terms: 1},
+		},
+	}
+}
+
+// TestBatchCrossoverCardinality: the model flips from per-tuple to
+// batched probing exactly at the closed forms' predicted break-even. With
+// J={0}, one batch up to N=70 and only c_i/c_a charged, the delta is
+//
+//	C_P − C_PB = c_i·(N−1) − c_a·f·N
+//
+// which turns positive first at N = 11 (c_i = 1, c_a·f = 0.9).
+func TestBatchCrossoverCardinality(t *testing.T) {
+	// Predicted crossover from the closed forms.
+	crossover := 0
+	for n := 1; n <= 70; n++ {
+		p := crossoverParams(n)
+		p.BatchProbe = true
+		if p.Cost(MethodPTSBatch) < p.Cost(MethodPTS) {
+			crossover = n
+			break
+		}
+	}
+	if crossover != 11 {
+		t.Fatalf("predicted crossover at N=%d, hand-computed break-even is N=11", crossover)
+	}
+	// The model's choice between the two flips exactly there, and the
+	// flip is monotone: batched stays ahead once it wins.
+	for n := 1; n <= 70; n++ {
+		p := crossoverParams(n)
+		p.BatchProbe = true
+		perTuple, batched := p.Cost(MethodPTS), p.Cost(MethodPTSBatch)
+		if n < crossover && batched < perTuple {
+			t.Errorf("N=%d: batched (%v) beat per-tuple (%v) below the crossover", n, batched, perTuple)
+		}
+		if n >= crossover && batched >= perTuple {
+			t.Errorf("N=%d: per-tuple (%v) beat batched (%v) above the crossover", n, perTuple, batched)
+		}
+	}
+}

@@ -44,6 +44,11 @@ type Pred struct {
 	// Terms is the number of basic search terms one instantiation of this
 	// predicate contributes (1 for a single word, w for a w-word phrase).
 	Terms int
+	// TermsMax is the largest term count any sampled instantiation used
+	// (0 = unknown, fall back to Terms). Batch packing is governed by
+	// actual per-binding term counts, so batched-probe capacity estimates
+	// use this conservative maximum rather than the mean.
+	TermsMax int
 }
 
 // Params bundles everything the cost formulas need (the paper's Table 1).
@@ -72,6 +77,12 @@ type Params struct {
 	// LongForm records whether the query needs full documents in its
 	// result (the paper's experiments do; a docid-only semi-join does not).
 	LongForm bool
+	// BatchProbe enables the batched-probe methods (MethodPTSBatch,
+	// MethodPRTPBatch) in Applicable, Best and Ranking. Off by default so
+	// predictions and plan choices without the feature are unchanged; the
+	// optimizer sets it when batching is requested and the service can
+	// actually batch (short-form probe fields or batched invocation).
+	BatchProbe bool
 }
 
 // Validate checks the parameters for consistency.
@@ -103,6 +114,9 @@ func (p *Params) Validate() error {
 		}
 		if pr.Terms < 1 {
 			return fmt.Errorf("cost: predicate %d term count %d must be at least 1", i, pr.Terms)
+		}
+		if pr.TermsMax < 0 {
+			return fmt.Errorf("cost: predicate %d max term count %d is negative", i, pr.TermsMax)
 		}
 	}
 	if p.HasSel && (p.SelFanout < 0 || p.SelPostings < 0 || p.SelTerms < 1) {

@@ -17,10 +17,15 @@ const (
 	MethodSJRTP
 	MethodPTS
 	MethodPRTP
+	// MethodPTSBatch and MethodPRTPBatch are the probing methods with the
+	// probing phase batched (OR-packed under the term limit, see batch.go).
+	// They participate only when Params.BatchProbe is set.
+	MethodPTSBatch
+	MethodPRTPBatch
 )
 
 // AllMethods lists every method in presentation order.
-var AllMethods = []Method{MethodTS, MethodRTP, MethodSJRTP, MethodPTS, MethodPRTP}
+var AllMethods = []Method{MethodTS, MethodRTP, MethodSJRTP, MethodPTS, MethodPRTP, MethodPTSBatch, MethodPRTPBatch}
 
 // String returns the paper's abbreviation.
 func (m Method) String() string {
@@ -35,6 +40,10 @@ func (m Method) String() string {
 		return "P+TS"
 	case MethodPRTP:
 		return "P+RTP"
+	case MethodPTSBatch:
+		return "P+TS(batched)"
+	case MethodPRTPBatch:
+		return "P+RTP(batched)"
 	default:
 		return fmt.Sprintf("Method(%d)", uint8(m))
 	}
@@ -49,6 +58,8 @@ func (m Method) String() string {
 //     tuple conjunct per batch.
 //   - P+TS and P+RTP need at least two join predicates, so a proper
 //     nonempty probe-column subset exists (§3.3).
+//   - The batched probe variants additionally need BatchProbe enabled
+//     (the service must be able to batch; see batch.go).
 func (p *Params) Applicable(m Method) bool {
 	switch m {
 	case MethodTS:
@@ -59,6 +70,8 @@ func (p *Params) Applicable(m Method) bool {
 		return p.M-p.selTermCount() >= p.TermsPerTuple()
 	case MethodPTS, MethodPRTP:
 		return p.K() >= 2
+	case MethodPTSBatch, MethodPRTPBatch:
+		return p.BatchProbe && p.K() >= 2
 	default:
 		return false
 	}
@@ -249,6 +262,12 @@ func (p *Params) Cost(m Method) float64 {
 		return c
 	case MethodPRTP:
 		_, c := p.OptimalProbe(p.CostPRTP)
+		return c
+	case MethodPTSBatch:
+		_, c := p.OptimalProbe(p.CostPTSBatch)
+		return c
+	case MethodPRTPBatch:
+		_, c := p.OptimalProbe(p.CostPRTPBatch)
 		return c
 	default:
 		return math.Inf(1)

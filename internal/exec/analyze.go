@@ -31,6 +31,10 @@ type NodeActual struct {
 	Rows    int
 	Elapsed time.Duration
 	Usage   texservice.Usage
+	// Probes is the number of probe round trips this subtree issued;
+	// BatchRounds how many of those were batched (multi-binding).
+	Probes      int
+	BatchRounds int
 }
 
 // Analysis collects per-node actuals for one run. Create with
@@ -90,7 +94,12 @@ type AnalyzeNode struct {
 	ActCost   float64          `json:"act_cost"`
 	ActTimeNs int64            `json:"act_time_ns"`
 	ActUsage  texservice.Usage `json:"act_usage"`
-	Children  []*AnalyzeNode   `json:"children,omitempty"`
+	// ActProbes/ActBatchRounds attribute probe round trips to the
+	// subtree: how many probe searches it issued and how many of those
+	// were batched multi-binding rounds.
+	ActProbes      int            `json:"act_probes"`
+	ActBatchRounds int            `json:"act_batch_rounds"`
+	Children       []*AnalyzeNode `json:"children,omitempty"`
 }
 
 // Tree combines the plan's estimates with the recorded actuals into an
@@ -108,6 +117,9 @@ func (a *Analysis) Tree(root plan.Node) *AnalyzeNode {
 		ActCost:   act.Usage.Cost,
 		ActTimeNs: act.Elapsed.Nanoseconds(),
 		ActUsage:  act.Usage,
+
+		ActProbes:      act.Probes,
+		ActBatchRounds: act.BatchRounds,
 	}
 	for _, c := range root.Children() {
 		out.Children = append(out.Children, a.Tree(c))
@@ -144,9 +156,16 @@ func FormatAnalyze(w io.Writer, root *AnalyzeNode) {
 	}
 	for _, l := range lines {
 		n := l.node
-		fmt.Fprintf(w, "%-*s  est: card=%-8.1f cost=%-10.2f  act: rows=%-6d cost=%-10.2f time=%s\n",
+		fmt.Fprintf(w, "%-*s  est: card=%-8.1f cost=%-10.2f  act: rows=%-6d cost=%-10.2f time=%s",
 			width, l.op, n.EstCard, n.EstCost, n.ActRows, n.ActCost,
 			time.Duration(n.ActTimeNs).Round(time.Microsecond))
+		if n.ActProbes > 0 {
+			fmt.Fprintf(w, " probes=%d", n.ActProbes)
+			if n.ActBatchRounds > 0 {
+				fmt.Fprintf(w, " batch_rounds=%d", n.ActBatchRounds)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -42,9 +42,13 @@ type RunStats struct {
 	// Usage is the total text-service resource consumption of the whole
 	// run, summed over every service involved.
 	Usage texservice.Usage
-	// Probes counts probe searches from Probe nodes and probe-based
-	// foreign-join methods.
+	// Probes counts probe round trips from Probe nodes and probe-based
+	// foreign-join methods (a batched search covering many bindings is
+	// one round trip).
 	Probes int
+	// BatchRounds is how many of those round trips were batched
+	// (multi-binding) — zero under per-tuple probing.
+	BatchRounds int
 }
 
 // Run evaluates the plan and returns the result table along with the
@@ -88,6 +92,7 @@ func (e *Executor) eval(ctx context.Context, n plan.Node, st *RunStats) (*relati
 	if qm != nil {
 		before = qm.Snapshot()
 	}
+	probesBefore, roundsBefore := st.Probes, st.BatchRounds
 	start := time.Now()
 	out, err := e.evalNode(sctx, n, st)
 	elapsed := time.Since(start)
@@ -106,7 +111,8 @@ func (e *Executor) eval(ctx context.Context, n plan.Node, st *RunStats) (*relati
 		sp.End()
 	}
 	if an != nil && err == nil {
-		an.record(n, NodeActual{Rows: rows, Elapsed: elapsed, Usage: usage})
+		an.record(n, NodeActual{Rows: rows, Elapsed: elapsed, Usage: usage,
+			Probes: st.Probes - probesBefore, BatchRounds: st.BatchRounds - roundsBefore})
 	}
 	return out, err
 }
@@ -177,11 +183,12 @@ func (e *Executor) evalProbe(ctx context.Context, n *plan.Probe, st *RunStats) (
 		TextSel:  n.TextSel,
 	}
 	cols := probeColumns(n.Preds)
-	out, stats, err := join.ProbeReduce(ctx, spec, cols, svc)
+	out, stats, err := join.ProbeReduceOpts(ctx, spec, cols, svc, join.ProbeOpts{Batched: n.Batched})
 	if err != nil {
 		return nil, err
 	}
 	st.Probes += stats.Probes
+	st.BatchRounds += stats.BatchRounds
 	return out, nil
 }
 
@@ -229,6 +236,7 @@ func (e *Executor) evalTextJoin(ctx context.Context, n *plan.TextJoin, st *RunSt
 		return nil, err
 	}
 	st.Probes += res.Stats.Probes
+	st.BatchRounds += res.Stats.BatchRounds
 	return qualifyDocColumns(res.Table, in.Schema.Arity(), n.Source, n.DocFields), nil
 }
 
@@ -245,6 +253,10 @@ func methodFor(n *plan.TextJoin) (join.Method, error) {
 		return join.PTS{ProbeColumns: n.ProbeColumns}, nil
 	case cost.MethodPRTP:
 		return join.PRTP{ProbeColumns: n.ProbeColumns}, nil
+	case cost.MethodPTSBatch:
+		return join.PTS{ProbeColumns: n.ProbeColumns, Batched: true}, nil
+	case cost.MethodPRTPBatch:
+		return join.PRTP{ProbeColumns: n.ProbeColumns, Batched: true}, nil
 	default:
 		return nil, fmt.Errorf("exec: unknown join method %v", n.Method)
 	}

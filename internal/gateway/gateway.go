@@ -147,9 +147,10 @@ type Gateway struct {
 	textCost histogram
 	qseq     atomic.Uint64 // per-gateway query trace IDs ("q-<n>")
 
-	caches  []*texservice.Cached // cache decorators discovered on the engine
-	meters  []*texservice.Meter  // distinct shared meters, for Snapshot.Text
-	sources []namedMeter         // same meters with a source label, for /metrics
+	caches      []*texservice.Cached     // cache decorators discovered on the engine
+	probeCaches []*texservice.ProbeCache // probe-result caches discovered on the engine
+	meters      []*texservice.Meter      // distinct shared meters, for Snapshot.Text
+	sources     []namedMeter             // same meters with a source label, for /metrics
 
 	// methods accumulates per-join-method outcome series for /metrics:
 	// which of the paper's §3 methods the optimizer picked and what each
@@ -189,8 +190,20 @@ func New(eng *core.Engine, cfg Config) *Gateway {
 		if svc == nil {
 			continue
 		}
-		if c, ok := svc.(*texservice.Cached); ok {
-			g.caches = append(g.caches, c)
+		// Walk the decorator chain: the engine may stack a probe cache on
+		// top of the search cache on top of the backend.
+		for s := svc; s != nil; {
+			switch d := s.(type) {
+			case *texservice.Cached:
+				g.caches = append(g.caches, d)
+			case *texservice.ProbeCache:
+				g.probeCaches = append(g.probeCaches, d)
+			}
+			u, ok := s.(interface{ Unwrap() texservice.Service })
+			if !ok {
+				break
+			}
+			s = u.Unwrap()
 		}
 		if m := svc.Meter(); m != nil && !seen[m] {
 			seen[m] = true
@@ -570,6 +583,15 @@ func (g *Gateway) Stats() Snapshot {
 	}
 	if total := s.Cache.Hits + s.Cache.Misses; total > 0 {
 		s.Cache.HitRate = float64(s.Cache.Hits) / float64(total)
+	}
+	for _, c := range g.probeCaches {
+		hits, misses := c.Stats()
+		s.ProbeCache.Hits += hits
+		s.ProbeCache.Misses += misses
+		s.ProbeCache.Invalidations += c.Invalidations()
+	}
+	if total := s.ProbeCache.Hits + s.ProbeCache.Misses; total > 0 {
+		s.ProbeCache.HitRate = float64(s.ProbeCache.Hits) / float64(total)
 	}
 	for _, m := range g.meters {
 		s.Text = s.Text.Add(m.Snapshot())

@@ -164,6 +164,15 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// ProbeCacheStats reports the cross-query probe-result cache's
+// effectiveness across every registered text source that has one.
+type ProbeCacheStats struct {
+	Hits          int     `json:"hits"`
+	Misses        int     `json:"misses"`
+	Invalidations int     `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
 // Snapshot is a point-in-time JSON-serializable view of the gateway: its
 // configuration, admission counters, latency and per-query text-cost
 // histograms, shared cache statistics, and the shared text-service meters'
@@ -191,7 +200,9 @@ type Snapshot struct {
 	PlanFailed       uint64 `json:"plan_failed"`
 	SlowLogged       uint64 `json:"slow_logged"`
 
-	Cache    CacheStats       `json:"cache"`
+	Cache      CacheStats      `json:"cache"`
+	ProbeCache ProbeCacheStats `json:"probe_cache"`
+
 	Latency  HistSnapshot     `json:"latency_seconds"`
 	TextCost HistSnapshot     `json:"text_cost_seconds"`
 	Text     texservice.Usage `json:"text_usage"`

@@ -59,6 +59,13 @@ type PTS struct {
 	// Grouped selects the ordered/grouped no-cache variant (implies the
 	// lazy query-first discipline within a probe group).
 	Grouped bool
+	// Batched turns on batched probe pushdown for the eager variant's
+	// probing phase: deduplicated, sorted probe bindings are packed into
+	// OR groups under the term limit (or travel via batched invocation)
+	// instead of one search each. The result set is identical; only the
+	// number of probe round trips changes. Ignored by Lazy and Grouped,
+	// whose query-first discipline is inherently per-binding.
+	Batched bool
 }
 
 // Name implements Method.
@@ -68,6 +75,8 @@ func (m PTS) Name() string {
 		return "P+TS(grouped)"
 	case m.Lazy:
 		return "P+TS(lazy)"
+	case m.Batched:
+		return "P+TS(batched)"
 	default:
 		return "P+TS"
 	}
@@ -106,24 +115,38 @@ func (m PTS) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (*
 func (m PTS) executeEager(ctx context.Context, spec *Spec, svc texservice.Service) (*Result, error) {
 	return run(ctx, m.Name(), spec, svc, func(ex *execution) error {
 		probePreds := spec.predsOn(m.ProbeColumns)
-		// Phase 1: one probe per distinct probe-column binding.
+		// Phase 1: probe the distinct probe-column bindings in sorted key
+		// order (deterministic wire traffic) — batched into OR groups when
+		// Batched is set, one search per binding otherwise.
 		pKeys, pGroups, err := spec.Relation.GroupBy(m.ProbeColumns...)
 		if err != nil {
 			return err
 		}
 		probeSuccess := make(map[string]bool, len(pKeys))
-		for _, pkey := range pKeys {
-			rep := spec.Relation.Rows[pGroups[pkey][0]]
-			pexpr, ok := spec.SubstExpr(rep, probePreds)
-			if !ok {
-				continue
-			}
-			pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
+		if m.Batched {
+			outcomes, probes, rounds, err := batchProbe(ex.ctx, spec, m.ProbeColumns, svc, false)
 			if err != nil {
 				return err
 			}
-			ex.stats.Probes++
-			probeSuccess[pkey] = !pres.IsEmpty()
+			ex.stats.Probes += probes
+			ex.stats.BatchRounds += rounds
+			for pkey, o := range outcomes {
+				probeSuccess[pkey] = o.success
+			}
+		} else {
+			for _, pkey := range sortedKeys(pKeys) {
+				rep := spec.Relation.Rows[pGroups[pkey][0]]
+				pexpr, ok := spec.SubstExpr(rep, probePreds)
+				if !ok {
+					continue
+				}
+				pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
+				if err != nil {
+					return err
+				}
+				ex.stats.Probes++
+				probeSuccess[pkey] = !pres.IsEmpty()
+			}
 		}
 		// Phase 2: substitution for surviving bindings.
 		cols := spec.JoinColumns()
@@ -294,10 +317,20 @@ var _ Method = PTS{}
 type PRTP struct {
 	// ProbeColumns is the probe set P; a nonempty subset of join columns.
 	ProbeColumns []string
+	// Batched turns on batched probe pushdown: the distinct probe
+	// bindings travel in OR groups under the term limit (or via batched
+	// invocation), with hits attributed back to bindings relationally.
+	// Result rows and their order are identical to per-binding probing.
+	Batched bool
 }
 
 // Name implements Method.
-func (PRTP) Name() string { return "P+RTP" }
+func (m PRTP) Name() string {
+	if m.Batched {
+		return "P+RTP(batched)"
+	}
+	return "P+RTP"
+}
 
 // Applicable implements Method: the non-probe predicates must be
 // evaluable by SQL string matching over short-form fields.
@@ -326,27 +359,50 @@ func (m PRTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (
 		}
 		probePreds := spec.predsOn(m.ProbeColumns)
 		restPreds := spec.predsNotOn(m.ProbeColumns)
-		for _, key := range keys {
-			members := groups[key]
-			rep := spec.Relation.Rows[members[0]]
-			pexpr, ok := spec.SubstExpr(rep, probePreds)
-			if !ok {
-				continue
-			}
-			pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
+		// Probe phase, in sorted binding order (deterministic wire
+		// traffic): collect per-binding hits, batched or one search each.
+		outcomes := map[string]probeOutcome{}
+		if m.Batched {
+			var probes, rounds int
+			outcomes, probes, rounds, err = batchProbe(ex.ctx, spec, m.ProbeColumns, svc, true)
 			if err != nil {
 				return err
 			}
-			ex.stats.Probes++
-			if pres.IsEmpty() {
+			ex.stats.Probes += probes
+			ex.stats.BatchRounds += rounds
+		} else {
+			for _, key := range sortedKeys(keys) {
+				rep := spec.Relation.Rows[groups[key][0]]
+				pexpr, ok := spec.SubstExpr(rep, probePreds)
+				if !ok {
+					continue
+				}
+				pres, err := svc.Search(ex.ctx, pexpr, texservice.FormShort)
+				if err != nil {
+					return err
+				}
+				ex.stats.Probes++
+				if pres.IsEmpty() {
+					outcomes[key] = probeOutcome{}
+					continue
+				}
+				svc.Meter().ChargeRTP(ex.ctx, len(pres.Hits))
+				outcomes[key] = probeOutcome{success: true, hits: pres.Hits}
+			}
+		}
+		// Emission phase, in first-appearance binding order — the same
+		// output order either way.
+		for _, key := range keys {
+			o := outcomes[key]
+			if !o.success {
 				continue
 			}
-			svc.Meter().ChargeRTP(ex.ctx, len(pres.Hits))
+			members := groups[key]
 			tuples := make([]relation.Tuple, len(members))
 			for i, rowIdx := range members {
 				tuples[i] = spec.Relation.Rows[rowIdx]
 			}
-			if err := matchHitsRelationally(ex, tuples, pres.Hits, restPreds); err != nil {
+			if err := matchHitsRelationally(ex, tuples, o.hits, restPreds); err != nil {
 				return err
 			}
 		}
@@ -356,11 +412,25 @@ func (m PRTP) Execute(ctx context.Context, spec *Spec, svc texservice.Service) (
 
 var _ Method = PRTP{}
 
+// ProbeOpts configures the probe-as-semi-join reducer.
+type ProbeOpts struct {
+	// Batched turns on batched probe pushdown (OR packing or batched
+	// invocation) for the reducer's probes.
+	Batched bool
+}
+
 // ProbeReduce implements the probe-as-semi-join reducer used by PrL trees
 // (§6): it returns the tuples of the spec's relation whose probe on the
 // given columns succeeds, together with the execution stats. The result
 // has the same schema as the input relation.
 func ProbeReduce(ctx context.Context, spec *Spec, probeCols []string, svc texservice.Service) (*relation.Table, Stats, error) {
+	return ProbeReduceOpts(ctx, spec, probeCols, svc, ProbeOpts{})
+}
+
+// ProbeReduceOpts is ProbeReduce with options. Probes are issued in
+// sorted binding order in every mode; output rows keep the relation's
+// first-appearance order, so the result is identical batched or not.
+func ProbeReduceOpts(ctx context.Context, spec *Spec, probeCols []string, svc texservice.Service, opts ProbeOpts) (*relation.Table, Stats, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -375,36 +445,51 @@ func ProbeReduce(ctx context.Context, spec *Spec, probeCols []string, svc texser
 		return nil, Stats{}, err
 	}
 	probePreds := spec.predsOn(probeCols)
-	out := relation.NewTable(spec.Relation.Name, spec.Relation.Schema)
-	probes := 0
-	for _, key := range keys {
-		members := groups[key]
-		rep := spec.Relation.Rows[members[0]]
-		pexpr, ok := spec.SubstExpr(rep, probePreds)
-		if !ok {
-			continue
-		}
-		pres, err := svc.Search(ctx, pexpr, texservice.FormShort)
+	probes, rounds := 0, 0
+	success := make(map[string]bool, len(keys))
+	if opts.Batched {
+		outcomes, p, r, err := batchProbe(ctx, spec, probeCols, svc, false)
 		if err != nil {
 			return nil, Stats{}, err
 		}
-		probes++
-		if pres.IsEmpty() {
+		probes, rounds = p, r
+		for key, o := range outcomes {
+			success[key] = o.success
+		}
+	} else {
+		for _, key := range sortedKeys(keys) {
+			rep := spec.Relation.Rows[groups[key][0]]
+			pexpr, ok := spec.SubstExpr(rep, probePreds)
+			if !ok {
+				continue
+			}
+			pres, err := svc.Search(ctx, pexpr, texservice.FormShort)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			probes++
+			success[key] = !pres.IsEmpty()
+		}
+	}
+	out := relation.NewTable(spec.Relation.Name, spec.Relation.Schema)
+	for _, key := range keys {
+		if !success[key] {
 			continue
 		}
-		for _, rowIdx := range members {
+		for _, rowIdx := range groups[key] {
 			out.Rows = append(out.Rows, spec.Relation.Rows[rowIdx])
 		}
 	}
 	stats := Stats{
-		Usage:      svc.Meter().Snapshot().Sub(before),
-		Probes:     probes,
-		ResultRows: out.Cardinality(),
+		Usage:       svc.Meter().Snapshot().Sub(before),
+		Probes:      probes,
+		BatchRounds: rounds,
+		ResultRows:  out.Cardinality(),
 	}
 	if sp != nil {
 		sp.SetAttr(obs.Int("input_rows", spec.Relation.Cardinality()),
 			obs.Int("rows", stats.ResultRows), obs.Int("probes", probes),
-			obs.F64("text_cost", stats.Usage.Cost))
+			obs.Int("batch_rounds", rounds), obs.F64("text_cost", stats.Usage.Cost))
 	}
 	return out, stats, nil
 }

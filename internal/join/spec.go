@@ -196,6 +196,9 @@ type Stats struct {
 	Usage texservice.Usage
 	// Probes is the number of probe searches among Usage.Searches.
 	Probes int
+	// BatchRounds is how many of the probe searches were batched
+	// (multi-binding) round trips — zero under per-tuple probing.
+	BatchRounds int
 	// ResultRows is the number of rows produced.
 	ResultRows int
 }
@@ -243,6 +246,7 @@ func run(ctx context.Context, method string, spec *Spec, svc texservice.Service,
 	if sp != nil {
 		sp.SetAttr(obs.Int("input_rows", spec.Relation.Cardinality()),
 			obs.Int("rows", ex.stats.ResultRows), obs.Int("probes", ex.stats.Probes),
+			obs.Int("batch_rounds", ex.stats.BatchRounds),
 			obs.Int("searches", ex.stats.Usage.Searches), obs.F64("text_cost", ex.stats.Usage.Cost))
 	}
 	return &Result{Table: ex.out, Stats: ex.stats}, nil

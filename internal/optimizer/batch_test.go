@@ -1,0 +1,130 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"textjoin/internal/cost"
+	"textjoin/internal/exec"
+	"textjoin/internal/join"
+	"textjoin/internal/plan"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/stats"
+	"textjoin/internal/texservice"
+)
+
+// optimizeBatch runs the optimizer with the batched-probe gate set as
+// requested.
+func optimizeBatch(t *testing.T, a *sqlparse.Analyzed, cat *sqlparse.Catalog, svc *texservice.Local, batch bool) *Result {
+	t.Helper()
+	est := stats.New(svc, stats.WithSampleSize(1000), stats.WithSeed(1))
+	opts := DefaultOptions()
+	opts.Mode = ModePrL
+	opts.BatchProbe = batch
+	o, err := New(a, cat, svc, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// batchedNodes collects the plan's batched markers: probe nodes with
+// Batched set and text joins running a batched method.
+func batchedNodes(n plan.Node) (probes, joins int) {
+	plan.Walk(n, func(n plan.Node) {
+		switch n := n.(type) {
+		case *plan.Probe:
+			if n.Batched {
+				probes++
+			}
+		case *plan.TextJoin:
+			if n.Method == cost.MethodPTSBatch || n.Method == cost.MethodPRTPBatch {
+				joins++
+			}
+		}
+	})
+	return
+}
+
+// TestBatchProbeOffLeavesPlansUnchanged: without the gate the optimizer
+// never emits a batched probe or a batched method — existing plans are
+// the seed's, byte for byte.
+func TestBatchProbeOffLeavesPlansUnchanged(t *testing.T) {
+	cat, svc := fixture(t, 3)
+	for _, src := range []string{
+		`select student.name, mercury.docid, mercury.title
+			from student, mercury
+			where student.year > 2 and student.name in mercury.author`,
+		q5src,
+	} {
+		a := mustAnalyze(t, cat, src)
+		off := optimizeBatch(t, a, cat, svc, false)
+		probes, joins := batchedNodes(off.Plan)
+		if probes+joins > 0 {
+			t.Errorf("gated plan contains %d batched probes, %d batched joins:\n%s",
+				probes, joins, plan.String(off.Plan))
+		}
+		if strings.Contains(plan.String(off.Plan), "[batched]") {
+			t.Errorf("gated plan renders a batched marker:\n%s", plan.String(off.Plan))
+		}
+		base := optimize(t, a, cat, svc, ModePrL)
+		if plan.String(off.Plan) != plan.String(base.Plan) {
+			t.Errorf("explicit BatchProbe=false diverged from the default plan:\n%s\nvs\n%s",
+				plan.String(off.Plan), plan.String(base.Plan))
+		}
+	}
+}
+
+// TestBatchProbePlanExecutes: with the gate on, the optimizer batches the
+// probe phase (the fixture's 40 distinct names pack into one round trip
+// under M=70, so batching always wins), the plan still computes exactly
+// the naive answer, and the executor attributes batched round trips.
+func TestBatchProbePlanExecutes(t *testing.T) {
+	cat, svc := fixture(t, 3)
+	a := mustAnalyze(t, cat, q5src)
+	on := optimizeBatch(t, a, cat, svc, true)
+	probes, joins := batchedNodes(on.Plan)
+	if probes+joins == 0 {
+		t.Fatalf("BatchProbe plan contains nothing batched:\n%s", plan.String(on.Plan))
+	}
+	off := optimizeBatch(t, a, cat, svc, false)
+	if on.EstCost > off.EstCost {
+		t.Errorf("batched plan predicted at %v, per-tuple at %v — enabling an option must not cost more",
+			on.EstCost, off.EstCost)
+	}
+
+	ex := &exec.Executor{Cat: cat, Svc: svc}
+	got, st, err := ex.Run(bg, on.Plan)
+	if err != nil {
+		t.Fatalf("%v\nplan:\n%s", err, plan.String(on.Plan))
+	}
+	want, err := exec.NaiveQuery(a, cat, svc.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(got, want) {
+		t.Fatalf("batched plan result (%d rows) differs from naive (%d)\nplan:\n%s",
+			got.Cardinality(), want.Cardinality(), plan.String(on.Plan))
+	}
+	if st.BatchRounds == 0 {
+		t.Errorf("executor recorded no batched round trips for plan:\n%s", plan.String(on.Plan))
+	}
+	offRun, offSt, err := ex.Run(bg, off.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !join.SameRows(got, offRun) {
+		t.Fatal("batched and per-tuple plans disagree")
+	}
+	// The ungated optimizer may well pick a probe-free plan (probing per
+	// tuple has to pay an invocation per binding); only when both plans
+	// probe is the round-trip comparison meaningful.
+	if plan.CountProbes(off.Plan) > 0 && st.Probes >= offSt.Probes {
+		t.Errorf("batched plan used %d probe round trips, per-tuple %d — batching should reduce them",
+			st.Probes, offSt.Probes)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"textjoin/internal/plan"
 	"textjoin/internal/relation"
 	"textjoin/internal/sqlparse"
+	"textjoin/internal/texservice"
 )
 
 // Classic System-R style selectivity guesses for relational predicates.
@@ -321,8 +322,10 @@ func (o *Optimizer) costParams(source string, card float64, predIdxs []int, prob
 			Fanout:   fanout,
 			Distinct: distinct,
 			Terms:    terms,
+			TermsMax: e.TermsMax,
 		})
 	}
+	p.BatchProbe = o.opts.BatchProbe && o.canBatchProbe(source)
 	if st, ok := o.selStats[source]; ok {
 		p.HasSel = true
 		p.SelFanout = st.Fanout
@@ -375,9 +378,17 @@ func (o *Optimizer) probeCands(c cand, srcMask uint32) ([]cand, error) {
 }
 
 // probeCand builds the probe-node candidate for one probe set (indexes
-// into avail, which indexes o.a.Foreign).
+// into avail, which indexes o.a.Foreign). With batching enabled it costs
+// both the per-tuple and the batched probe discipline and plans the
+// cheaper one.
 func (o *Optimizer) probeCand(c cand, source string, avail []int, subset []int, params *cost.Params) cand {
 	probeCost := params.CostProbe(subset)
+	batched := false
+	if params.BatchProbe {
+		if bc := params.CostProbeBatched(subset); bc < probeCost {
+			probeCost, batched = bc, true
+		}
+	}
 	reduced := math.Max(1, c.card*params.JointSel(subset))
 	preds := make([]sqlparse.ForeignPred, len(subset))
 	probed := c.probed
@@ -392,8 +403,21 @@ func (o *Optimizer) probeCand(c cand, source string, avail []int, subset []int, 
 		Source:  source,
 		Preds:   preds,
 		TextSel: o.a.Part(source).Sel,
+		Batched: batched,
 	}
 	return out
+}
+
+// canBatchProbe reports whether the source's service can execute batched
+// probes: either the probe fields travel in the short form (so OR-packed
+// batches can be attributed relationally) or the service offers batched
+// invocation.
+func (o *Optimizer) canBatchProbe(source string) bool {
+	if o.shortFieldsCover(source) {
+		return true
+	}
+	_, ok := o.services[source].(texservice.BatchSearcher)
+	return ok
 }
 
 // textJoinCands generates the foreign-join candidates of one source for
@@ -427,7 +451,7 @@ func (o *Optimizer) textJoinCands(c cand, source string) ([]cand, error) {
 		if !params.Applicable(m) {
 			continue
 		}
-		if (m == cost.MethodRTP || m == cost.MethodSJRTP || m == cost.MethodPRTP) && !shortOK {
+		if (m == cost.MethodRTP || m == cost.MethodSJRTP || m == cost.MethodPRTP || m == cost.MethodPRTPBatch) && !shortOK {
 			continue
 		}
 		var methodCost float64
@@ -439,6 +463,14 @@ func (o *Optimizer) textJoinCands(c cand, source string) ([]cand, error) {
 			probeCols = o.probeColumnNames(all, J)
 		case cost.MethodPRTP:
 			J, cst := params.OptimalProbe(params.CostPRTP)
+			methodCost = cst
+			probeCols = o.probeColumnNames(all, J)
+		case cost.MethodPTSBatch:
+			J, cst := params.OptimalProbe(params.CostPTSBatch)
+			methodCost = cst
+			probeCols = o.probeColumnNames(all, J)
+		case cost.MethodPRTPBatch:
+			J, cst := params.OptimalProbe(params.CostPRTPBatch)
 			methodCost = cst
 			probeCols = o.probeColumnNames(all, J)
 		default:

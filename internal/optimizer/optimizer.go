@@ -73,6 +73,11 @@ type Options struct {
 	RelTupleCost float64
 	// FrontierCap bounds the Pareto frontier per DP state in ModePrL.
 	FrontierCap int
+	// BatchProbe lets the optimizer consider batched probe pushdown: the
+	// batched variants of the probing methods and batched probe reducers.
+	// It only takes effect against sources whose service can actually
+	// batch (short-form probe fields or a batched invocation capability).
+	BatchProbe bool
 }
 
 // DefaultOptions returns the defaults: PrL mode, fully correlated model.

@@ -74,6 +74,10 @@ type Probe struct {
 	Preds []sqlparse.ForeignPred
 	// TextSel is the source's text selection; probes carry it (§3.3).
 	TextSel textidx.Expr
+	// Batched selects batched probe pushdown: distinct bindings packed
+	// into few large searches under the term limit instead of one search
+	// per binding.
+	Batched bool
 }
 
 // Children implements Node.
@@ -85,7 +89,11 @@ func (p *Probe) Describe() string {
 	for i, f := range p.Preds {
 		cols[i] = f.Column
 	}
-	return fmt.Sprintf("Probe(%s)", strings.Join(cols, ", "))
+	suffix := ""
+	if p.Batched {
+		suffix = " [batched]"
+	}
+	return fmt.Sprintf("Probe(%s)%s", strings.Join(cols, ", "), suffix)
 }
 
 // Join is a relational join between the accumulated left input and a base

@@ -43,6 +43,7 @@ func (e *Estimator) BuildParams(spec *join.Spec, g int) (*cost.Params, error) {
 			Fanout:   est.Fanout,
 			Distinct: distinct,
 			Terms:    est.Terms,
+			TermsMax: est.TermsMax,
 		})
 	}
 	if spec.TextSel != nil {
@@ -114,6 +115,12 @@ func InstantiateMethod(spec *join.Spec, p *cost.Params, m cost.Method) (join.Met
 	case cost.MethodPRTP:
 		J, _ := p.OptimalProbe(p.CostPRTP)
 		return join.PRTP{ProbeColumns: ProbeColumnsFor(spec, J)}, nil
+	case cost.MethodPTSBatch:
+		J, _ := p.OptimalProbe(p.CostPTSBatch)
+		return join.PTS{ProbeColumns: ProbeColumnsFor(spec, J), Batched: true}, nil
+	case cost.MethodPRTPBatch:
+		J, _ := p.OptimalProbe(p.CostPRTPBatch)
+		return join.PRTP{ProbeColumns: ProbeColumnsFor(spec, J), Batched: true}, nil
 	default:
 		return nil, errUnknownMethod
 	}

@@ -37,6 +37,10 @@ type Estimate struct {
 	// of this predicate uses (the mean over the sample, rounded up): 1
 	// for single-word values, more for phrase values.
 	Terms int
+	// TermsMax is the largest term count any sampled instantiation used.
+	// Batched probing packs bindings by their actual term counts, so its
+	// capacity estimates use this conservative maximum, not the mean.
+	TermsMax int
 }
 
 // SelectionStats carries the statistics of a pure text selection.
@@ -143,13 +147,20 @@ func (e *Estimator) Predicate(tbl *relation.Table, column, field string) (Estima
 	matched := 0
 	totalDocs := 0
 	totalTerms := 0
+	maxTerms := 0
 	for _, v := range sample {
 		expr, err := textidx.MakeExactPred(field, v.Text())
 		if err != nil {
 			totalTerms++ // count unsearchable values as single terms
-			continue     // they match nothing, so contribute zero docs
+			if maxTerms < 1 {
+				maxTerms = 1
+			}
+			continue // they match nothing, so contribute zero docs
 		}
 		totalTerms += expr.TermCount()
+		if tc := expr.TermCount(); tc > maxTerms {
+			maxTerms = tc
+		}
 		var freq int
 		if useExport {
 			freq, err = provider.TermDocFrequency(context.Background(), field, v.Text())
@@ -175,6 +186,7 @@ func (e *Estimator) Predicate(tbl *relation.Table, column, field string) (Estima
 		est.CondFanout = float64(totalDocs) / float64(matched)
 	}
 	est.Terms = (totalTerms + len(sample) - 1) / len(sample) // ceil of the mean
+	est.TermsMax = maxTerms
 	e.predCache[key] = est
 	return est, nil
 }

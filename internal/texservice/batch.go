@@ -1,0 +1,279 @@
+package texservice
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+
+	"textjoin/internal/obs"
+	"textjoin/internal/textidx"
+)
+
+var (
+	errNoBatchCapability = errors.New("texservice: inner service does not support batched invocation")
+	errNoStatsCapability = errors.New("texservice: inner service does not export statistics")
+)
+
+// This file provides the batched-probe entry point and the cross-query
+// probe-result cache that support batched probe pushdown: many probe
+// instantiations travel in few invocations (under the term limit M), and
+// probe answers are shared across queries keyed on normalized expressions.
+
+// SearchBatch evaluates the expressions in order against the service and
+// returns aligned results plus the number of invocations issued. It is
+// the safe entry point for issuing many searches at once: the batch is
+// split into chunks whose total term count respects svc.MaxTerms(), so a
+// *TermLimitError is never surfaced for a splittable batch — only an
+// expression that alone exceeds the limit fails, with exactly the error a
+// plain Search of it would produce.
+//
+// When the service supports batched invocation (BatchSearcher — the local
+// backend, and shard.Sharded federating each chunk to every shard with
+// per-leg CritCost accounting), each chunk is one invocation; otherwise
+// every expression is searched individually and the invocation count
+// equals the expression count.
+func SearchBatch(ctx context.Context, svc Service, exprs []textidx.Expr, form Form) ([]*Result, int, error) {
+	if len(exprs) == 0 {
+		return nil, 0, nil
+	}
+	ctx, sp := obs.StartSpan(ctx, "texservice.batch")
+	defer sp.End()
+	batcher, batched := svc.(BatchSearcher)
+	limit := svc.MaxTerms()
+	out := make([]*Result, len(exprs))
+	invocations := 0
+
+	// flush issues exprs[start:end] as one invocation (or individual
+	// searches without the capability).
+	flush := func(start, end int) error {
+		if start == end {
+			return nil
+		}
+		if batched {
+			results, err := batcher.BatchSearch(ctx, exprs[start:end], form)
+			if err != nil {
+				return err
+			}
+			copy(out[start:], results)
+			invocations++
+			return nil
+		}
+		for i := start; i < end; i++ {
+			res, err := svc.Search(ctx, exprs[i], form)
+			if err != nil {
+				return err
+			}
+			out[i] = res
+			invocations++
+		}
+		return nil
+	}
+
+	start := 0
+	terms := 0
+	for i, e := range exprs {
+		t := e.TermCount()
+		if t > limit {
+			// This expression cannot fit any batch; flush what precedes it
+			// and send it alone so it fails (or succeeds) exactly as an
+			// unbatched Search would.
+			if err := flush(start, i); err != nil {
+				return nil, invocations, err
+			}
+			res, err := svc.Search(ctx, e, form)
+			if err != nil {
+				return nil, invocations, err
+			}
+			out[i] = res
+			invocations++
+			start, terms = i+1, 0
+			continue
+		}
+		if terms+t > limit {
+			if err := flush(start, i); err != nil {
+				return nil, invocations, err
+			}
+			start, terms = i, 0
+		}
+		terms += t
+	}
+	if err := flush(start, len(exprs)); err != nil {
+		return nil, invocations, err
+	}
+	if sp != nil {
+		sp.SetAttr(obs.Int("queries", len(exprs)), obs.Int("invocations", invocations))
+	}
+	return out, invocations, nil
+}
+
+// ProbeCache decorates a Service with a cross-query cache of short-form
+// search results keyed on *normalized* expressions (textidx.Normalize):
+// two probes that differ only in conjunct order or nesting share one
+// entry, so the batched-probe pushdown's OR groups and per-tuple probes
+// from different queries reuse each other's answers. Long-form searches
+// pass through uncached (they are result transmission, not probing).
+//
+// The cache is sound while the collection is immutable. Invalidate is the
+// hook a future ingest path must call when documents change; it bumps the
+// collection version and drops every entry. InvalidateDoc is the stub for
+// finer-grained invalidation — today it degrades to a full Invalidate,
+// but the signature fixes the contract ingest will need.
+type ProbeCache struct {
+	inner Service
+
+	mu      sync.Mutex
+	lru     *list.List // of *probeEntry, front = most recent
+	entries map[string]*list.Element
+	cap     int
+	version uint64
+	hits    int
+	misses  int
+	invals  int
+}
+
+type probeEntry struct {
+	key string
+	res *Result
+}
+
+// NewProbeCache wraps a service with a probe-result LRU of the given
+// capacity (entries).
+func NewProbeCache(inner Service, capacity int) *ProbeCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ProbeCache{
+		inner:   inner,
+		lru:     list.New(),
+		entries: map[string]*list.Element{},
+		cap:     capacity,
+	}
+}
+
+// Search implements Service, serving repeated short-form probes from the
+// normalized-key cache.
+func (c *ProbeCache) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
+	if form != FormShort {
+		return c.inner.Search(ctx, e, form)
+	}
+	key := textidx.Normalize(e).String()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*probeEntry).res
+		c.hits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	version := c.version
+	c.mu.Unlock()
+
+	res, err := c.inner.Search(ctx, e, form)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.misses++
+	// An invalidation racing with the backend call makes the result stale
+	// relative to the new collection version: return it (it was correct
+	// when issued) but do not cache it.
+	if c.version == version {
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+		} else {
+			el := c.lru.PushFront(&probeEntry{key: key, res: res})
+			c.entries[key] = el
+			if c.lru.Len() > c.cap {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.entries, oldest.Value.(*probeEntry).key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// BatchSearch implements BatchSearcher when the inner service does. The
+// batch travels whole — batched probes already deduplicate upstream, so
+// per-expression cache lookups would only split invocations back apart.
+func (c *ProbeCache) BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form) ([]*Result, error) {
+	batcher, ok := c.inner.(BatchSearcher)
+	if !ok {
+		return nil, errNoBatchCapability
+	}
+	return batcher.BatchSearch(ctx, exprs, form)
+}
+
+// TermDocFrequency implements StatsProvider when the inner service does.
+func (c *ProbeCache) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
+	provider, ok := c.inner.(StatsProvider)
+	if !ok {
+		return 0, errNoStatsCapability
+	}
+	return provider.TermDocFrequency(ctx, field, term)
+}
+
+// Invalidate drops every cached probe result and advances the collection
+// version. Ingest paths must call it after mutating the collection.
+func (c *ProbeCache) Invalidate() {
+	c.mu.Lock()
+	c.version++
+	c.invals++
+	c.lru.Init()
+	c.entries = map[string]*list.Element{}
+	c.mu.Unlock()
+}
+
+// InvalidateDoc is the per-document invalidation hook for future ingest.
+// Today it conservatively drops the whole cache: a changed document can
+// affect any cached result, and tracking result→document membership is
+// deferred until an ingest path exists to need it.
+func (c *ProbeCache) InvalidateDoc(id textidx.DocID) {
+	c.Invalidate()
+}
+
+// Retrieve implements Service (pass-through).
+func (c *ProbeCache) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	return c.inner.Retrieve(ctx, id)
+}
+
+// NumDocs implements Service.
+func (c *ProbeCache) NumDocs() (int, error) { return c.inner.NumDocs() }
+
+// MaxTerms implements Service.
+func (c *ProbeCache) MaxTerms() int { return c.inner.MaxTerms() }
+
+// ShortFields implements Service.
+func (c *ProbeCache) ShortFields() []string { return c.inner.ShortFields() }
+
+// Meter implements Service: the inner meter, which cache hits never touch.
+func (c *ProbeCache) Meter() *Meter { return c.inner.Meter() }
+
+// Unwrap returns the decorated service, so serving layers can discover
+// decorators below this one (e.g. the general search cache).
+func (c *ProbeCache) Unwrap() Service { return c.inner }
+
+// Stats reports probe-cache hits and misses.
+func (c *ProbeCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Invalidations reports how many times the cache was invalidated.
+func (c *ProbeCache) Invalidations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invals
+}
+
+// Version returns the collection version the cache believes it serves.
+func (c *ProbeCache) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+var _ Service = (*ProbeCache)(nil)

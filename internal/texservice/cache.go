@@ -173,4 +173,28 @@ func (c *Cached) Dedups() int {
 	return c.dedups
 }
 
+// Unwrap exposes the decorated service, so callers can walk a decorator
+// chain (e.g. a probe cache stacked on a search cache).
+func (c *Cached) Unwrap() Service { return c.inner }
+
+// BatchSearch implements BatchSearcher when the inner service does.
+// Batched invocations bypass the cache: their results are aligned
+// per-expression answers, cached (if at all) by a ProbeCache above.
+func (c *Cached) BatchSearch(ctx context.Context, exprs []textidx.Expr, form Form) ([]*Result, error) {
+	batcher, ok := c.inner.(BatchSearcher)
+	if !ok {
+		return nil, errNoBatchCapability
+	}
+	return batcher.BatchSearch(ctx, exprs, form)
+}
+
+// TermDocFrequency implements StatsProvider when the inner service does.
+func (c *Cached) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
+	provider, ok := c.inner.(StatsProvider)
+	if !ok {
+		return 0, errNoStatsCapability
+	}
+	return provider.TermDocFrequency(ctx, field, term)
+}
+
 var _ Service = (*Cached)(nil)

@@ -1,0 +1,79 @@
+package textidx
+
+import "sort"
+
+// Normalize returns a canonical form of the expression under Boolean
+// semantics: nested conjunctions and disjunctions are flattened, their
+// children are normalized recursively, duplicate children are dropped,
+// and the children are ordered by their rendering. Two expressions that
+// differ only in operand order or nesting (e.g. "a and (b and c)" versus
+// "(c and b) and a") normalize to the same value, so Normalize(e).String()
+// is a sound cache key for search results — the use the cross-query
+// probe-result cache depends on. The result evaluates to exactly the same
+// document set as the input.
+//
+// Normalize never mutates its argument; And/Or nodes are rebuilt.
+func Normalize(e Expr) Expr {
+	switch e := e.(type) {
+	case And:
+		kids := normalizeNary([]Expr(e), flattenAnd)
+		if len(kids) == 1 {
+			return kids[0]
+		}
+		return And(kids)
+	case Or:
+		kids := normalizeNary([]Expr(e), flattenOr)
+		if len(kids) == 1 {
+			return kids[0]
+		}
+		return Or(kids)
+	case Not:
+		return Not{E: Normalize(e.E)}
+	default:
+		// Leaves (Term, Phrase, Prefix, Near) are already canonical.
+		return e
+	}
+}
+
+// flattenAnd appends e's conjuncts to dst, splicing nested Ands.
+func flattenAnd(dst []Expr, e Expr) []Expr {
+	if a, ok := e.(And); ok {
+		for _, sub := range a {
+			dst = flattenAnd(dst, sub)
+		}
+		return dst
+	}
+	return append(dst, Normalize(e))
+}
+
+// flattenOr appends e's disjuncts to dst, splicing nested Ors.
+func flattenOr(dst []Expr, e Expr) []Expr {
+	if o, ok := e.(Or); ok {
+		for _, sub := range o {
+			dst = flattenOr(dst, sub)
+		}
+		return dst
+	}
+	return append(dst, Normalize(e))
+}
+
+// normalizeNary flattens, sorts by rendering and deduplicates the children
+// of one n-ary node.
+func normalizeNary(kids []Expr, flatten func([]Expr, Expr) []Expr) []Expr {
+	flat := make([]Expr, 0, len(kids))
+	for _, k := range kids {
+		flat = flatten(flat, k)
+	}
+	sort.SliceStable(flat, func(i, j int) bool { return flat[i].String() < flat[j].String() })
+	out := flat[:0]
+	var prev string
+	for i, k := range flat {
+		s := k.String()
+		if i > 0 && s == prev {
+			continue
+		}
+		out = append(out, k)
+		prev = s
+	}
+	return out
+}

@@ -21,6 +21,14 @@ go vet ./...
 # Quick race-detector smoke of the sharded federation before the full runs.
 go test -run TestShardedSmoke -race ./internal/shard
 
+# Batched probe pushdown equivalence harness under the race detector:
+# probing methods × {per-tuple, batched} × 1/2/4-shard federations with
+# injected faults, checked against the naive oracle and the exact
+# query-meter mirroring invariant. The seed is fixed in the test
+# (batchPropertySeed) so failures reproduce; -short caps the trial count
+# here, the full-trial run happens in the go test -race ./... pass below.
+go test -race -short -run 'TestBatchedProbing|TestBatchProbe' ./internal/join
+
 # Gateway concurrency suite under the race detector: equivalence,
 # saturation shedding, budgets, drain.
 go vet ./cmd/queryd ./internal/gateway ./internal/loadgen ./internal/appcfg
