@@ -48,6 +48,7 @@ type EngineConfig struct {
 	SearchCache int           // shared search-result LRU entries, 0 = off
 	ProbeCache  int           // cross-query probe-result cache entries, 0 = off
 	BatchProbe  bool          // let the optimizer batch probe round trips
+	Vectorized  bool          // column-oriented batch execution (default on)
 	Tables      TableList     // CSV tables as name=path.csv
 }
 
@@ -55,11 +56,12 @@ type EngineConfig struct {
 // optimizer, no cache).
 func Defaults() EngineConfig {
 	return EngineConfig{
-		Docs:    2000,
-		Seed:    1,
-		Mode:    "prl",
-		Pool:    texservice.DefaultPoolSize,
-		Retries: 1,
+		Docs:       2000,
+		Seed:       1,
+		Mode:       "prl",
+		Pool:       texservice.DefaultPoolSize,
+		Retries:    1,
+		Vectorized: true,
 	}
 }
 
@@ -78,6 +80,7 @@ func (c *EngineConfig) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.SearchCache, "cache", c.SearchCache, "shared search-result cache entries, 0 = off")
 	fs.IntVar(&c.ProbeCache, "probe-cache", c.ProbeCache, "cross-query probe-result cache entries (keyed on normalized expressions), 0 = off")
 	fs.BoolVar(&c.BatchProbe, "batch-probe", c.BatchProbe, "let the optimizer batch probe round trips: distinct probe bindings packed into few large OR searches under the service's term limit")
+	fs.BoolVar(&c.Vectorized, "vectorized", c.Vectorized, "run relational operators as column-oriented batch pipelines; -vectorized=false falls back to the row-at-a-time engine")
 	fs.Var(&c.Tables, "table", "register a CSV table as name=path.csv (repeatable)")
 }
 
@@ -155,6 +158,7 @@ func (c *EngineConfig) BuildEngine() (*core.Engine, func(), error) {
 	opts.SearchCache = c.SearchCache
 	opts.ProbeCache = c.ProbeCache
 	opts.Optimizer.BatchProbe = c.BatchProbe
+	opts.RowEngine = !c.Vectorized
 
 	demo := workload.NewDemo(c.Docs, c.Seed)
 	cleanup := func() {}

@@ -66,6 +66,10 @@ type Options struct {
 	// probe (a∧b vs b∧a) hit the same entry. Invalidation hooks exist for
 	// future ingest; with frozen indexes the cache is always sound.
 	ProbeCache int
+	// RowEngine falls back to the row-at-a-time relational operators. The
+	// default (false) runs scans, joins and projections as column-oriented
+	// batch pipelines (internal/vec); results are identical either way.
+	RowEngine bool
 }
 
 // DefaultOptions returns the engine defaults (PrL space, fully correlated
@@ -165,6 +169,9 @@ type Result struct {
 	// many of those were batched (multi-binding) searches.
 	Probes      int
 	BatchRounds int
+	// Batches is the number of column batches the vectorized operators
+	// emitted (0 when running on the row engine).
+	Batches int
 	// OptimizeTime and ExecuteTime are wall-clock durations.
 	OptimizeTime, ExecuteTime time.Duration
 	// Analyze holds the EXPLAIN ANALYZE tree (per-node estimates next to
@@ -241,10 +248,20 @@ func (e *Engine) PrepareContext(ctx context.Context, src string) (*Prepared, err
 		osp.SetAttr(obs.F64("est_cost", res.EstCost), obs.Str("mode", e.opts.Optimizer.Mode.String()))
 		osp.End()
 	}
+	// Post-optimization rewrites: push residual filters into scans and
+	// restrict scans to referenced columns. Engine-agnostic — the row and
+	// vectorized paths both honor the pruned plan.
+	pruned := plan.Prune(res.Plan, func(name string) (*relation.Schema, bool) {
+		t, ok := e.catalog.Tables[name]
+		if !ok {
+			return nil, false
+		}
+		return t.Schema.Qualify(t.Name), true
+	})
 	return &Prepared{
 		engine:   e,
 		analyzed: a,
-		plan:     res.Plan,
+		plan:     pruned,
 		estCost:  res.EstCost,
 		optTime:  time.Since(start),
 		services: services,
@@ -271,7 +288,8 @@ func (p *Prepared) Run() (*Result, error) {
 // RunContext executes the prepared plan under a context; cancellation or
 // deadline expiry aborts the run's text-service calls.
 func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
-	ex := &exec.Executor{Cat: p.engine.catalog, Svc: inertService{}, Services: p.services}
+	ex := &exec.Executor{Cat: p.engine.catalog, Svc: inertService{}, Services: p.services,
+		Vectorized: !p.engine.opts.RowEngine}
 	ectx, esp := obs.StartSpan(ctx, "execute")
 	start := time.Now()
 	table, st, err := ex.Run(ectx, p.plan)
@@ -289,6 +307,7 @@ func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
 		Usage:        st.Usage,
 		Probes:       st.Probes,
 		BatchRounds:  st.BatchRounds,
+		Batches:      st.Batches,
 		OptimizeTime: p.optTime,
 		ExecuteTime:  time.Since(start),
 	}

@@ -35,6 +35,9 @@ type NodeActual struct {
 	// BatchRounds how many of those were batched (multi-binding).
 	Probes      int
 	BatchRounds int
+	// Batches is the number of column batches this node emitted on the
+	// vectorized path; zero for row-path nodes.
+	Batches int
 }
 
 // Analysis collects per-node actuals for one run. Create with
@@ -67,9 +70,26 @@ func AnalysisFrom(ctx context.Context) *Analysis {
 	return a
 }
 
-// record stores one node's actuals.
+// record stores one node's actuals. A node can be recorded twice — once
+// by its vectorized operator wrapper (which knows the batch count) and
+// once by the row-path eval wrapper at the subtree root (which does not):
+// the batch count of the earlier record is preserved.
 func (a *Analysis) record(n plan.Node, act NodeActual) {
 	a.mu.Lock()
+	if prev, ok := a.nodes[n]; ok && act.Batches == 0 {
+		act.Batches = prev.Batches
+	}
+	a.nodes[n] = act
+	a.mu.Unlock()
+}
+
+// addBatches merges a batch count into a node's existing record without
+// touching the row-path actuals (used for pipeline-boundary nodes whose
+// rows/time/usage were recorded by the row path).
+func (a *Analysis) addBatches(n plan.Node, batches int) {
+	a.mu.Lock()
+	act := a.nodes[n]
+	act.Batches += batches
 	a.nodes[n] = act
 	a.mu.Unlock()
 }
@@ -97,9 +117,12 @@ type AnalyzeNode struct {
 	// ActProbes/ActBatchRounds attribute probe round trips to the
 	// subtree: how many probe searches it issued and how many of those
 	// were batched multi-binding rounds.
-	ActProbes      int            `json:"act_probes"`
-	ActBatchRounds int            `json:"act_batch_rounds"`
-	Children       []*AnalyzeNode `json:"children,omitempty"`
+	ActProbes      int `json:"act_probes"`
+	ActBatchRounds int `json:"act_batch_rounds"`
+	// ActBatches is the number of column batches the node emitted on the
+	// vectorized path (0 = row path).
+	ActBatches int            `json:"act_batches,omitempty"`
+	Children   []*AnalyzeNode `json:"children,omitempty"`
 }
 
 // Tree combines the plan's estimates with the recorded actuals into an
@@ -120,6 +143,7 @@ func (a *Analysis) Tree(root plan.Node) *AnalyzeNode {
 
 		ActProbes:      act.Probes,
 		ActBatchRounds: act.BatchRounds,
+		ActBatches:     act.Batches,
 	}
 	for _, c := range root.Children() {
 		out.Children = append(out.Children, a.Tree(c))
@@ -164,6 +188,10 @@ func FormatAnalyze(w io.Writer, root *AnalyzeNode) {
 			if n.ActBatchRounds > 0 {
 				fmt.Fprintf(w, " batch_rounds=%d", n.ActBatchRounds)
 			}
+		}
+		if n.ActBatches > 0 {
+			fmt.Fprintf(w, " batches=%d avg_rows=%.0f", n.ActBatches,
+				float64(n.ActRows)/float64(n.ActBatches))
 		}
 		fmt.Fprintln(w)
 	}

@@ -20,10 +20,14 @@ import (
 // Executor evaluates plan trees. Svc serves every text source; when a
 // query spans several sources with distinct backends, Services maps each
 // source name to its own service (falling back to Svc for absent names).
+// With Vectorized set, relational subtrees (scans, joins, projections)
+// run as column-oriented batch pipelines (internal/vec) instead of the
+// table-at-a-time row operators; results are identical either way.
 type Executor struct {
-	Cat      *sqlparse.Catalog
-	Svc      texservice.Service
-	Services map[string]texservice.Service
+	Cat        *sqlparse.Catalog
+	Svc        texservice.Service
+	Services   map[string]texservice.Service
+	Vectorized bool
 }
 
 // svcFor resolves the service for a text source.
@@ -49,6 +53,9 @@ type RunStats struct {
 	// BatchRounds is how many of those round trips were batched
 	// (multi-binding) — zero under per-tuple probing.
 	BatchRounds int
+	// Batches counts the column batches the vectorized operators emitted
+	// over the whole run; zero on the pure row path.
+	Batches int
 }
 
 // Run evaluates the plan and returns the result table along with the
@@ -138,14 +145,23 @@ func opName(n plan.Node) string {
 func (e *Executor) evalNode(ctx context.Context, n plan.Node, st *RunStats) (*relation.Table, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
+		if e.Vectorized {
+			return e.evalVec(ctx, n, st)
+		}
 		return e.evalScan(n)
 	case *plan.Probe:
 		return e.evalProbe(ctx, n, st)
 	case *plan.Join:
+		if e.Vectorized {
+			return e.evalVec(ctx, n, st)
+		}
 		return e.evalJoin(ctx, n, st)
 	case *plan.TextJoin:
 		return e.evalTextJoin(ctx, n, st)
 	case *plan.Project:
+		if e.Vectorized {
+			return e.evalVec(ctx, n, st)
+		}
 		in, err := e.eval(ctx, n.Input, st)
 		if err != nil {
 			return nil, err
@@ -162,10 +178,17 @@ func (e *Executor) evalScan(n *plan.Scan) (*relation.Table, error) {
 		return nil, fmt.Errorf("exec: unknown table %q", n.Table)
 	}
 	q := base.Qualified()
-	if n.Pred == nil {
-		return q, nil
+	if n.Pred != nil {
+		var err error
+		q, err = q.Select(n.Pred)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return q.Select(n.Pred)
+	if n.Cols != nil {
+		return q.Project(n.Cols...)
+	}
+	return q, nil
 }
 
 func (e *Executor) evalProbe(ctx context.Context, n *plan.Probe, st *RunStats) (*relation.Table, error) {

@@ -546,6 +546,9 @@ func (g *Gateway) execute(ctx context.Context, sql string, analyze bool) (*Respo
 	}
 
 	g.recordMethods(prep.Plan(), res.Usage.Cost)
+	if res.Batches > 0 {
+		g.ctrs.execBatches.Add(uint64(res.Batches))
+	}
 	resp := &Response{
 		Plan:    prep.Explain(),
 		EstCost: res.EstCost,

@@ -43,6 +43,7 @@ func (g *Gateway) WriteMetrics(w io.Writer) {
 	counter("queries_timed_out_total", "Queries aborted by the per-query deadline.", s.TimedOut)
 	counter("queries_plan_failed_total", "Queries that failed to parse, analyze or optimize.", s.PlanFailed)
 	counter("queries_slow_logged_total", "Queries dumped to the slow-query log.", s.SlowLogged)
+	counter("exec_batches_total", "Column batches emitted by the vectorized execution engine.", s.ExecBatches)
 
 	gauge("workers", "Configured worker-pool size.", float64(s.Workers))
 	gauge("queue_depth", "Configured admission queue capacity.", float64(s.QueueDepth))

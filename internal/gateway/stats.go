@@ -31,6 +31,7 @@ type counters struct {
 	timedOut         atomic.Uint64 // failed: per-query deadline expired (subset of failed)
 	planFailed       atomic.Uint64 // failed: parse/analyze/optimize error (subset of failed)
 	slowLogged       atomic.Uint64 // queries dumped to the slow-query log
+	execBatches      atomic.Uint64 // column batches emitted by the vectorized engine
 	inFlight         atomic.Int64  // currently executing
 	queued           atomic.Int64  // currently waiting for a slot
 	inFlightPeak     atomic.Int64  // high-water mark of inFlight
@@ -199,6 +200,7 @@ type Snapshot struct {
 	TimedOut         uint64 `json:"timed_out"`
 	PlanFailed       uint64 `json:"plan_failed"`
 	SlowLogged       uint64 `json:"slow_logged"`
+	ExecBatches      uint64 `json:"exec_batches"`
 
 	Cache      CacheStats      `json:"cache"`
 	ProbeCache ProbeCacheStats `json:"probe_cache"`
@@ -222,6 +224,7 @@ func (c *counters) snapshot() Snapshot {
 		TimedOut:         c.timedOut.Load(),
 		PlanFailed:       c.planFailed.Load(),
 		SlowLogged:       c.slowLogged.Load(),
+		ExecBatches:      c.execBatches.Load(),
 		InFlight:         int(c.inFlight.Load()),
 		Queued:           int(c.queued.Load()),
 		InFlightPeak:     int(c.inFlightPeak.Load()),

@@ -8,6 +8,8 @@ import (
 	"textjoin/internal/relation"
 	"textjoin/internal/texservice"
 	"textjoin/internal/textidx"
+	"textjoin/internal/value"
+	"textjoin/internal/vec"
 )
 
 // This file implements batched probe pushdown: instead of issuing one
@@ -50,6 +52,43 @@ func sortedKeys(keys []string) []string {
 	return out
 }
 
+// bindingVectors gathers the distinct bindings of the probe columns from
+// column vectors: a vec.TableScan over just those columns streams dense
+// batches, and the composite keys are computed straight down the vectors
+// instead of indexing across full row tuples. Row indices in groups refer
+// to spec.Relation.Rows (the scan preserves source order).
+func bindingVectors(spec *Spec, cols []string) (keys []string, groups map[string][]int, err error) {
+	scan, err := vec.NewTableScan(spec.Relation, cols, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer scan.Close()
+	groups = map[string][]int{}
+	vals := make([]value.Value, len(cols))
+	base := 0
+	for {
+		b, err := scan.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if b == nil {
+			return keys, groups, nil
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			for j := range vals {
+				vals[j] = b.Col(j)[i] // scan batches are dense
+			}
+			k := value.KeyOf(vals...)
+			if _, ok := groups[k]; !ok {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], base+i)
+		}
+		base += n
+	}
+}
+
 // batchProbe computes the probe outcome of every distinct binding of the
 // probe columns, batching probes under the service's term limit. It
 // returns the outcomes keyed by binding key, the number of probe searches
@@ -57,7 +96,7 @@ func sortedKeys(keys []string) []string {
 // invocations. Bindings with unsearchable values have no outcome entry —
 // they cannot match any document, exactly as in per-tuple probing.
 func batchProbe(ctx context.Context, spec *Spec, probeCols []string, svc texservice.Service, needHits bool) (map[string]probeOutcome, int, int, error) {
-	keys, groups, err := spec.Relation.GroupBy(probeCols...)
+	keys, groups, err := bindingVectors(spec, probeCols)
 	if err != nil {
 		return nil, 0, 0, err
 	}

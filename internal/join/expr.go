@@ -14,8 +14,7 @@ type textidxExpr = textidx.Expr
 func (s *Spec) substPreds(tuple relation.Tuple, preds []Pred) (textidx.Expr, bool) {
 	var conj textidx.And
 	for _, p := range preds {
-		idx := s.Relation.Schema.ColumnIndex(p.Column)
-		e, err := textidx.MakeExactPred(p.Field, tuple[idx].Text())
+		e, err := textidx.MakeExactPred(p.Field, tuple[s.offset(p.Column)].Text())
 		if err != nil {
 			return nil, false
 		}

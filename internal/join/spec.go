@@ -51,12 +51,20 @@ type Spec struct {
 	// DocFields are the document fields added to result rows when
 	// LongForm is set.
 	DocFields []string
+
+	// colIdx caches the relation schema's column offsets, resolved once by
+	// Validate so the per-tuple paths (substitution, term counting, binding
+	// keys, relational matching) never repeat the linear schema scan.
+	// Every method execution validates first, so the cache is in place
+	// before any hot loop runs.
+	colIdx map[string]int
 }
 
 // DocIDColumn is the name of the document identifier column in results.
 const DocIDColumn = "docid"
 
-// Validate checks the spec against the relation's schema.
+// Validate checks the spec against the relation's schema and resolves the
+// schema's column offsets into the spec's per-execution cache.
 func (s *Spec) Validate() error {
 	if s.Relation == nil {
 		return fmt.Errorf("join: spec has no relation")
@@ -64,20 +72,36 @@ func (s *Spec) Validate() error {
 	if len(s.Preds) == 0 {
 		return fmt.Errorf("join: spec has no join predicates")
 	}
+	colIdx := make(map[string]int, s.Relation.Schema.Arity())
+	for i, c := range s.Relation.Schema.Cols {
+		colIdx[c.Name] = i
+	}
 	for _, p := range s.Preds {
-		if s.Relation.Schema.ColumnIndex(p.Column) < 0 {
+		if _, ok := colIdx[p.Column]; !ok {
 			return fmt.Errorf("join: relation %s has no column %q", s.Relation.Name, p.Column)
 		}
 		if p.Field == "" {
 			return fmt.Errorf("join: predicate on column %q has empty field", p.Column)
 		}
 	}
+	s.colIdx = colIdx
 	if s.TextSel != nil {
 		if err := textidx.Validate(s.TextSel); err != nil {
 			return fmt.Errorf("join: invalid text selection: %w", err)
 		}
 	}
 	return nil
+}
+
+// offset returns the relation-schema offset of a column, from the cache
+// Validate built, or by a direct schema lookup when the spec has not been
+// validated (only reachable from code calling unexported helpers directly,
+// e.g. tests).
+func (s *Spec) offset(name string) int {
+	if idx, ok := s.colIdx[name]; ok {
+		return idx
+	}
+	return s.Relation.Schema.ColumnIndex(name)
 }
 
 // JoinColumns returns the distinct relation columns referenced by the join
@@ -119,8 +143,7 @@ func (s *Spec) SubstExpr(tuple relation.Tuple, preds []Pred) (textidx.Expr, bool
 		conj = append(conj, s.TextSel)
 	}
 	for _, p := range preds {
-		idx := s.Relation.Schema.ColumnIndex(p.Column)
-		v := tuple[idx]
+		v := tuple[s.offset(p.Column)]
 		e, err := textidx.MakeExactPred(p.Field, v.Text())
 		if err != nil {
 			return nil, false
@@ -139,8 +162,7 @@ func (s *Spec) SubstExpr(tuple relation.Tuple, preds []Pred) (textidx.Expr, bool
 func (s *Spec) TupleTermCount(tuple relation.Tuple) int {
 	n := 0
 	for _, p := range s.Preds {
-		idx := s.Relation.Schema.ColumnIndex(p.Column)
-		e, err := textidx.MakeExactPred(p.Field, tuple[idx].Text())
+		e, err := textidx.MakeExactPred(p.Field, tuple[s.offset(p.Column)].Text())
 		if err != nil {
 			return -1
 		}
@@ -153,7 +175,7 @@ func (s *Spec) TupleTermCount(tuple relation.Tuple) int {
 func (s *Spec) bindingKey(tuple relation.Tuple, cols []string) string {
 	vals := make([]value.Value, len(cols))
 	for i, c := range cols {
-		vals[i] = tuple[s.Relation.Schema.ColumnIndex(c)]
+		vals[i] = tuple[s.offset(c)]
 	}
 	return value.KeyOf(vals...)
 }
@@ -341,8 +363,7 @@ func requireShortFields(preds []Pred, svc texservice.Service) error {
 // using SQL-style string matching (the shared TermOccursIn semantics).
 func (s *Spec) matchesRelationally(tuple relation.Tuple, preds []Pred, fields map[string]string) bool {
 	for _, p := range preds {
-		idx := s.Relation.Schema.ColumnIndex(p.Column)
-		if !textidx.TermOccursIn(tuple[idx].Text(), fields[p.Field]) {
+		if !textidx.TermOccursIn(tuple[s.offset(p.Column)].Text(), fields[p.Field]) {
 			return false
 		}
 	}

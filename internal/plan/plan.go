@@ -46,6 +46,11 @@ type Scan struct {
 	Est
 	Table string
 	Pred  relation.Predicate // over qualified names; True when none
+	// Cols, when non-nil, restricts the scan's output to these qualified
+	// columns (projection pruning; set by Prune). Pred is still evaluated
+	// against the full base row, so pushed-down filters may reference
+	// columns the projection drops.
+	Cols []string
 }
 
 // Children implements Node.
@@ -58,6 +63,9 @@ func (s *Scan) Describe() string {
 		if _, isTrue := s.Pred.(relation.True); !isTrue {
 			p = " [" + s.Pred.String() + "]"
 		}
+	}
+	if s.Cols != nil {
+		p += " -> " + strings.Join(s.Cols, ", ")
 	}
 	return fmt.Sprintf("Scan(%s)%s", s.Table, p)
 }

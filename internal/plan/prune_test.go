@@ -1,0 +1,151 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"textjoin/internal/cost"
+	"textjoin/internal/relation"
+	"textjoin/internal/sqlparse"
+	"textjoin/internal/value"
+)
+
+func pruneSchemaOf(t *testing.T) func(string) (*relation.Schema, bool) {
+	t.Helper()
+	tables := map[string]*relation.Schema{
+		"student": relation.MustSchema(
+			relation.Column{Name: "student.name", Kind: value.KindString},
+			relation.Column{Name: "student.advisor", Kind: value.KindString},
+			relation.Column{Name: "student.year", Kind: value.KindInt},
+			relation.Column{Name: "student.dept", Kind: value.KindString},
+		),
+		"faculty": relation.MustSchema(
+			relation.Column{Name: "faculty.fname", Kind: value.KindString},
+			relation.Column{Name: "faculty.dept", Kind: value.KindString},
+			relation.Column{Name: "faculty.office", Kind: value.KindString},
+		),
+	}
+	return func(name string) (*relation.Schema, bool) {
+		s, ok := tables[name]
+		return s, ok
+	}
+}
+
+func TestPrunePushesSingleSideResidual(t *testing.T) {
+	left := &Scan{Table: "student"}
+	right := &Scan{Table: "faculty"}
+	cross := relation.ColCol{Left: "student.dept", Op: relation.OpNe, Right: "faculty.dept"}
+	single := relation.ColConst{Col: "student.year", Op: relation.OpGt, Const: value.Int(3)}
+	j := &Join{
+		Left: left, Right: right,
+		Equi:      []relation.EquiJoinCond{{Left: "student.advisor", Right: "faculty.fname"}},
+		Residual:  relation.And{single, cross},
+		Algorithm: "hash",
+	}
+	Prune(j, pruneSchemaOf(t))
+
+	if left.Pred == nil || !strings.Contains(left.Pred.String(), "student.year > 3") {
+		t.Errorf("single-side conjunct not pushed into scan: %v", left.Pred)
+	}
+	if j.Residual == nil || strings.Contains(j.Residual.String(), "year") {
+		t.Errorf("residual after pushdown = %v, want only the cross conjunct", j.Residual)
+	}
+	if !strings.Contains(j.Residual.String(), "dept") {
+		t.Errorf("cross conjunct lost from residual: %v", j.Residual)
+	}
+}
+
+func TestPruneRestrictsScanColumns(t *testing.T) {
+	left := &Scan{Table: "student"}
+	right := &Scan{Table: "faculty"}
+	j := &Join{
+		Left: left, Right: right,
+		Equi:      []relation.EquiJoinCond{{Left: "student.advisor", Right: "faculty.fname"}},
+		Algorithm: "hash",
+	}
+	root := &Project{Input: j, Columns: []string{"student.name"}}
+	Prune(root, pruneSchemaOf(t))
+
+	wantLeft := []string{"student.name", "student.advisor"}
+	if len(left.Cols) != len(wantLeft) {
+		t.Fatalf("left.Cols = %v, want %v", left.Cols, wantLeft)
+	}
+	for i := range wantLeft {
+		if left.Cols[i] != wantLeft[i] {
+			t.Fatalf("left.Cols = %v, want %v", left.Cols, wantLeft)
+		}
+	}
+	// The right side contributes only its join column.
+	if len(right.Cols) != 1 || right.Cols[0] != "faculty.fname" {
+		t.Fatalf("right.Cols = %v, want [faculty.fname]", right.Cols)
+	}
+	if !strings.Contains(left.Describe(), "-> student.name, student.advisor") {
+		t.Errorf("pruned scan not rendered: %s", left.Describe())
+	}
+}
+
+func TestPruneKeepsTextJoinInputs(t *testing.T) {
+	scan := &Scan{Table: "student"}
+	tj := &TextJoin{
+		Input:        scan,
+		Source:       "mercury",
+		Method:       cost.MethodPTS,
+		ProbeColumns: []string{"student.name"},
+		Preds:        []sqlparse.ForeignPred{{Source: "mercury", Table: "student", Column: "student.advisor", Field: "author"}},
+		DocFields:    []string{"title"},
+	}
+	root := &Project{Input: tj, Columns: []string{"student.name", "mercury.title", "mercury.docid"}}
+	Prune(root, pruneSchemaOf(t))
+
+	// The scan must keep the probe and predicate columns but may drop the
+	// unreferenced year/dept columns; the doc columns are produced by the
+	// text join, not required from below.
+	got := strings.Join(scan.Cols, ",")
+	if got != "student.name,student.advisor" {
+		t.Fatalf("scan.Cols = %v, want [student.name student.advisor]", scan.Cols)
+	}
+}
+
+func TestPruneKeepsOneColumnForCardinality(t *testing.T) {
+	scan := &Scan{Table: "faculty"}
+	// A count-style consumer referencing no faculty column at all.
+	root := &Project{Input: scan, Columns: []string{}}
+	Prune(root, pruneSchemaOf(t))
+	if len(scan.Cols) != 1 {
+		t.Fatalf("scan.Cols = %v, want exactly one retained column", scan.Cols)
+	}
+}
+
+type opaquePred struct{}
+
+func (opaquePred) Eval(s *relation.Schema, t relation.Tuple) (bool, error) { return true, nil }
+func (opaquePred) String() string                                          { return "opaque" }
+
+func TestPruneLeavesUnknownPredicatesAlone(t *testing.T) {
+	left := &Scan{Table: "student"}
+	right := &Scan{Table: "faculty"}
+	j := &Join{
+		Left: left, Right: right,
+		Equi:      []relation.EquiJoinCond{{Left: "student.advisor", Right: "faculty.fname"}},
+		Residual:  opaquePred{},
+		Algorithm: "hash",
+	}
+	root := &Project{Input: j, Columns: []string{"student.name"}}
+	Prune(root, pruneSchemaOf(t))
+	if _, ok := j.Residual.(opaquePred); !ok {
+		t.Fatalf("opaque residual rewritten: %v", j.Residual)
+	}
+	// Columns cannot be pruned safely under an opaque residual.
+	if left.Cols != nil || right.Cols != nil {
+		t.Fatalf("pruned under an opaque residual: left=%v right=%v", left.Cols, right.Cols)
+	}
+}
+
+func TestPruneUnknownTableIsNoop(t *testing.T) {
+	scan := &Scan{Table: "ghost"}
+	root := &Project{Input: scan, Columns: []string{"ghost.x"}}
+	Prune(root, pruneSchemaOf(t))
+	if scan.Cols != nil {
+		t.Fatalf("pruned a scan of an unknown table: %v", scan.Cols)
+	}
+}

@@ -17,18 +17,30 @@ type EquiJoinCond struct {
 // is evaluated over the concatenated schema. It is the general (theta) join
 // used when no equality condition is available, e.g. Q5's
 // "faculty.dept != student.dept".
+// It is the row-at-a-time fallback of the vectorized nested-loop operator
+// (internal/vec); the predicate is compiled once and evaluated over a
+// reused scratch row, which is copied only on a match — the old
+// concatenate-then-test loop allocated a row per candidate pair even when
+// the predicate rejected it (see BenchmarkNestedLoopJoin for the delta).
 func NestedLoopJoin(left, right *Table, pred Predicate) (*Table, error) {
 	schema := left.Schema.Concat(right.Schema)
+	cp, err := Compile(pred, schema)
+	if err != nil {
+		return nil, err
+	}
 	out := NewTable(left.Name+"⋈"+right.Name, schema)
+	la := left.Schema.Arity()
+	scratch := make(Tuple, schema.Arity())
 	for _, lr := range left.Rows {
+		copy(scratch[:la], lr)
 		for _, rr := range right.Rows {
-			row := lr.Concat(rr)
-			ok, err := pred.Eval(schema, row)
+			copy(scratch[la:], rr)
+			ok, err := cp.Eval(scratch)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				out.Rows = append(out.Rows, row)
+				out.Rows = append(out.Rows, scratch.Clone())
 			}
 		}
 	}
@@ -61,11 +73,20 @@ func HashJoin(left, right *Table, conds []EquiJoinCond, residual Predicate) (*Ta
 	}
 
 	schema := left.Schema.Concat(right.Schema)
+	var res *CompiledPred
+	if residual != nil {
+		var err error
+		res, err = Compile(residual, schema)
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := NewTable(left.Name+"⋈"+right.Name, schema)
 
 	// Build on right, probe with left, preserving left-major output order
 	// (same order as the nested-loop formulation, which keeps results
-	// comparable across join algorithms in tests).
+	// comparable across join algorithms in tests). The residual is
+	// evaluated over a reused scratch row, copied only on a match.
 	build := map[string][]int{}
 	key := make([]value.Value, len(conds))
 	for i, rr := range right.Rows {
@@ -75,15 +96,22 @@ func HashJoin(left, right *Table, conds []EquiJoinCond, residual Predicate) (*Ta
 		k := value.KeyOf(key...)
 		build[k] = append(build[k], i)
 	}
+	la := left.Schema.Arity()
+	scratch := make(Tuple, schema.Arity())
 	for _, lr := range left.Rows {
 		for j, idx := range lIdx {
 			key[j] = lr[idx]
 		}
 		k := value.KeyOf(key...)
-		for _, ri := range build[k] {
-			row := lr.Concat(right.Rows[ri])
-			if residual != nil {
-				ok, err := residual.Eval(schema, row)
+		matches := build[k]
+		if len(matches) == 0 {
+			continue
+		}
+		copy(scratch[:la], lr)
+		for _, ri := range matches {
+			copy(scratch[la:], right.Rows[ri])
+			if res != nil {
+				ok, err := res.Eval(scratch)
 				if err != nil {
 					return nil, err
 				}
@@ -91,7 +119,7 @@ func HashJoin(left, right *Table, conds []EquiJoinCond, residual Predicate) (*Ta
 					continue
 				}
 			}
-			out.Rows = append(out.Rows, row)
+			out.Rows = append(out.Rows, scratch.Clone())
 		}
 	}
 	return out, nil

@@ -244,11 +244,17 @@ func (t *Table) GroupBy(names ...string) (keys []string, groups map[string][]int
 	return keys, groups, nil
 }
 
-// Select returns a new table holding the rows satisfying pred.
+// Select returns a new table holding the rows satisfying pred. The
+// predicate is compiled once against the schema, so per-row evaluation
+// does no column-name resolution.
 func (t *Table) Select(pred Predicate) (*Table, error) {
+	cp, err := Compile(pred, t.Schema)
+	if err != nil {
+		return nil, err
+	}
 	out := NewTable(t.Name, t.Schema)
 	for _, r := range t.Rows {
-		ok, err := pred.Eval(t.Schema, r)
+		ok, err := cp.Eval(r)
 		if err != nil {
 			return nil, err
 		}

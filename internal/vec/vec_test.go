@@ -1,0 +1,391 @@
+package vec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"textjoin/internal/relation"
+	"textjoin/internal/value"
+)
+
+func testTable(name string, rows int, rng *rand.Rand) *relation.Table {
+	schema := relation.MustSchema(
+		relation.Column{Name: "id", Kind: value.KindInt},
+		relation.Column{Name: "grp", Kind: value.KindInt},
+		relation.Column{Name: "name", Kind: value.KindString},
+		relation.Column{Name: "extra", Kind: value.KindString},
+	)
+	tbl := relation.NewTable(name, schema)
+	for i := 0; i < rows; i++ {
+		tbl.MustInsert(relation.Tuple{
+			value.Int(int64(i)),
+			value.Int(int64(rng.Intn(32))),
+			value.String(fmt.Sprintf("name-%d", rng.Intn(50))),
+			value.String("padding padding padding"),
+		})
+	}
+	return tbl
+}
+
+// sameRows asserts exact equality of rows including order; the vectorized
+// operators are specified to preserve the row engine's output order.
+func sameRows(t *testing.T, got, want *relation.Table) {
+	t.Helper()
+	if got.Schema.String() != want.Schema.String() {
+		t.Fatalf("schema mismatch:\n got %s\nwant %s", got.Schema, want.Schema)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("row count mismatch: got %d, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			if value.Compare(got.Rows[i][j], want.Rows[i][j]) != 0 {
+				t.Fatalf("row %d col %d: got %v, want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestScanSelectProjectMatchesRowEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, rows := range []int{0, 1, 7, BatchSize, BatchSize + 1, 3*BatchSize + 17} {
+		tbl := testTable("t", rows, rng)
+		pred := relation.ColConst{Col: "grp", Op: relation.OpLt, Const: value.Int(9)}
+
+		scan, err := NewTableScan(tbl, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := NewSelect(scan, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj, err := NewProject(sel, []string{"name", "id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Materialize("t", proj)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		selected, err := tbl.Select(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := selected.Project("name", "id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, got, want)
+	}
+}
+
+func TestTableScanFusedFilterProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tbl := testTable("t", 2*BatchSize+5, rng)
+	// The pushed-down filter references "grp", which the projection drops:
+	// the scan must evaluate against the full source row.
+	pred := relation.ColConst{Col: "grp", Op: relation.OpGe, Const: value.Int(20)}
+	scan, err := NewTableScan(tbl, []string{"id", "name"}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Materialize("t", scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected, err := tbl.Select(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := selected.Project("id", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+}
+
+func TestSelectSkipsEmptyBatches(t *testing.T) {
+	// A predicate that rejects entire batch-sized stretches exercises the
+	// skip-empty loop in Select.Next.
+	rng := rand.New(rand.NewSource(13))
+	tbl := testTable("t", 4*BatchSize, rng)
+	pred := relation.ColConst{Col: "id", Op: relation.OpGe, Const: value.Int(int64(3 * BatchSize))}
+	scan, err := NewTableScan(tbl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelect(scan, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, batches, err := Drain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.Close()
+	if rows != BatchSize {
+		t.Fatalf("rows = %d, want %d", rows, BatchSize)
+	}
+	if batches != 1 {
+		t.Fatalf("batches = %d, want 1 (empty batches must be skipped)", batches)
+	}
+}
+
+func TestHashJoinMatchesRowEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, rows := range []int{0, 3, BatchSize + 40} {
+		left := testTable("t", rows, rng).Qualified()
+		right := testTable("u", rows/2+1, rng).Qualified()
+		conds := []relation.EquiJoinCond{{Left: "t.grp", Right: "u.grp"}}
+		residual := relation.ColCol{Left: "t.id", Op: relation.OpNe, Right: "u.id"}
+
+		ls, err := NewTableScan(left, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewTableScan(right, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		join, err := NewHashJoin(ls, rs, conds, residual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Materialize("j", join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := relation.HashJoin(left, right, conds, residual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, got, want)
+	}
+}
+
+func TestNestedLoopMatchesRowEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, rows := range []int{0, 5, 90} {
+		left := testTable("t", rows, rng).Qualified()
+		right := testTable("u", rows, rng).Qualified()
+		pred := relation.ColCol{Left: "t.grp", Op: relation.OpNe, Right: "u.grp"}
+
+		ls, err := NewTableScan(left, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewTableScan(right, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		join, err := NewNestedLoop(ls, rs, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Materialize("j", join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := relation.NestedLoopJoin(left, right, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, got, want)
+	}
+}
+
+func TestJoinOnSelectedInput(t *testing.T) {
+	// Joins must read through the selection vector of a filtered child.
+	rng := rand.New(rand.NewSource(16))
+	left := testTable("t", 600, rng).Qualified()
+	right := testTable("u", 300, rng).Qualified()
+	lpred := relation.ColConst{Col: "t.grp", Op: relation.OpLt, Const: value.Int(10)}
+	conds := []relation.EquiJoinCond{{Left: "t.grp", Right: "u.grp"}}
+
+	ls, err := NewTableScan(left, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsel, err := NewSelect(ls, lpred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewTableScan(right, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, err := NewHashJoin(lsel, rs, conds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Materialize("j", join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := left.Select(lpred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := relation.HashJoin(lf, right, conds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want)
+}
+
+// TestSteadyStateAllocs is the allocation regression gate: once the
+// operator tree is constructed and warmed, draining the select/project
+// path must not allocate at all.
+func TestSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tbl := testTable("t", 4*BatchSize, rng)
+	pred := relation.ColConst{Col: "grp", Op: relation.OpLt, Const: value.Int(20)}
+	scan, err := NewTableScan(tbl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelect(scan, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := NewProject(sel, []string{"name", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proj.Close()
+	if _, _, err := Drain(proj); err != nil { // warm the path once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		scan.Reset()
+		if _, _, err := Drain(proj); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state select/project drain allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkScanSelectProject(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	tbl := testTable("t", 16*BatchSize, rng)
+	pred := relation.ColConst{Col: "grp", Op: relation.OpLt, Const: value.Int(16)}
+
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			selected, err := tbl.Select(pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := selected.Project("name", "id"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vec", func(b *testing.B) {
+		scan, err := NewTableScan(tbl, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sel, err := NewSelect(scan, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proj, err := NewProject(sel, []string{"name", "id"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer proj.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scan.Reset()
+			if _, _, err := Drain(proj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkVecHashJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	left := testTable("t", 8*BatchSize, rng).Qualified()
+	right := testTable("u", 8*BatchSize, rng).Qualified()
+	conds := []relation.EquiJoinCond{{Left: "t.id", Right: "u.id"}}
+
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relation.HashJoin(left, right, conds, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ls, _ := NewTableScan(left, nil, nil)
+			rs, _ := NewTableScan(right, nil, nil)
+			join, err := NewHashJoin(ls, rs, conds, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := Drain(join); err != nil {
+				b.Fatal(err)
+			}
+			join.Close()
+		}
+	})
+	// Projection pruning: the same join carrying only the columns the
+	// query references (2 of 8), as the planner produces after pruning.
+	b.Run("vec-pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ls, _ := NewTableScan(left, []string{"t.id", "t.name"}, nil)
+			rs, _ := NewTableScan(right, []string{"u.id"}, nil)
+			join, err := NewHashJoin(ls, rs, conds, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := Drain(join); err != nil {
+				b.Fatal(err)
+			}
+			join.Close()
+		}
+	})
+}
+
+func BenchmarkVecNestedLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	left := testTable("t", 512, rng).Qualified()
+	right := testTable("u", 512, rng).Qualified()
+	pred := relation.ColCol{Left: "t.grp", Op: relation.OpEq, Right: "u.grp"}
+
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relation.NestedLoopJoin(left, right, pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ls, _ := NewTableScan(left, nil, nil)
+			rs, _ := NewTableScan(right, nil, nil)
+			join, err := NewNestedLoop(ls, rs, pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := Drain(join); err != nil {
+				b.Fatal(err)
+			}
+			join.Close()
+		}
+	})
+}

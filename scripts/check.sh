@@ -40,5 +40,21 @@ go test -race -run Gateway ./internal/gateway
 go test -race ./internal/obs
 go test -race -run 'Metrics|Analyze|SlowQuery' ./internal/gateway
 
+# Vectorized execution gates. The equivalence harness runs every join
+# method on the same pruned plans through both engines (vectorized and
+# row) against the naive oracle, over faulty 1/2/4-shard federations,
+# under the race detector; the seed is fixed (vectorPropertySeed) so
+# failures reproduce. -short caps the trial count here, the full-trial
+# run happens in the go test -race ./... pass below.
+go test -race -short -run 'TestVectorizedEquivalence' ./internal/exec
+
+# Allocation regression gate: the steady-state batch path (scan → select
+# → project) must not allocate per Next once the pipeline is warm.
+go test -run 'TestSteadyStateAllocs' ./internal/vec
+
+# Benchmarks must at least compile and run one iteration — they are the
+# before/after evidence for the execution core and rot silently otherwise.
+go test -run 'NOTESTS' -bench . -benchtime 1x ./internal/vec ./internal/relation
+
 go test ./...
 go test -race ./...
