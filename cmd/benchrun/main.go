@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, batchprobe, vector, all")
+		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, batchprobe, vector, ingest, all")
 		docs = flag.Int("docs", 2000, "corpus size D")
 		seed = flag.Int64("seed", 42, "generation seed")
 	)
@@ -181,6 +181,21 @@ func run(exp string, docs int, seed int64) error {
 			return err
 		}
 		bench.FormatVectorGateway(os.Stdout, grows)
+	}
+	if want("ingest") {
+		ran = true
+		header("Live ingest — freshness: durable-ack and write→visible latency, WAL group commit")
+		frows, err := bench.IngestFreshness(docs, seed, 256, []int{1, 8})
+		if err != nil {
+			return err
+		}
+		bench.FormatFreshness(os.Stdout, frows)
+		header("Live ingest — interference: query latency under 0x/1x/4x concurrent ingest load")
+		irows, err := bench.IngestInterference(docs, seed, 4, 64, []int{0, 1, 4})
+		if err != nil {
+			return err
+		}
+		bench.FormatInterference(os.Stdout, irows)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

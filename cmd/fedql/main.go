@@ -26,6 +26,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,8 @@ import (
 	"textjoin/internal/exec"
 	"textjoin/internal/obs"
 	"textjoin/internal/relation"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
 )
 
 func main() {
@@ -50,10 +53,12 @@ func main() {
 		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print per-operator estimated vs. actual cost, and the span trace")
 		trace       = flag.Bool("trace", false, "print the query's span trace (implied by -analyze)")
 		maxRows     = flag.Int("maxrows", 20, "result rows to print")
+		ingestOps   = flag.String("ingest", "", `apply a write batch to the text source and exit: a JSON array of {"kind":"put"|"delete","ext":...,"fields":{...}} ops, or @file to read it from a file`)
+		search      = flag.String("search", "", "run one raw Boolean search against the text source and print the matching external IDs (e.g. \"title: belief and update\")")
 	)
 	flag.Parse()
-	if *query == "" && !*interactive {
-		fmt.Fprintln(os.Stderr, "fedql: -query or -i is required (to serve queries over HTTP, use queryd)")
+	if *query == "" && !*interactive && *ingestOps == "" && *search == "" {
+		fmt.Fprintln(os.Stderr, "fedql: -query, -i, -ingest or -search is required (to serve queries over HTTP, use queryd)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,15 +67,94 @@ func main() {
 	cfg.trace = *trace || *analyze
 	cfg.maxRows = *maxRows
 	var err error
-	if *interactive {
+	switch {
+	case *ingestOps != "":
+		err = runIngest(os.Stdout, *ingestOps, cfg)
+	case *search != "":
+		err = runSearch(os.Stdout, *search, cfg)
+	case *interactive:
 		err = repl(os.Stdout, os.Stdin, cfg)
-	} else {
+	default:
 		err = runOnce(os.Stdout, *query, cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedql:", err)
 		os.Exit(1)
 	}
+}
+
+// textService returns the engine's (single) registered text source stack.
+func textService(eng *core.Engine) (string, texservice.Service, error) {
+	var names []string
+	for name := range eng.Catalog().Text {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return "", nil, fmt.Errorf("no text source registered")
+	}
+	return names[0], eng.TextService(names[0]), nil
+}
+
+// runIngest applies one write batch to the text source: the argument is a
+// JSON array of ops, or @path naming a file holding one. The command
+// prints the durable acknowledgement (WAL sequence, post-write version).
+func runIngest(w io.Writer, arg string, cfg config) error {
+	data := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		var err error
+		data, err = os.ReadFile(arg[1:])
+		if err != nil {
+			return err
+		}
+	}
+	var ops []texservice.IngestOp
+	if err := json.Unmarshal(data, &ops); err != nil {
+		return fmt.Errorf("parsing -ingest ops: %w", err)
+	}
+	eng, cleanup, err := cfg.BuildEngine()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	name, svc, err := textService(eng)
+	if err != nil {
+		return err
+	}
+	res, err := texservice.IngestInto(context.Background(), svc, ops)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ingested %d ops into %s: seq %d, %d applied, index version %d\n",
+		len(ops), name, res.Seq, res.Applied, res.Version)
+	return nil
+}
+
+// runSearch issues one raw Boolean search and prints the hits' external
+// IDs — the minimal freshness check (is this document visible yet?).
+func runSearch(w io.Writer, query string, cfg config) error {
+	eng, cleanup, err := cfg.BuildEngine()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	name, svc, err := textService(eng)
+	if err != nil {
+		return err
+	}
+	e, err := textidx.Parse(query, nil)
+	if err != nil {
+		return err
+	}
+	res, err := svc.Search(context.Background(), e, texservice.FormShort)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d hits on %s\n", len(res.Hits), name)
+	for _, h := range res.Hits {
+		fmt.Fprintln(w, h.ExtID)
+	}
+	return nil
 }
 
 // config is the shared engine configuration plus fedql's output options.

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"textjoin/internal/ingest"
 	"textjoin/internal/texservice"
 	"textjoin/internal/textidx"
 	"textjoin/internal/workload"
@@ -26,21 +27,22 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		docs     = flag.Int("docs", 2000, "generated corpus size (ignored with -load/-snapshot)")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		load     = flag.String("load", "", "JSON file of documents to serve instead of a generated corpus")
-		snapshot = flag.String("snapshot", "", "index snapshot file to serve (see -write-snapshot)")
-		writeTo  = flag.String("write-snapshot", "", "write the index snapshot to this file and exit")
-		short    = flag.String("short", "title,author,year", "comma-separated short-form fields")
-		maxTerms = flag.Int("maxterms", texservice.DefaultMaxTerms, "maximum search terms per query (the paper's M)")
-		latency  = flag.Duration("latency", 0, "simulated WAN latency added to every request (e.g. 50ms)")
-		chaos    = flag.String("chaos", "", `fault injection spec, e.g. "rate=0.1,drop=50,latency=20ms" (keys: every, rate, drop, hang, latency, doclat, seed, permanent)`)
-		shardArg = flag.String("shard", "", `serve one document partition, as "k/n" (e.g. -shard 0/3); composes with -load/-snapshot/-write-snapshot`)
-		logReqs  = flag.Bool("log-requests", false, "log every request with its op, client trace ID and duration")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		docs      = flag.Int("docs", 2000, "generated corpus size (ignored with -load/-snapshot)")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		load      = flag.String("load", "", "JSON file of documents to serve instead of a generated corpus")
+		snapshot  = flag.String("snapshot", "", "index snapshot file to serve (see -write-snapshot)")
+		writeTo   = flag.String("write-snapshot", "", "write the index snapshot to this file and exit")
+		short     = flag.String("short", "title,author,year", "comma-separated short-form fields")
+		maxTerms  = flag.Int("maxterms", texservice.DefaultMaxTerms, "maximum search terms per query (the paper's M)")
+		latency   = flag.Duration("latency", 0, "simulated WAN latency added to every request (e.g. 50ms)")
+		chaos     = flag.String("chaos", "", `fault injection spec, e.g. "rate=0.1,drop=50,latency=20ms" (keys: every, rate, drop, hang, latency, doclat, seed, permanent)`)
+		shardArg  = flag.String("shard", "", `serve one document partition, as "k/n" (e.g. -shard 0/3); composes with -load/-snapshot/-write-snapshot`)
+		logReqs   = flag.Bool("log-requests", false, "log every request with its op, client trace ID and duration")
+		ingestDir = flag.String("ingest-dir", "", "serve a mutable live-ingest index durably backed by this directory (WAL + snapshots); accepts ingest ops over the wire and replays the log on start")
 	)
 	flag.Parse()
-	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency, *chaos, *shardArg, *logReqs); err != nil {
+	if err := run(*addr, *docs, *seed, *load, *snapshot, *writeTo, *short, *maxTerms, *latency, *chaos, *shardArg, *logReqs, *ingestDir); err != nil {
 		fmt.Fprintln(os.Stderr, "textserve:", err)
 		os.Exit(1)
 	}
@@ -62,7 +64,7 @@ type jsonDoc struct {
 	Fields map[string]string `json:"fields"`
 }
 
-func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration, chaos, shardArg string, logReqs bool) error {
+func run(addr string, docs int, seed int64, load, snapshot, writeTo, short string, maxTerms int, latency time.Duration, chaos, shardArg string, logReqs bool, ingestDir string) error {
 	var ix *textidx.Index
 	switch {
 	case snapshot != "":
@@ -89,6 +91,7 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 		ix = workload.NewCorpus(workload.CorpusConfig{Docs: docs, Seed: seed}).Index
 	}
 	shardInfo := ""
+	shardK, shardN := 0, 1
 	if shardArg != "" {
 		k, n, err := parseShard(shardArg)
 		if err != nil {
@@ -99,6 +102,7 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 			return err
 		}
 		ix = parts[k]
+		shardK, shardN = k, n
 		shardInfo = fmt.Sprintf(" [shard %d/%d]", k, n)
 	}
 	if writeTo != "" {
@@ -109,19 +113,36 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 		return nil
 	}
 
-	local, err := texservice.NewLocal(ix,
-		texservice.WithShortFields(strings.Split(short, ",")...),
-		texservice.WithMaxTerms(maxTerms))
-	if err != nil {
-		return err
+	var svc texservice.Service
+	var storeClose func() error
+	if ingestDir != "" {
+		store, err := ingest.Open(ix, ingest.Options{
+			Dir: ingestDir, ShardIndex: shardK, ShardCount: shardN,
+		})
+		if err != nil {
+			return err
+		}
+		storeClose = store.Close
+		svc = ingest.NewLive(store,
+			ingest.WithShortFields(strings.Split(short, ",")...),
+			ingest.WithMaxTerms(maxTerms))
+		fmt.Printf("textserve: live ingest enabled (dir %s, %d records replayed)\n",
+			ingestDir, store.Replayed())
+	} else {
+		local, err := texservice.NewLocal(ix,
+			texservice.WithShortFields(strings.Split(short, ",")...),
+			texservice.WithMaxTerms(maxTerms))
+		if err != nil {
+			return err
+		}
+		svc = local
 	}
-	var svc texservice.Service = local
 	if chaos != "" {
 		cfg, err := texservice.ParseFaultConfig(chaos)
 		if err != nil {
 			return err
 		}
-		svc = texservice.NewFaulty(local, cfg)
+		svc = texservice.NewFaulty(svc, cfg)
 	}
 	srv := texservice.NewServer(svc)
 	srv.Latency = latency
@@ -140,5 +161,11 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\ntextserve: shutting down")
-	return srv.Close()
+	err = srv.Close()
+	if storeClose != nil {
+		if cerr := storeClose(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"textjoin/internal/core"
+	"textjoin/internal/ingest"
 	"textjoin/internal/optimizer"
 	"textjoin/internal/relation"
 	"textjoin/internal/shard"
@@ -49,6 +50,8 @@ type EngineConfig struct {
 	ProbeCache  int           // cross-query probe-result cache entries, 0 = off
 	BatchProbe  bool          // let the optimizer batch probe round trips
 	Vectorized  bool          // column-oriented batch execution (default on)
+	LiveIngest  bool          // mutable in-process index accepting live writes
+	IngestDir   string        // WAL + snapshot directory for -live (implies -live)
 	Tables      TableList     // CSV tables as name=path.csv
 }
 
@@ -81,6 +84,8 @@ func (c *EngineConfig) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.ProbeCache, "probe-cache", c.ProbeCache, "cross-query probe-result cache entries (keyed on normalized expressions), 0 = off")
 	fs.BoolVar(&c.BatchProbe, "batch-probe", c.BatchProbe, "let the optimizer batch probe round trips: distinct probe bindings packed into few large OR searches under the service's term limit")
 	fs.BoolVar(&c.Vectorized, "vectorized", c.Vectorized, "run relational operators as column-oriented batch pipelines; -vectorized=false falls back to the row-at-a-time engine")
+	fs.BoolVar(&c.LiveIngest, "live", c.LiveIngest, "serve the in-process text source from a mutable live-ingest index (accepts document writes); in-memory unless -ingest-dir is set")
+	fs.StringVar(&c.IngestDir, "ingest-dir", c.IngestDir, "durability directory for the live-ingest index (WAL + snapshots); implies -live, replays any existing log on start")
 	fs.Var(&c.Tables, "table", "register a CSV table as name=path.csv (repeatable)")
 }
 
@@ -169,6 +174,17 @@ func (c *EngineConfig) BuildEngine() (*core.Engine, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
+	} else if c.LiveIngest || c.IngestDir != "" {
+		// Mutable live-ingest backend: the demo corpus becomes the base
+		// snapshot, writes layer over it in a delta (WAL-durable when
+		// -ingest-dir is set, in-memory otherwise).
+		store, err := ingest.Open(demo.Corpus.Index, ingest.Options{Dir: c.IngestDir})
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening live-ingest store: %w", err)
+		}
+		svc = ingest.NewLive(store,
+			ingest.WithShortFields("title", "author", "year"))
+		cleanup = func() { _ = store.Close() }
 	} else {
 		local, err := texservice.NewLocal(demo.Corpus.Index,
 			texservice.WithShortFields("title", "author", "year"))

@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"textjoin/internal/core"
+	"textjoin/internal/ingest"
+	"textjoin/internal/loadgen"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/workload"
+)
+
+// Live-ingest experiments: (1) freshness — how long after the durable
+// acknowledgement a written document becomes visible to searches, and how
+// the WAL's group commit amortizes fsyncs as writers pile up; (2)
+// interference — what concurrent ingest load does to query latency when
+// both run against the same mutable store through the engine's full
+// cache stack.
+
+// FreshnessRow is one operating point of the freshness experiment.
+type FreshnessRow struct {
+	Writers int           // concurrent ingest clients
+	Ops     int           // single-document batches written in total
+	AckP50  time.Duration // durable-acknowledgement latency
+	AckP99  time.Duration
+	VisP50  time.Duration // write-start → first search that returns the doc
+	VisP99  time.Duration
+	Retries int    // searches (beyond the first) needed before visibility
+	Appends uint64 // WAL appends
+	Syncs   uint64 // WAL fsyncs (≤ appends: group commit)
+}
+
+// IngestFreshness writes ops single-document batches from each of several
+// writer counts into a WAL-backed live store and measures, per write, the
+// durable-ack latency and the write-start→visible latency (the writer
+// searches for its own document immediately after the ack). With
+// synchronous application visibility needs zero retries; the fsync column
+// shows group commit absorbing concurrency.
+func IngestFreshness(docs int, seed int64, ops int, writerCounts []int) ([]FreshnessRow, error) {
+	var rows []FreshnessRow
+	for _, writers := range writerCounts {
+		row, err := freshnessPoint(docs, seed, ops, writers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func freshnessPoint(docs int, seed int64, ops, writers int) (*FreshnessRow, error) {
+	demo := workload.NewDemo(docs, seed)
+	dir, err := os.MkdirTemp("", "ingest-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := ingest.Open(demo.Corpus.Index, ingest.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	live := ingest.NewLive(store, ingest.WithShortFields("title", "author", "year"))
+
+	ctx := context.Background()
+	var (
+		mu       sync.Mutex
+		acks     []time.Duration
+		visibles []time.Duration
+		retries  int
+	)
+	perWriter := ops / writers
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ext := fmt.Sprintf("fresh-%d-%d", w, i)
+				word := fmt.Sprintf("w%dx%d", w, i)
+				e, err := textidx.Parse(fmt.Sprintf("title='%s'", word), nil)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				start := time.Now()
+				_, err = live.Ingest(ctx, []texservice.IngestOp{{
+					Kind:  texservice.IngestPut,
+					ExtID: ext,
+					Fields: map[string]string{
+						"title": "freshness probe " + word, "author": "bench", "year": "1996"},
+				}})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				ack := time.Since(start)
+				tries := 0
+				for {
+					res, err := live.Search(ctx, e, texservice.FormShort)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if len(res.Hits) > 0 {
+						break
+					}
+					tries++
+				}
+				vis := time.Since(start)
+				mu.Lock()
+				acks = append(acks, ack)
+				visibles = append(visibles, vis)
+				retries += tries
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	appends, syncs := store.SyncStats()
+	return &FreshnessRow{
+		Writers: writers,
+		Ops:     writers * perWriter,
+		AckP50:  percentile(acks, 0.50),
+		AckP99:  percentile(acks, 0.99),
+		VisP50:  percentile(visibles, 0.50),
+		VisP99:  percentile(visibles, 0.99),
+		Retries: retries,
+		Appends: appends,
+		Syncs:   syncs,
+	}, nil
+}
+
+// InterferenceRow is one operating point of the interference experiment.
+type InterferenceRow struct {
+	Writers    int           // concurrent ingest writers (0 = read-only baseline)
+	Queries    int           // queries completed
+	QueryP50   time.Duration // end-to-end query latency through the engine
+	QueryP95   time.Duration
+	QueryP99   time.Duration
+	QPS        float64 // completed queries per wall-clock second
+	OpsApplied uint64  // ingest ops applied while the queries ran
+	Compacts   uint64  // background compactions triggered
+}
+
+// IngestInterference runs the demo query mix through an engine whose text
+// source is a WAL-backed live store, while 0, 1, 4, ... background
+// writers continuously ingest document batches through the same decorated
+// service stack (so every batch advances the index version seen by the
+// caches). It reports query latency percentiles per writer count — the
+// cost of freshness.
+func IngestInterference(docs int, seed int64, queryClients, perClient int, writerCounts []int) ([]InterferenceRow, error) {
+	var rows []InterferenceRow
+	for _, writers := range writerCounts {
+		row, err := interferencePoint(docs, seed, queryClients, perClient, writers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func interferencePoint(docs int, seed int64, queryClients, perClient, writers int) (*InterferenceRow, error) {
+	demo := workload.NewDemo(docs, seed)
+	dir, err := os.MkdirTemp("", "ingest-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := ingest.Open(demo.Corpus.Index, ingest.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	live := ingest.NewLive(store, ingest.WithShortFields("title", "author", "year"))
+
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.SearchCache = 256
+	opts.ProbeCache = 256
+	eng := core.NewEngineWith(opts)
+	for _, tbl := range demo.Catalog.Tables {
+		if err := eng.RegisterTable(tbl); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.RegisterTextSource("mercury", live, demo.Corpus.Fields()...); err != nil {
+		return nil, err
+	}
+	// Write through the engine's decorated stack, exactly as the gateway
+	// ingest endpoint does, so cache invalidation is part of the cost.
+	svc := eng.TextService("mercury")
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var opsApplied atomic.Uint64
+	var writerWG sync.WaitGroup
+	writerErrs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := make([]texservice.IngestOp, 0, 4)
+				for j := 0; j < 4; j++ {
+					batch = append(batch, texservice.IngestOp{
+						Kind:  texservice.IngestPut,
+						ExtID: fmt.Sprintf("load-%d-%d-%d", w, i, j),
+						Fields: map[string]string{
+							"title":  fmt.Sprintf("interference batch %d from writer %d", i, w),
+							"author": "loadwriter", "year": "1996"},
+					})
+				}
+				res, err := texservice.IngestInto(ctx, svc, batch)
+				if err != nil {
+					writerErrs[w] = err
+					return
+				}
+				opsApplied.Add(uint64(res.Applied))
+			}
+		}(w)
+	}
+
+	queries := loadgen.GatewayQueries()
+	var (
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	queryStart := time.Now()
+	var queryWG sync.WaitGroup
+	queryErrs := make([]error, queryClients)
+	for c := 0; c < queryClients; c++ {
+		queryWG.Add(1)
+		go func(c int) {
+			defer queryWG.Done()
+			for i := 0; i < perClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				t0 := time.Now()
+				if _, err := eng.QueryContext(ctx, q); err != nil {
+					queryErrs[c] = err
+					return
+				}
+				d := time.Since(t0)
+				latMu.Lock()
+				latencies = append(latencies, d)
+				latMu.Unlock()
+			}
+		}(c)
+	}
+	queryWG.Wait()
+	elapsed := time.Since(queryStart)
+	close(stop)
+	writerWG.Wait()
+	for _, err := range append(queryErrs, writerErrs...) {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &InterferenceRow{
+		Writers:    writers,
+		Queries:    len(latencies),
+		QueryP50:   percentile(latencies, 0.50),
+		QueryP95:   percentile(latencies, 0.95),
+		QueryP99:   percentile(latencies, 0.99),
+		QPS:        float64(len(latencies)) / elapsed.Seconds(),
+		OpsApplied: opsApplied.Load(),
+		Compacts:   store.Compactions(),
+	}, nil
+}
+
+// percentile returns the p-quantile of the sample (nearest rank).
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// FormatFreshness renders the freshness sweep.
+func FormatFreshness(w io.Writer, rows []FreshnessRow) {
+	fmt.Fprintf(w, "%-8s %6s %10s %10s %10s %10s %8s %8s %6s\n",
+		"writers", "ops", "ack-p50", "ack-p99", "vis-p50", "vis-p99", "retries", "appends", "fsyncs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %6d %10s %10s %10s %10s %8d %8d %6d\n",
+			r.Writers, r.Ops,
+			r.AckP50.Round(time.Microsecond), r.AckP99.Round(time.Microsecond),
+			r.VisP50.Round(time.Microsecond), r.VisP99.Round(time.Microsecond),
+			r.Retries, r.Appends, r.Syncs)
+	}
+}
+
+// FormatInterference renders the interference sweep.
+func FormatInterference(w io.Writer, rows []InterferenceRow) {
+	fmt.Fprintf(w, "%-8s %8s %10s %10s %10s %10s %10s %9s\n",
+		"writers", "queries", "q-p50", "q-p95", "q-p99", "qps", "ops", "compacts")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %8d %10s %10s %10s %10.1f %10d %9d\n",
+			r.Writers, r.Queries,
+			r.QueryP50.Round(time.Microsecond), r.QueryP95.Round(time.Microsecond),
+			r.QueryP99.Round(time.Microsecond), r.QPS, r.OpsApplied, r.Compacts)
+	}
+}

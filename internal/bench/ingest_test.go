@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+func TestIngestFreshnessSmoke(t *testing.T) {
+	rows, err := IngestFreshness(200, 1, 8, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Ops != 8 || r.Appends != 8 {
+		t.Fatalf("ops=%d appends=%d, want 8", r.Ops, r.Appends)
+	}
+	// Synchronous application: a write is visible to the very next search.
+	if r.Retries != 0 {
+		t.Fatalf("retries = %d, want 0", r.Retries)
+	}
+	if r.Syncs == 0 || r.Syncs > r.Appends {
+		t.Fatalf("syncs = %d with %d appends", r.Syncs, r.Appends)
+	}
+}
+
+func TestIngestInterferenceSmoke(t *testing.T) {
+	rows, err := IngestInterference(200, 1, 2, 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Queries != 4 {
+			t.Fatalf("writers=%d completed %d queries, want 4", r.Writers, r.Queries)
+		}
+	}
+	if rows[0].OpsApplied != 0 {
+		t.Fatalf("baseline point applied %d ops", rows[0].OpsApplied)
+	}
+	if rows[1].OpsApplied == 0 {
+		t.Fatal("writer point applied no ops")
+	}
+}

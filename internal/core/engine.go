@@ -63,8 +63,8 @@ type Options struct {
 	// ProbeCache, when positive, additionally wraps every registered text
 	// source in a cross-query probe-result cache of that many entries,
 	// keyed on normalized expressions so syntactic variants of the same
-	// probe (a∧b vs b∧a) hit the same entry. Invalidation hooks exist for
-	// future ingest; with frozen indexes the cache is always sound.
+	// probe (a∧b vs b∧a) hit the same entry. Entries are keyed on the
+	// collection version, so live ingest invalidates them on its way through.
 	ProbeCache int
 	// RowEngine falls back to the row-at-a-time relational operators. The
 	// default (false) runs scans, joins and projections as column-oriented
@@ -286,8 +286,15 @@ func (p *Prepared) Run() (*Result, error) {
 }
 
 // RunContext executes the prepared plan under a context; cancellation or
-// deadline expiry aborts the run's text-service calls.
+// deadline expiry aborts the run's text-service calls. When a text source
+// supports snapshot pinning (a live-ingest backend), the run is pinned to
+// the collection state at this moment: every search and retrieve the plan
+// issues sees one consistent version of the index even while concurrent
+// ingest advances it.
 func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
+	for _, svc := range p.services {
+		ctx = texservice.PinSnapshot(ctx, svc)
+	}
 	ex := &exec.Executor{Cat: p.engine.catalog, Svc: inertService{}, Services: p.services,
 		Vectorized: !p.engine.opts.RowEngine}
 	ectx, esp := obs.StartSpan(ctx, "execute")

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"textjoin/internal/texservice"
 )
 
 // HTTP surface: three endpoints over the in-process API, with structured
@@ -20,6 +22,7 @@ import (
 //	GET  /explain?q=select+...               → ExplainResponse
 //	POST /analyze  {"query": "select ..."}   → Response (+ analyze tree, trace)
 //	GET  /analyze?q=select+...               → Response (+ analyze tree, trace)
+//	POST /ingest   {"source": "...", "ops": [...]} → IngestResponse
 //	GET  /stats                              → Snapshot
 //	GET  /metrics                            → Prometheus text exposition
 
@@ -64,6 +67,32 @@ func (g *Gateway) Handler() http.Handler {
 		resp, err := g.Analyze(r.Context(), sql)
 		if err != nil {
 			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only", Kind: "bad_request"})
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+			return
+		}
+		var req IngestRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+			return
+		}
+		resp, err := g.Ingest(r.Context(), req)
+		if err != nil {
+			if errors.Is(err, texservice.ErrNoIngest) {
+				writeJSON(w, http.StatusNotImplemented, errorBody{Error: err.Error(), Kind: "read_only"})
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)

@@ -44,6 +44,9 @@ func (g *Gateway) WriteMetrics(w io.Writer) {
 	counter("queries_plan_failed_total", "Queries that failed to parse, analyze or optimize.", s.PlanFailed)
 	counter("queries_slow_logged_total", "Queries dumped to the slow-query log.", s.SlowLogged)
 	counter("exec_batches_total", "Column batches emitted by the vectorized execution engine.", s.ExecBatches)
+	counter("ingest_batches_total", "Acked document-ingest batches.", s.IngestBatches)
+	counter("ingest_ops_total", "Acked document-ingest operations (puts and deletes).", s.IngestOps)
+	counter("ingest_failed_total", "Document-ingest batches rejected or failed.", s.IngestFailed)
 
 	gauge("workers", "Configured worker-pool size.", float64(s.Workers))
 	gauge("queue_depth", "Configured admission queue capacity.", float64(s.QueueDepth))

@@ -32,6 +32,9 @@ type counters struct {
 	planFailed       atomic.Uint64 // failed: parse/analyze/optimize error (subset of failed)
 	slowLogged       atomic.Uint64 // queries dumped to the slow-query log
 	execBatches      atomic.Uint64 // column batches emitted by the vectorized engine
+	ingestBatches    atomic.Uint64 // acked ingest batches
+	ingestOps        atomic.Uint64 // acked ingest operations (puts + deletes)
+	ingestFailed     atomic.Uint64 // ingest batches that were rejected or failed
 	inFlight         atomic.Int64  // currently executing
 	queued           atomic.Int64  // currently waiting for a slot
 	inFlightPeak     atomic.Int64  // high-water mark of inFlight
@@ -201,6 +204,9 @@ type Snapshot struct {
 	PlanFailed       uint64 `json:"plan_failed"`
 	SlowLogged       uint64 `json:"slow_logged"`
 	ExecBatches      uint64 `json:"exec_batches"`
+	IngestBatches    uint64 `json:"ingest_batches"`
+	IngestOps        uint64 `json:"ingest_ops"`
+	IngestFailed     uint64 `json:"ingest_failed"`
 
 	Cache      CacheStats      `json:"cache"`
 	ProbeCache ProbeCacheStats `json:"probe_cache"`
@@ -225,6 +231,9 @@ func (c *counters) snapshot() Snapshot {
 		PlanFailed:       c.planFailed.Load(),
 		SlowLogged:       c.slowLogged.Load(),
 		ExecBatches:      c.execBatches.Load(),
+		IngestBatches:    c.ingestBatches.Load(),
+		IngestOps:        c.ingestOps.Load(),
+		IngestFailed:     c.ingestFailed.Load(),
 		InFlight:         int(c.inFlight.Load()),
 		Queued:           int(c.queued.Load()),
 		InFlightPeak:     int(c.inFlightPeak.Load()),

@@ -1,0 +1,241 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"textjoin/internal/obs"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// Live serves texservice reads over a mutable Store and implements the
+// write capability (texservice.Ingestor). It is the mutable counterpart
+// of texservice.Local: identical cost charging and result shapes, plus
+// snapshot-isolated reads — a query pinned with PinSnapshot keeps one
+// consistent view for all of its searches and retrievals no matter how
+// many writes land while it runs.
+type Live struct {
+	store       *Store
+	shortFields []string
+	maxTerms    int
+	meter       *texservice.Meter
+}
+
+// LiveOption configures a Live service.
+type LiveOption func(*Live)
+
+// WithShortFields sets the fields transmitted in short form (default
+// title, author, year — matching texservice.Local).
+func WithShortFields(fields ...string) LiveOption {
+	return func(l *Live) { l.shortFields = fields }
+}
+
+// WithMaxTerms sets the per-search term limit M.
+func WithMaxTerms(m int) LiveOption {
+	return func(l *Live) { l.maxTerms = m }
+}
+
+// WithMeter uses the given meter instead of a fresh one with defaults.
+func WithMeter(m *texservice.Meter) LiveOption {
+	return func(l *Live) { l.meter = m }
+}
+
+// NewLive wraps a Store as a Service.
+func NewLive(store *Store, opts ...LiveOption) *Live {
+	l := &Live{
+		store:       store,
+		shortFields: []string{"title", "author", "year"},
+		maxTerms:    texservice.DefaultMaxTerms,
+		meter:       texservice.NewMeter(texservice.DefaultCosts()),
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Store exposes the underlying store (servers and tests).
+func (l *Live) Store() *Store { return l.store }
+
+// pinKey keys a pinned view in a context, per store: two Live services
+// over different stores pin independently.
+type pinKey struct{ s *Store }
+
+// PinSnapshot returns a context whose reads against this service all use
+// the current view — snapshot isolation for a query's lifetime. Without
+// a pin every call captures the latest acknowledged state.
+func (l *Live) PinSnapshot(ctx context.Context) context.Context {
+	if _, ok := ctx.Value(pinKey{l.store}).(*View); ok {
+		return ctx
+	}
+	return context.WithValue(ctx, pinKey{l.store}, l.store.CurrentView())
+}
+
+// view resolves the context's pinned view, or captures the latest.
+func (l *Live) view(ctx context.Context) *View {
+	if v, ok := ctx.Value(pinKey{l.store}).(*View); ok {
+		return v
+	}
+	return l.store.CurrentView()
+}
+
+// Search implements texservice.Service.
+func (l *Live) Search(ctx context.Context, e textidx.Expr, form texservice.Form) (*texservice.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "live.search")
+	defer sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if tc := e.TermCount(); tc > l.maxTerms {
+		return nil, fmt.Errorf("texservice: search has %d terms, limit is %d", tc, l.maxTerms)
+	}
+	v := l.view(ctx)
+	hits, postings, err := l.store.Search(v, e)
+	if err != nil {
+		return nil, err
+	}
+	out := &texservice.Result{Postings: postings, Hits: make([]texservice.Hit, 0, len(hits))}
+	for _, h := range hits {
+		out.Hits = append(out.Hits, texservice.Hit{ID: h.ID, ExtID: h.Doc.ExtID, Fields: l.formFields(h.Doc, form)})
+	}
+	l.meter.ChargeSearch(ctx, postings, len(out.Hits), form)
+	if sp != nil {
+		sp.SetAttr(obs.Str("query", e.String()), obs.Str("form", form.String()),
+			obs.Int("postings", postings), obs.Int("hits", len(out.Hits)),
+			obs.Int("view_seq", int(v.Seq())))
+	}
+	return out, nil
+}
+
+// BatchSearch implements texservice.BatchSearcher: the whole batch is
+// one invocation evaluated against one view.
+func (l *Live) BatchSearch(ctx context.Context, exprs []textidx.Expr, form texservice.Form) ([]*texservice.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, e := range exprs {
+		total += e.TermCount()
+	}
+	if total > l.maxTerms {
+		return nil, &texservice.TermLimitError{Terms: total, Limit: l.maxTerms}
+	}
+	v := l.view(ctx)
+	out := make([]*texservice.Result, len(exprs))
+	postings, docs := 0, 0
+	for i, e := range exprs {
+		hits, p, err := l.store.Search(v, e)
+		if err != nil {
+			return nil, err
+		}
+		r := &texservice.Result{Postings: p, Hits: make([]texservice.Hit, 0, len(hits))}
+		for _, h := range hits {
+			r.Hits = append(r.Hits, texservice.Hit{ID: h.ID, ExtID: h.Doc.ExtID, Fields: l.formFields(h.Doc, form)})
+		}
+		out[i] = r
+		postings += p
+		docs += len(r.Hits)
+	}
+	l.meter.ChargeSearch(ctx, postings, docs, form)
+	return out, nil
+}
+
+func (l *Live) formFields(doc textidx.Document, form texservice.Form) map[string]string {
+	if form == texservice.FormLong {
+		out := make(map[string]string, len(doc.Fields))
+		for k, v := range doc.Fields {
+			out[k] = v
+		}
+		return out
+	}
+	out := make(map[string]string, len(l.shortFields))
+	for _, f := range l.shortFields {
+		if v, ok := doc.Fields[f]; ok {
+			out[f] = v
+		}
+	}
+	return out
+}
+
+// Retrieve implements texservice.Service.
+func (l *Live) Retrieve(ctx context.Context, id textidx.DocID) (textidx.Document, error) {
+	if err := ctx.Err(); err != nil {
+		return textidx.Document{}, err
+	}
+	doc, err := l.store.Retrieve(l.view(ctx), id)
+	if err != nil {
+		return textidx.Document{}, err
+	}
+	l.meter.ChargeRetrieve(ctx)
+	return doc, nil
+}
+
+// TermDocFrequency implements texservice.StatsProvider (metadata
+// traffic: no meter charge, approximate against the latest state).
+func (l *Live) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	words := textidx.Tokenize(term)
+	switch len(words) {
+	case 0:
+		return 0, nil
+	case 1:
+		return l.store.DocFrequency(field, words[0]), nil
+	default:
+		// Phrase frequencies need evaluation; run it against the current
+		// view without charging the meter (like Local does).
+		e, err := textidx.MakeExactPred(field, term)
+		if err != nil {
+			return 0, nil
+		}
+		hits, _, err := l.store.Search(l.store.CurrentView(), e)
+		if err != nil {
+			return 0, err
+		}
+		return len(hits), nil
+	}
+}
+
+// Ingest implements texservice.Ingestor: durably apply the batch.
+func (l *Live) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texservice.IngestResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.store.Apply(ctx, ops)
+}
+
+// IndexVersion implements texservice.Versioned.
+func (l *Live) IndexVersion(ctx context.Context) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.store.Version(), nil
+}
+
+// NumDocs implements texservice.Service: visible documents at the
+// latest state.
+func (l *Live) NumDocs() (int, error) { return l.store.NumDocs(), nil }
+
+// MaxTerms implements texservice.Service.
+func (l *Live) MaxTerms() int { return l.maxTerms }
+
+// ShortFields implements texservice.Service (sorted, like Local).
+func (l *Live) ShortFields() []string {
+	out := append([]string(nil), l.shortFields...)
+	sort.Strings(out)
+	return out
+}
+
+// Meter implements texservice.Service.
+func (l *Live) Meter() *texservice.Meter { return l.meter }
+
+var (
+	_ texservice.Service       = (*Live)(nil)
+	_ texservice.Ingestor      = (*Live)(nil)
+	_ texservice.Versioned     = (*Live)(nil)
+	_ texservice.StatsProvider = (*Live)(nil)
+	_ texservice.BatchSearcher = (*Live)(nil)
+)

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"textjoin/internal/obs"
+	"textjoin/internal/texservice"
+)
+
+// The write path distributes by broadcast: every op batch is sent whole
+// to every shard, concurrently, and each shard decides locally what the
+// batch means for its partition (the ingest store's hash-owner rule: the
+// owner of an external id upserts it, every other shard tombstones any
+// local copy, deletes apply wherever the document lives). Broadcasting
+// sidesteps the coordinator a routed write would need — the base corpus
+// is partitioned by docid modulo while new writes are owned by external-
+// id hash, and only the shards themselves know which side of that split
+// a given document is on.
+//
+// An ingest is acknowledged only when EVERY shard has durably acked it
+// (writes are always strict — a partial write would silently diverge the
+// partition, unlike a best-effort read, which only misses documents).
+
+// Ingest implements texservice.Ingestor when every shard does.
+func (s *Sharded) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texservice.IngestResult, error) {
+	if err := texservice.ValidateIngest(ops); err != nil {
+		return nil, err
+	}
+	ingestors := make([]texservice.Ingestor, len(s.shards))
+	for k, svc := range s.shards {
+		ing, ok := svc.(texservice.Ingestor)
+		if !ok {
+			return nil, fmt.Errorf("texservice: shard %d does not support ingest", k)
+		}
+		ingestors[k] = ing
+	}
+	ctx, sp := obs.StartSpan(ctx, "shard.ingest")
+	defer sp.End()
+
+	acks := make([]*texservice.IngestResult, len(s.shards))
+	results := s.scatter(ctx, func(ctx context.Context, k int, svc texservice.Service) (*texservice.Result, error) {
+		ack, err := ingestors[k].Ingest(ctx, ops)
+		if err != nil {
+			return nil, err
+		}
+		acks[k] = ack
+		return nil, nil
+	})
+	var firstErr error
+	for k, r := range results {
+		if r.err != nil {
+			s.mu.Lock()
+			s.shardErrs[k]++
+			s.mu.Unlock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard: ingest on shard %d/%d: %w", k, len(s.shards), r.err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := &texservice.IngestResult{}
+	for _, ack := range acks {
+		if ack.Seq > out.Seq {
+			out.Seq = ack.Seq
+		}
+		out.Applied += ack.Applied
+		out.Version += ack.Version
+	}
+	if sp != nil {
+		sp.SetAttr(obs.Int("ops", len(ops)), obs.Int("shards", len(s.shards)),
+			obs.Int("applied", out.Applied))
+	}
+	return out, nil
+}
+
+// IndexVersion implements texservice.Versioned when every shard does:
+// the federation's version is the sum of the shard versions (each is
+// monotonic, so the sum is too, and it changes whenever any shard's
+// collection changes).
+func (s *Sharded) IndexVersion(ctx context.Context) (uint64, error) {
+	total := uint64(0)
+	for k, svc := range s.shards {
+		v, ok := svc.(texservice.Versioned)
+		if !ok {
+			return 0, fmt.Errorf("texservice: shard %d does not report an index version", k)
+		}
+		ver, err := v.IndexVersion(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("shard: version on shard %d: %w", k, err)
+		}
+		total += ver
+	}
+	return total, nil
+}
+
+// PinSnapshot implements texservice.SnapshotPinner by pinning every
+// shard that supports it. The pins are taken sequentially, so the
+// federation-wide view is only per-shard consistent: a write that lands
+// between two pins is visible on some shards and not others for the
+// pinned query. In-process deployments get full isolation (each store
+// pin is a single atomic capture); remote shards do not pin at all —
+// their isolation is per-call.
+func (s *Sharded) PinSnapshot(ctx context.Context) context.Context {
+	for _, svc := range s.shards {
+		ctx = texservice.PinSnapshot(ctx, svc)
+	}
+	return ctx
+}
+
+var _ texservice.Ingestor = (*Sharded)(nil)

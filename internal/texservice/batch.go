@@ -114,11 +114,13 @@ func SearchBatch(ctx context.Context, svc Service, exprs []textidx.Expr, form Fo
 // from different queries reuse each other's answers. Long-form searches
 // pass through uncached (they are result transmission, not probing).
 //
-// The cache is sound while the collection is immutable. Invalidate is the
-// hook a future ingest path must call when documents change; it bumps the
-// collection version and drops every entry. InvalidateDoc is the stub for
-// finer-grained invalidation — today it degrades to a full Invalidate,
-// but the signature fixes the contract ingest will need.
+// Entries are keyed on the index version they were filled at: document
+// writes advance the version (the Ingest forwarding below calls
+// SetIndexVersion with the post-write version), and an entry from an
+// older version is rejected on hit, so a post-write probe is never
+// answered from a pre-write entry. Invalidate is the coarse hook;
+// InvalidateDoc is the stub for finer-grained invalidation — today it
+// degrades to a full Invalidate.
 type ProbeCache struct {
 	inner Service
 
@@ -133,8 +135,9 @@ type ProbeCache struct {
 }
 
 type probeEntry struct {
-	key string
-	res *Result
+	key     string
+	version uint64
+	res     *Result
 }
 
 // NewProbeCache wraps a service with a probe-result LRU of the given
@@ -160,11 +163,17 @@ func (c *ProbeCache) Search(ctx context.Context, e textidx.Expr, form Form) (*Re
 	key := textidx.Normalize(e).String()
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		res := el.Value.(*probeEntry).res
-		c.hits++
-		c.mu.Unlock()
-		return res, nil
+		ent := el.Value.(*probeEntry)
+		if ent.version == c.version {
+			c.lru.MoveToFront(el)
+			res := ent.res
+			c.hits++
+			c.mu.Unlock()
+			return res, nil
+		}
+		// Filled before the last write: evict and refill.
+		c.lru.Remove(el)
+		delete(c.entries, key)
 	}
 	version := c.version
 	c.mu.Unlock()
@@ -182,7 +191,7 @@ func (c *ProbeCache) Search(ctx context.Context, e textidx.Expr, form Form) (*Re
 		if el, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(el)
 		} else {
-			el := c.lru.PushFront(&probeEntry{key: key, res: res})
+			el := c.lru.PushFront(&probeEntry{key: key, version: c.version, res: res})
 			c.entries[key] = el
 			if c.lru.Len() > c.cap {
 				oldest := c.lru.Back()
@@ -224,6 +233,46 @@ func (c *ProbeCache) Invalidate() {
 	c.lru.Init()
 	c.entries = map[string]*list.Element{}
 	c.mu.Unlock()
+}
+
+// SetIndexVersion keys the cache on an explicit index version; entries
+// filled at an older version are rejected on their next lookup.
+func (c *ProbeCache) SetIndexVersion(v uint64) {
+	c.mu.Lock()
+	if v != c.version {
+		c.version = v
+		c.invals++
+	}
+	c.mu.Unlock()
+}
+
+// Ingest implements Ingestor when the inner service does, adopting the
+// post-write index version on success.
+func (c *ProbeCache) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
+	res, err := IngestInto(ctx, c.inner, ops)
+	if err != nil {
+		return nil, err
+	}
+	c.SetIndexVersion(res.Version)
+	return res, nil
+}
+
+// IndexVersion implements Versioned when the inner service does.
+func (c *ProbeCache) IndexVersion(ctx context.Context) (uint64, error) {
+	v, ok := c.inner.(Versioned)
+	if !ok {
+		return 0, ErrNoIngest
+	}
+	return v.IndexVersion(ctx)
+}
+
+// PinSnapshot implements SnapshotPinner when the inner service does
+// (see Cached.PinSnapshot for the cache-hit caveat).
+func (c *ProbeCache) PinSnapshot(ctx context.Context) context.Context {
+	if p, ok := c.inner.(SnapshotPinner); ok {
+		return p.PinSnapshot(ctx)
+	}
+	return ctx
 }
 
 // InvalidateDoc is the per-document invalidation hook for future ingest.

@@ -24,9 +24,12 @@ import (
 // leader fails, waiters retry independently (a transient leader error
 // must not poison everyone).
 //
-// The cache is only sound while the underlying collection is immutable,
-// which holds for frozen indexes (and for the paper's setting: the
-// optimizer's statistics assume a stable collection too).
+// Every entry is keyed on the index version it was filled at: a write to
+// the collection advances the cache's version (SetIndexVersion, called by
+// the Ingest forwarding below, or Invalidate), and entries from an older
+// version are rejected on hit — a post-write search can never be answered
+// from a pre-write entry. On an immutable collection the version never
+// moves and the cache behaves exactly as before.
 type Cached struct {
 	inner Service
 
@@ -35,21 +38,25 @@ type Cached struct {
 	entries  map[string]*list.Element
 	inflight map[string]*inflightCall
 	cap      int
+	version  uint64
 	hits     int
 	misses   int
 	dedups   int
+	invals   int
 }
 
 type cacheEntry struct {
-	key string
-	res *Result
+	key     string
+	version uint64
+	res     *Result
 }
 
 // inflightCall is one in-progress backend search that duplicates wait on.
 type inflightCall struct {
-	done chan struct{} // closed when res/err are set
-	res  *Result
-	err  error
+	version uint64        // cache version when the leader started
+	done    chan struct{} // closed when res/err are set
+	res     *Result
+	err     error
 }
 
 // NewCached wraps a service with an LRU of the given capacity (entries).
@@ -75,17 +82,26 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
-			c.lru.MoveToFront(el)
-			res := el.Value.(*cacheEntry).res
-			c.hits++
-			c.mu.Unlock()
-			if sp != nil {
-				sp.SetAttr(obs.Str("cache", "hit"), obs.Int("hits", len(res.Hits)))
+			ent := el.Value.(*cacheEntry)
+			if ent.version == c.version {
+				c.lru.MoveToFront(el)
+				res := ent.res
+				c.hits++
+				c.mu.Unlock()
+				if sp != nil {
+					sp.SetAttr(obs.Str("cache", "hit"), obs.Int("hits", len(res.Hits)))
+				}
+				return res, nil
 			}
-			return res, nil
+			// Filled before the last write: evict and fall through to a
+			// backend call — a post-write search never sees a pre-write
+			// entry.
+			c.lru.Remove(el)
+			delete(c.entries, key)
 		}
-		if call, ok := c.inflight[key]; ok {
-			// A leader is already searching this key: wait for it.
+		if call, ok := c.inflight[key]; ok && call.version == c.version {
+			// A leader is already searching this key at the current
+			// version: wait for it.
 			c.dedups++
 			c.mu.Unlock()
 			if sp != nil {
@@ -105,8 +121,17 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 			// The leader failed; loop and try the backend ourselves
 			// rather than inheriting an error that may not be ours.
 			continue
+		} else if ok {
+			// A leader from before the last write is still in flight; its
+			// answer may predate the write, so bypass the dedup and ask
+			// the backend directly (uncached).
+			c.mu.Unlock()
+			if sp != nil {
+				sp.SetAttr(obs.Str("cache", "stale-leader-bypass"))
+			}
+			return c.inner.Search(ctx, e, form)
 		}
-		call := &inflightCall{done: make(chan struct{})}
+		call := &inflightCall{version: c.version, done: make(chan struct{})}
 		c.inflight[key] = call
 		c.mu.Unlock()
 
@@ -115,7 +140,9 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 		}
 		res, err := c.inner.Search(ctx, e, form)
 		c.mu.Lock()
-		delete(c.inflight, key)
+		if c.inflight[key] == call {
+			delete(c.inflight, key)
+		}
 		call.res, call.err = res, err
 		close(call.done)
 		if err != nil {
@@ -123,21 +150,93 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 			return nil, err
 		}
 		c.misses++
-		if el, ok := c.entries[key]; ok {
-			// Raced with another miss; keep the existing entry.
-			c.lru.MoveToFront(el)
-		} else {
-			el := c.lru.PushFront(&cacheEntry{key: key, res: res})
-			c.entries[key] = el
-			if c.lru.Len() > c.cap {
-				oldest := c.lru.Back()
-				c.lru.Remove(oldest)
-				delete(c.entries, oldest.Value.(*cacheEntry).key)
+		// A write racing with the backend call makes this result stale
+		// relative to the new version: return it (it was correct when
+		// issued) but only cache it if the version is unchanged.
+		if call.version == c.version {
+			if el, ok := c.entries[key]; ok {
+				// Raced with another miss; keep the existing entry.
+				c.lru.MoveToFront(el)
+			} else {
+				el := c.lru.PushFront(&cacheEntry{key: key, version: c.version, res: res})
+				c.entries[key] = el
+				if c.lru.Len() > c.cap {
+					oldest := c.lru.Back()
+					c.lru.Remove(oldest)
+					delete(c.entries, oldest.Value.(*cacheEntry).key)
+				}
 			}
 		}
 		c.mu.Unlock()
 		return res, nil
 	}
+}
+
+// SetIndexVersion keys the cache on an explicit index version: when it
+// differs from the current one, every existing entry (and in-flight
+// leader) is implicitly stale and will be rejected on its next lookup.
+func (c *Cached) SetIndexVersion(v uint64) {
+	c.mu.Lock()
+	if v != c.version {
+		c.version = v
+		c.invals++
+	}
+	c.mu.Unlock()
+}
+
+// Invalidate advances the cache's version, invalidating every entry.
+func (c *Cached) Invalidate() {
+	c.mu.Lock()
+	c.version++
+	c.invals++
+	c.mu.Unlock()
+}
+
+// Invalidations reports how many times the version moved.
+func (c *Cached) Invalidations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invals
+}
+
+// Version returns the index version the cache currently serves.
+func (c *Cached) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Ingest implements Ingestor when the inner service does: the batch is
+// forwarded, and on success the cache adopts the post-write index
+// version so stale entries are never served.
+func (c *Cached) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
+	res, err := IngestInto(ctx, c.inner, ops)
+	if err != nil {
+		return nil, err
+	}
+	c.SetIndexVersion(res.Version)
+	return res, nil
+}
+
+// IndexVersion implements Versioned when the inner service does.
+func (c *Cached) IndexVersion(ctx context.Context) (uint64, error) {
+	v, ok := c.inner.(Versioned)
+	if !ok {
+		return 0, ErrNoIngest
+	}
+	return v.IndexVersion(ctx)
+}
+
+// PinSnapshot implements SnapshotPinner when the inner service does.
+// Cache entries themselves are version-checked, not pin-checked: a
+// pinned query served from the cache reads the latest committed answer
+// (read-committed through the cache; strict snapshot isolation holds on
+// the uncached path below).
+func (c *Cached) PinSnapshot(ctx context.Context) context.Context {
+	if p, ok := c.inner.(SnapshotPinner); ok {
+		return p.PinSnapshot(ctx)
+	}
+	return ctx
 }
 
 // Retrieve implements Service (pass-through).

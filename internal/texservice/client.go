@@ -377,6 +377,33 @@ func (r *Remote) BatchSearch(ctx context.Context, exprs []textidx.Expr, form For
 	return out, nil
 }
 
+// Ingest implements Ingestor over the wire: the batch is one round trip
+// and the ack carries the server's sequence and index version. The call
+// shares the pool/retry machinery of the read path; resends after a lost
+// ack are safe because puts are upserts and deletes are idempotent.
+func (r *Remote) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
+	if err := ValidateIngest(ops); err != nil {
+		return nil, err
+	}
+	resp, err := r.call(ctx, "ingest", wireRequest{Op: "ingest", Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Ingest == nil {
+		return nil, fmt.Errorf("texservice: ingest: server sent no ack")
+	}
+	return resp.Ingest, nil
+}
+
+// IndexVersion implements Versioned over the wire.
+func (r *Remote) IndexVersion(ctx context.Context) (uint64, error) {
+	resp, err := r.call(ctx, "version", wireRequest{Op: "version"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
 // TermDocFrequency implements StatsProvider over the wire.
 func (r *Remote) TermDocFrequency(ctx context.Context, field, term string) (int, error) {
 	resp, err := r.call(ctx, "docfreq", wireRequest{Op: "docfreq", Field: field, Term: term})

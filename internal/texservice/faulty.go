@@ -325,3 +325,28 @@ var (
 	_ BatchSearcher = (*Faulty)(nil)
 	_ StatsProvider = (*Faulty)(nil)
 )
+
+// Ingest implements Ingestor when the inner service does. Writes pass
+// through the same fault gate as reads, so chaos suites exercise lost
+// acks and retried batches on the write path too.
+func (f *Faulty) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
+	if err := f.gate(ctx); err != nil {
+		return nil, err
+	}
+	return IngestInto(ctx, f.inner, ops)
+}
+
+// IndexVersion implements Versioned when the inner service does
+// (metadata: not gated).
+func (f *Faulty) IndexVersion(ctx context.Context) (uint64, error) {
+	v, ok := f.inner.(Versioned)
+	if !ok {
+		return 0, ErrNoIngest
+	}
+	return v.IndexVersion(ctx)
+}
+
+// PinSnapshot implements SnapshotPinner when the inner service does.
+func (f *Faulty) PinSnapshot(ctx context.Context) context.Context {
+	return PinSnapshot(ctx, f.inner)
+}

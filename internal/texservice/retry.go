@@ -284,3 +284,31 @@ var (
 	_ BatchSearcher = (*Retrying)(nil)
 	_ StatsProvider = (*Retrying)(nil)
 )
+
+// Ingest implements Ingestor when the inner service does, retrying
+// transient failures: puts are upserts and deletes are idempotent, so
+// resending a batch whose ack was lost converges to the same state (the
+// re-applied ops consume fresh sequence numbers but change nothing).
+func (r *Retrying) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
+	var res *IngestResult
+	err := r.do(ctx, "ingest", func(ctx context.Context) error {
+		var ferr error
+		res, ferr = IngestInto(ctx, r.inner, ops)
+		return ferr
+	})
+	return res, err
+}
+
+// IndexVersion implements Versioned when the inner service does.
+func (r *Retrying) IndexVersion(ctx context.Context) (uint64, error) {
+	v, ok := r.inner.(Versioned)
+	if !ok {
+		return 0, ErrNoIngest
+	}
+	return v.IndexVersion(ctx)
+}
+
+// PinSnapshot implements SnapshotPinner when the inner service does.
+func (r *Retrying) PinSnapshot(ctx context.Context) context.Context {
+	return PinSnapshot(ctx, r.inner)
+}

@@ -172,6 +172,22 @@ func (s *Server) handle(ctx context.Context, req wireRequest) (resp wireResponse
 			return errResponse(err)
 		}
 		return wireResponse{DocExt: doc.ExtID, DocField: doc.Fields}, false
+	case "ingest":
+		res, err := IngestInto(ctx, s.svc, req.Ops)
+		if err != nil {
+			return errResponse(err)
+		}
+		return wireResponse{Ingest: res}, false
+	case "version":
+		v, ok := s.svc.(Versioned)
+		if !ok {
+			return errResponse(ErrNoIngest)
+		}
+		ver, err := v.IndexVersion(ctx)
+		if err != nil {
+			return errResponse(err)
+		}
+		return wireResponse{Version: ver}, false
 	case "info":
 		n, _ := s.svc.NumDocs()
 		return wireResponse{NumDocs: n, MaxTerms: s.svc.MaxTerms(), Short: s.svc.ShortFields()}, false

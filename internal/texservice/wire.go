@@ -16,13 +16,14 @@ import (
 const maxMessageSize = 16 << 20
 
 type wireRequest struct {
-	Op      string   `json:"op"` // "search", "batchsearch", "retrieve", "info", "docfreq"
-	Query   string   `json:"query,omitempty"`
-	Queries []string `json:"queries,omitempty"`
-	Form    string   `json:"form,omitempty"`
-	ID      int32    `json:"id,omitempty"`
-	Field   string   `json:"field,omitempty"`
-	Term    string   `json:"term,omitempty"`
+	Op      string     `json:"op"` // "search", "batchsearch", "retrieve", "info", "docfreq", "ingest", "version"
+	Query   string     `json:"query,omitempty"`
+	Queries []string   `json:"queries,omitempty"`
+	Form    string     `json:"form,omitempty"`
+	ID      int32      `json:"id,omitempty"`
+	Field   string     `json:"field,omitempty"`
+	Term    string     `json:"term,omitempty"`
+	Ops     []IngestOp `json:"ingest,omitempty"`
 	// Trace carries the client's trace ID (obs.IDFrom) so server-side
 	// request logs correlate with client spans. Empty when the client is
 	// not tracing; servers must treat it as opaque.
@@ -51,6 +52,8 @@ type wireResponse struct {
 	MaxTerms int               `json:"maxTerms,omitempty"`
 	Short    []string          `json:"shortFields,omitempty"`
 	DocFreq  int               `json:"docFreq,omitempty"`
+	Ingest   *IngestResult     `json:"ingestResult,omitempty"`
+	Version  uint64            `json:"version,omitempty"`
 }
 
 // writeMessage frames and writes one JSON message.

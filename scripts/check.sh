@@ -52,6 +52,18 @@ go test -race -short -run 'TestVectorizedEquivalence' ./internal/exec
 # → project) must not allocate per Next once the pipeline is warm.
 go test -run 'TestSteadyStateAllocs' ./internal/vec
 
+# Live-ingest gates: the WAL torture tests (torn tail, corrupt CRC,
+# double replay), the model-based store property test, snapshot
+# isolation, cache-staleness regression and the live join-equivalence
+# suite, all under the race detector.
+go test -race ./internal/ingest/...
+go test -race -run 'TestLiveIngest' ./internal/join
+
+# Crash-recovery smoke: start textserve with a WAL directory, ingest a
+# document over the wire, kill -9 the server mid-flight, restart it on
+# the same directory, and require the acked document to be queryable.
+./scripts/crash_smoke.sh
+
 # Benchmarks must at least compile and run one iteration — they are the
 # before/after evidence for the execution core and rot silently otherwise.
 go test -run 'NOTESTS' -bench . -benchtime 1x ./internal/vec ./internal/relation
