@@ -73,6 +73,21 @@ func (l *Live) PinSnapshot(ctx context.Context) context.Context {
 	return context.WithValue(ctx, pinKey{l.store}, l.store.CurrentView())
 }
 
+// SnapshotPinned implements texservice.PinProber: it reports whether
+// ctx carries a view pinned against this service's store that has
+// fallen behind the store's current state. Caches above bypass such
+// queries in both directions — their answers reflect the old view and
+// must not enter (or be served from) the version-keyed cache. A pin
+// still at the current state reads through the cache normally: its view
+// matches the version entries are keyed on, and a write racing past
+// this check is caught by the caches' fill guard (the write advances
+// their version before the stale fill is attempted, or the entry is
+// filled at — and correctly keyed on — the pre-write version).
+func (l *Live) SnapshotPinned(ctx context.Context) bool {
+	v, ok := ctx.Value(pinKey{l.store}).(*View)
+	return ok && v.Seq() != l.store.CurrentView().Seq()
+}
+
 // view resolves the context's pinned view, or captures the latest.
 func (l *Live) view(ctx context.Context) *View {
 	if v, ok := ctx.Value(pinKey{l.store}).(*View); ok {

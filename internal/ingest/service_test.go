@@ -200,6 +200,78 @@ func TestCachesNeverServeStaleAfterWrite(t *testing.T) {
 	}
 }
 
+// TestPinnedQueryDoesNotPoisonCaches is the regression test for the
+// snapshot/cache interaction: a write lands between a query's pin and
+// its first (cache-missing) search, so the pinned query evaluates
+// against the pre-write view. Its answer must not be recorded under the
+// post-write version, where an unpinned query would hit it — the stated
+// guarantee is that a post-ack search is never answered from a
+// pre-write entry.
+func TestPinnedQueryDoesNotPoisonCaches(t *testing.T) {
+	l := liveService(t)
+	cached := texservice.NewCached(l, 64)
+	stack := texservice.NewProbeCache(cached, 64)
+
+	e, err := textidx.Parse("title='belief'", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := stack.PinSnapshot(bg)
+	// The write lands AFTER the pin but BEFORE the pinned query's first
+	// search; both caches adopt the post-write version from the ack.
+	if _, err := stack.Ingest(bg, []texservice.IngestOp{put("n1", "belief lands mid-query")}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := stack.Search(pinned, e, texservice.FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := stack.Search(bg, e, texservice.FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Hits) != len(old.Hits)+1 {
+		t.Fatalf("unpinned post-write search sees %d hits, want %d — pinned query poisoned the cache",
+			len(fresh.Hits), len(old.Hits)+1)
+	}
+	// The pinned query keeps its pre-write view on repeats (and the
+	// unpinned fill above must not leak into it).
+	again, err := stack.Search(pinned, e, texservice.FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Hits) != len(old.Hits) {
+		t.Fatalf("pinned view drifted through the caches: %d then %d hits", len(old.Hits), len(again.Hits))
+	}
+}
+
+// TestCurrentPinKeepsCacheUtility: a pin that the collection has not
+// moved past reads through the caches normally — bypass is reserved for
+// pins that have fallen behind, so the common no-contention case keeps
+// full cache hit rates.
+func TestCurrentPinKeepsCacheUtility(t *testing.T) {
+	l := liveService(t)
+	cached := texservice.NewCached(l, 64)
+	stack := texservice.NewProbeCache(cached, 64)
+
+	e, err := textidx.Parse("title='belief'", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := stack.PinSnapshot(bg)
+	for i := 0; i < 3; i++ {
+		if _, err := stack.Search(pinned, e, texservice.FormShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := stack.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("current-pin probes: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if u := stack.Meter().Snapshot(); u.Searches != 1 {
+		t.Fatalf("backend charged %d searches for a current pin, want 1", u.Searches)
+	}
+}
+
 // TestCachedVersionKeying drives the version hooks directly: an entry
 // filled at version v is rejected once the version moves.
 func TestCachedVersionKeying(t *testing.T) {

@@ -64,6 +64,13 @@ type WAL struct {
 	closed chan struct{} // closed by Close; syncer drains and exits
 	done   chan struct{} // closed when the syncer has exited
 
+	// closeMu orders Enqueue/Rotate against Close: a request sent under
+	// the read lock is in reqCh before Close (under the write lock)
+	// signals the syncer to drain and exit, so no request can slip past
+	// the final drain and strand its waiter.
+	closeMu sync.RWMutex
+	closing bool
+
 	mu       sync.Mutex
 	segments []string // all segment paths, oldest first (active last)
 	f        *os.File
@@ -270,12 +277,14 @@ func (p *Pending) Wait() error {
 // writers share one fsync.
 func (w *WAL) Enqueue(buf []byte) *Pending {
 	req := &walReq{buf: buf, done: make(chan struct{})}
-	select {
-	case w.reqCh <- req:
-		return &Pending{req: req}
-	case <-w.closed:
+	w.closeMu.RLock()
+	if w.closing {
+		w.closeMu.RUnlock()
 		return &Pending{}
 	}
+	w.reqCh <- req
+	w.closeMu.RUnlock()
+	return &Pending{req: req}
 }
 
 // Submit is Enqueue followed by Wait: a durable append.
@@ -290,11 +299,13 @@ func (w *WAL) Submit(buf []byte) error {
 // sequence < nextSeq (the store rotates under its sequence mutex).
 func (w *WAL) Rotate(nextSeq uint64) ([]string, error) {
 	req := &walReq{rotate: true, startSeq: nextSeq, done: make(chan struct{})}
-	select {
-	case w.reqCh <- req:
-	case <-w.closed:
+	w.closeMu.RLock()
+	if w.closing {
+		w.closeMu.RUnlock()
 		return nil, fmt.Errorf("ingest: wal closed")
 	}
+	w.reqCh <- req
+	w.closeMu.RUnlock()
 	<-req.done
 	return req.sealed, req.err
 }
@@ -431,8 +442,26 @@ func (w *WAL) Close() error {
 	}
 	w.started = false
 	w.mu.Unlock()
+	// Taking the write lock waits for every in-flight Enqueue/Rotate to
+	// finish its channel send, so everything sent is in reqCh before the
+	// syncer is told to drain; later calls fail fast on the closing flag.
+	w.closeMu.Lock()
+	w.closing = true
+	w.closeMu.Unlock()
 	close(w.closed)
 	<-w.done
+	// Defense in depth: the ordering above means the syncer's final drain
+	// saw every request, but a stranded waiter would block forever, so
+	// sweep the channel rather than assume.
+	for swept := true; swept; {
+		select {
+		case req := <-w.reqCh:
+			req.err = fmt.Errorf("ingest: wal closed")
+			close(req.done)
+		default:
+			swept = false
+		}
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var err error

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"textjoin/internal/texservice"
 )
@@ -231,6 +232,54 @@ func TestWALGroupCommit(t *testing.T) {
 	got, _ := replayAll(t, dir)
 	if len(got) != writers {
 		t.Fatalf("replayed %d records, want %d", len(got), writers)
+	}
+}
+
+// TestWALCloseCompletesRacingEnqueues: Close must never strand an
+// enqueued append — every Pending.Wait returns (durably committed or
+// failed with an error), even when enqueues race the close.
+func TestWALCloseCompletesRacingEnqueues(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeRecords(walRecords(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				// Committed or failed are both fine; blocking forever is
+				// the bug.
+				_ = w.Enqueue(buf).Wait()
+			}
+		}()
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("a Pending.Wait blocked forever across Close")
+	}
+	// Post-close appends and rotations fail fast.
+	if err := w.Enqueue(buf).Wait(); err == nil {
+		t.Fatal("enqueue after close was committed")
+	}
+	if _, err := w.Rotate(99); err == nil {
+		t.Fatal("rotate after close succeeded")
 	}
 }
 

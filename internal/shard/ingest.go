@@ -59,6 +59,12 @@ func (s *Sharded) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texse
 		}
 	}
 	if firstErr != nil {
+		// A partial failure leaves shards divergent: the acked shards keep
+		// the batch, the failing ones do not, and no caller sees a new
+		// index version until a later write succeeds (version-keyed caches
+		// above invalidate on this error for exactly that reason). The ops
+		// are idempotent upserts/deletes, so retrying the same batch
+		// converges every shard.
 		return nil, firstErr
 	}
 	out := &texservice.IngestResult{}
@@ -108,6 +114,19 @@ func (s *Sharded) PinSnapshot(ctx context.Context) context.Context {
 		ctx = texservice.PinSnapshot(ctx, svc)
 	}
 	return ctx
+}
+
+// SnapshotPinned implements texservice.PinProber: the federation counts
+// as pinned-behind when any shard's pin has fallen behind that shard's
+// current state — a cache above must bypass if even one leg would
+// answer from an old view.
+func (s *Sharded) SnapshotPinned(ctx context.Context) bool {
+	for _, svc := range s.shards {
+		if texservice.SnapshotPinned(ctx, svc) {
+			return true
+		}
+	}
+	return false
 }
 
 var _ texservice.Ingestor = (*Sharded)(nil)

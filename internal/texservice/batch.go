@@ -118,9 +118,13 @@ func SearchBatch(ctx context.Context, svc Service, exprs []textidx.Expr, form Fo
 // writes advance the version (the Ingest forwarding below calls
 // SetIndexVersion with the post-write version), and an entry from an
 // older version is rejected on hit, so a post-write probe is never
-// answered from a pre-write entry. Invalidate is the coarse hook;
-// InvalidateDoc is the stub for finer-grained invalidation — today it
-// degrades to a full Invalidate.
+// answered from a pre-write entry. Invalidate advances a separate
+// generation counter (entries must match both), keeping out-of-band
+// invalidations out of the store's monotonic version space. Probes whose
+// pinned snapshot view has fallen behind the current state bypass the
+// cache entirely — their answers reflect the old view. Invalidate is the
+// coarse hook; InvalidateDoc is the stub for finer-grained invalidation
+// — today it degrades to a full Invalidate.
 type ProbeCache struct {
 	inner Service
 
@@ -129,6 +133,7 @@ type ProbeCache struct {
 	entries map[string]*list.Element
 	cap     int
 	version uint64
+	gen     uint64
 	hits    int
 	misses  int
 	invals  int
@@ -137,6 +142,7 @@ type ProbeCache struct {
 type probeEntry struct {
 	key     string
 	version uint64
+	gen     uint64
 	res     *Result
 }
 
@@ -160,11 +166,17 @@ func (c *ProbeCache) Search(ctx context.Context, e textidx.Expr, form Form) (*Re
 	if form != FormShort {
 		return c.inner.Search(ctx, e, form)
 	}
+	if SnapshotPinned(ctx, c.inner) {
+		// This probe's pinned view has fallen behind the current index
+		// version: bypass the cache in both directions (see Cached.Search
+		// for the full rationale).
+		return c.inner.Search(ctx, e, form)
+	}
 	key := textidx.Normalize(e).String()
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		ent := el.Value.(*probeEntry)
-		if ent.version == c.version {
+		if ent.version == c.version && ent.gen == c.gen {
 			c.lru.MoveToFront(el)
 			res := ent.res
 			c.hits++
@@ -175,23 +187,27 @@ func (c *ProbeCache) Search(ctx context.Context, e textidx.Expr, form Form) (*Re
 		c.lru.Remove(el)
 		delete(c.entries, key)
 	}
-	version := c.version
+	version, gen := c.version, c.gen
 	c.mu.Unlock()
 
 	res, err := c.inner.Search(ctx, e, form)
 	if err != nil {
 		return nil, err
 	}
+	// Re-probe the pin before publishing: a write can land after the
+	// top-of-search check, leaving this answer behind the current state
+	// (see Cached.Search).
+	pinnedBehind := SnapshotPinned(ctx, c.inner)
 	c.mu.Lock()
 	c.misses++
-	// An invalidation racing with the backend call makes the result stale
-	// relative to the new collection version: return it (it was correct
-	// when issued) but do not cache it.
-	if c.version == version {
+	// A write or invalidation racing with the backend call makes the
+	// result stale relative to the new collection version: return it (it
+	// was correct when issued) but do not cache it.
+	if !pinnedBehind && c.version == version && c.gen == gen {
 		if el, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(el)
 		} else {
-			el := c.lru.PushFront(&probeEntry{key: key, version: c.version, res: res})
+			el := c.lru.PushFront(&probeEntry{key: key, version: c.version, gen: c.gen, res: res})
 			c.entries[key] = el
 			if c.lru.Len() > c.cap {
 				oldest := c.lru.Back()
@@ -224,11 +240,15 @@ func (c *ProbeCache) TermDocFrequency(ctx context.Context, field, term string) (
 	return provider.TermDocFrequency(ctx, field, term)
 }
 
-// Invalidate drops every cached probe result and advances the collection
-// version. Ingest paths must call it after mutating the collection.
+// Invalidate drops every cached probe result and advances the cache's
+// generation. It deliberately does NOT touch the version counter: that
+// space belongs to the store's monotonic index version, and burning a
+// value here would make the next real write's SetIndexVersion a no-op —
+// entries filled between the Invalidate and that write would then be
+// served as current.
 func (c *ProbeCache) Invalidate() {
 	c.mu.Lock()
-	c.version++
+	c.gen++
 	c.invals++
 	c.lru.Init()
 	c.entries = map[string]*list.Element{}
@@ -247,10 +267,15 @@ func (c *ProbeCache) SetIndexVersion(v uint64) {
 }
 
 // Ingest implements Ingestor when the inner service does, adopting the
-// post-write index version on success.
+// post-write index version on success. A failed batch may still be
+// partially applied below (see Cached.Ingest), so the error path
+// conservatively invalidates.
 func (c *ProbeCache) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
 	res, err := IngestInto(ctx, c.inner, ops)
 	if err != nil {
+		if !errors.Is(err, ErrNoIngest) {
+			c.Invalidate()
+		}
 		return nil, err
 	}
 	c.SetIndexVersion(res.Version)
@@ -266,13 +291,18 @@ func (c *ProbeCache) IndexVersion(ctx context.Context) (uint64, error) {
 	return v.IndexVersion(ctx)
 }
 
-// PinSnapshot implements SnapshotPinner when the inner service does
-// (see Cached.PinSnapshot for the cache-hit caveat).
+// PinSnapshot implements SnapshotPinner when the inner service does.
+// Probes whose pin has fallen behind bypass the cache (see Search).
 func (c *ProbeCache) PinSnapshot(ctx context.Context) context.Context {
 	if p, ok := c.inner.(SnapshotPinner); ok {
 		return p.PinSnapshot(ctx)
 	}
 	return ctx
+}
+
+// SnapshotPinned implements PinProber when the inner service does.
+func (c *ProbeCache) SnapshotPinned(ctx context.Context) bool {
+	return SnapshotPinned(ctx, c.inner)
 }
 
 // InvalidateDoc is the per-document invalidation hook for future ingest.

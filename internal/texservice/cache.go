@@ -3,6 +3,7 @@ package texservice
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 
 	"textjoin/internal/obs"
@@ -26,10 +27,16 @@ import (
 //
 // Every entry is keyed on the index version it was filled at: a write to
 // the collection advances the cache's version (SetIndexVersion, called by
-// the Ingest forwarding below, or Invalidate), and entries from an older
-// version are rejected on hit — a post-write search can never be answered
-// from a pre-write entry. On an immutable collection the version never
-// moves and the cache behaves exactly as before.
+// the Ingest forwarding below), and entries from an older version are
+// rejected on hit — a post-write search can never be answered from a
+// pre-write entry. Invalidate advances a separate generation counter
+// (entries must match both), so an out-of-band invalidation never burns
+// a value from the store's monotonic version space. Queries whose pinned
+// snapshot view (SnapshotPinner/PinProber) has fallen behind the current
+// state bypass the cache entirely: their answers reflect the old pinned
+// view, and must neither be served current-version entries nor have
+// their answers filled for unpinned readers. On an immutable collection
+// the version never moves and the cache behaves exactly as before.
 type Cached struct {
 	inner Service
 
@@ -39,6 +46,7 @@ type Cached struct {
 	inflight map[string]*inflightCall
 	cap      int
 	version  uint64
+	gen      uint64
 	hits     int
 	misses   int
 	dedups   int
@@ -48,12 +56,14 @@ type Cached struct {
 type cacheEntry struct {
 	key     string
 	version uint64
+	gen     uint64
 	res     *Result
 }
 
 // inflightCall is one in-progress backend search that duplicates wait on.
 type inflightCall struct {
 	version uint64        // cache version when the leader started
+	gen     uint64        // cache generation when the leader started
 	done    chan struct{} // closed when res/err are set
 	res     *Result
 	err     error
@@ -78,12 +88,24 @@ func NewCached(inner Service, capacity int) *Cached {
 func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result, error) {
 	ctx, sp := obs.StartSpan(ctx, "cache.search")
 	defer sp.End()
+	if SnapshotPinned(ctx, c.inner) {
+		// This query's pinned view has fallen behind the current index
+		// version: serving it a current-version entry would break its
+		// snapshot, and filling the cache with its answer would hand
+		// pre-write results to unpinned readers. Bypass the cache in both
+		// directions. (A pin still at the current state reads through the
+		// cache normally.)
+		if sp != nil {
+			sp.SetAttr(obs.Str("cache", "pinned-bypass"))
+		}
+		return c.inner.Search(ctx, e, form)
+	}
 	key := form.String() + "\x00" + e.String()
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			ent := el.Value.(*cacheEntry)
-			if ent.version == c.version {
+			if ent.version == c.version && ent.gen == c.gen {
 				c.lru.MoveToFront(el)
 				res := ent.res
 				c.hits++
@@ -99,7 +121,7 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 			c.lru.Remove(el)
 			delete(c.entries, key)
 		}
-		if call, ok := c.inflight[key]; ok && call.version == c.version {
+		if call, ok := c.inflight[key]; ok && call.version == c.version && call.gen == c.gen {
 			// A leader is already searching this key at the current
 			// version: wait for it.
 			c.dedups++
@@ -131,7 +153,7 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 			}
 			return c.inner.Search(ctx, e, form)
 		}
-		call := &inflightCall{version: c.version, done: make(chan struct{})}
+		call := &inflightCall{version: c.version, gen: c.gen, done: make(chan struct{})}
 		c.inflight[key] = call
 		c.mu.Unlock()
 
@@ -139,6 +161,12 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 			sp.SetAttr(obs.Str("cache", "miss"))
 		}
 		res, err := c.inner.Search(ctx, e, form)
+		// Re-probe the pin before publishing: a write can land between the
+		// top-of-search check and the leader registration, in which case
+		// this answer reflects the old pinned view even though the cache
+		// version already moved on. Checked outside the cache lock — it
+		// reads backend state.
+		pinnedBehind := err == nil && SnapshotPinned(ctx, c.inner)
 		c.mu.Lock()
 		if c.inflight[key] == call {
 			delete(c.inflight, key)
@@ -150,15 +178,16 @@ func (c *Cached) Search(ctx context.Context, e textidx.Expr, form Form) (*Result
 			return nil, err
 		}
 		c.misses++
-		// A write racing with the backend call makes this result stale
-		// relative to the new version: return it (it was correct when
-		// issued) but only cache it if the version is unchanged.
-		if call.version == c.version {
+		// A write (or invalidation) racing with the backend call makes
+		// this result stale relative to the new version: return it (it was
+		// correct when issued) but only cache it if both counters are
+		// unchanged and the pinned view (if any) is still current.
+		if !pinnedBehind && call.version == c.version && call.gen == c.gen {
 			if el, ok := c.entries[key]; ok {
 				// Raced with another miss; keep the existing entry.
 				c.lru.MoveToFront(el)
 			} else {
-				el := c.lru.PushFront(&cacheEntry{key: key, version: c.version, res: res})
+				el := c.lru.PushFront(&cacheEntry{key: key, version: c.version, gen: c.gen, res: res})
 				c.entries[key] = el
 				if c.lru.Len() > c.cap {
 					oldest := c.lru.Back()
@@ -184,10 +213,14 @@ func (c *Cached) SetIndexVersion(v uint64) {
 	c.mu.Unlock()
 }
 
-// Invalidate advances the cache's version, invalidating every entry.
+// Invalidate advances the cache's generation, invalidating every entry.
+// It deliberately does NOT touch the version counter: that space belongs
+// to the store's monotonic index version, and burning a value here would
+// make the next real write's SetIndexVersion a no-op — entries filled
+// between the Invalidate and that write would then be served as current.
 func (c *Cached) Invalidate() {
 	c.mu.Lock()
-	c.version++
+	c.gen++
 	c.invals++
 	c.mu.Unlock()
 }
@@ -208,10 +241,17 @@ func (c *Cached) Version() uint64 {
 
 // Ingest implements Ingestor when the inner service does: the batch is
 // forwarded, and on success the cache adopts the post-write index
-// version so stale entries are never served.
+// version so stale entries are never served. A failed batch may still be
+// partially applied below (a broadcast ingest can land on some shards
+// before failing on another) and no new version will be adopted until a
+// later write succeeds, so the error path conservatively invalidates
+// rather than let entries that predate the partial write keep serving.
 func (c *Cached) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
 	res, err := IngestInto(ctx, c.inner, ops)
 	if err != nil {
+		if !errors.Is(err, ErrNoIngest) {
+			c.Invalidate()
+		}
 		return nil, err
 	}
 	c.SetIndexVersion(res.Version)
@@ -228,15 +268,21 @@ func (c *Cached) IndexVersion(ctx context.Context) (uint64, error) {
 }
 
 // PinSnapshot implements SnapshotPinner when the inner service does.
-// Cache entries themselves are version-checked, not pin-checked: a
-// pinned query served from the cache reads the latest committed answer
-// (read-committed through the cache; strict snapshot isolation holds on
-// the uncached path below).
+// While the pinned view matches the current state the query reads
+// through the cache normally; once a write moves the collection past
+// the pin, its searches bypass the cache in both directions (see
+// Search), so pre-write answers never enter the version-keyed cache and
+// the pinned query keeps its snapshot.
 func (c *Cached) PinSnapshot(ctx context.Context) context.Context {
 	if p, ok := c.inner.(SnapshotPinner); ok {
 		return p.PinSnapshot(ctx)
 	}
 	return ctx
+}
+
+// SnapshotPinned implements PinProber when the inner service does.
+func (c *Cached) SnapshotPinned(ctx context.Context) bool {
+	return SnapshotPinned(ctx, c.inner)
 }
 
 // Retrieve implements Service (pass-through).

@@ -307,6 +307,144 @@ func TestSingleflightWaiterHonorsContext(t *testing.T) {
 	}
 }
 
+// TestInvalidateDoesNotBurnVersions: Invalidate must not consume values
+// from the store's monotonic version space. Entries filled after an
+// Invalidate but before the next write must be rejected when that
+// write's version is adopted — even when the counters would collide
+// under the old version++ scheme (version 100, Invalidate, then a real
+// write at 101).
+func TestInvalidateDoesNotBurnVersions(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(local, 8)
+	q := textidx.Term{Field: "title", Word: "text"}
+	backend := func() int { return c.Meter().Snapshot().Searches }
+
+	c.SetIndexVersion(100)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Search(bg, q, FormShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if backend() != 1 {
+		t.Fatalf("warm-up reached the backend %d times, want 1", backend())
+	}
+	c.Invalidate()
+	// The entry is gone; the next search refills at the post-invalidate
+	// generation.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Search(bg, q, FormShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if backend() != 2 {
+		t.Fatalf("post-invalidate searches reached the backend %d times, want 2", backend())
+	}
+	// A real write now advances the store version to 101. The refilled
+	// entry predates the write and must be rejected.
+	c.SetIndexVersion(101)
+	if _, err := c.Search(bg, q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if backend() != 3 {
+		t.Fatalf("post-write search served from a pre-write entry (backend calls = %d, want 3)", backend())
+	}
+}
+
+// TestProbeCacheInvalidateDoesNotBurnVersions is the ProbeCache analog.
+func TestProbeCacheInvalidateDoesNotBurnVersions(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewProbeCache(local, 8)
+	q := textidx.Term{Field: "title", Word: "text"}
+	backend := func() int { return c.Meter().Snapshot().Searches }
+
+	c.SetIndexVersion(100)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Search(bg, q, FormShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Invalidate()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Search(bg, q, FormShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetIndexVersion(101)
+	if _, err := c.Search(bg, q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if backend() != 3 {
+		t.Fatalf("post-write probe served from a pre-write entry (backend calls = %d, want 3)", backend())
+	}
+}
+
+// failingIngestor refuses every write with a mid-batch error, modelling
+// a broadcast ingest that landed on some shards before failing.
+type failingIngestor struct{ *Local }
+
+func (s *failingIngestor) Ingest(ctx context.Context, ops []IngestOp) (*IngestResult, error) {
+	return nil, errors.New("shard 1/2: ingest failed")
+}
+
+// TestFailedIngestInvalidates: an ingest error may mask a partially
+// applied write (no new version is adopted), so both caches must drop
+// their entries rather than keep serving pre-write answers.
+func TestFailedIngestInvalidates(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []IngestOp{{Kind: IngestPut, ExtID: "n1", Fields: map[string]string{"title": "x"}}}
+	q := textidx.Term{Field: "title", Word: "text"}
+
+	c := NewCached(&failingIngestor{local}, 8)
+	if _, err := c.Search(bg, q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(bg, ops); err == nil {
+		t.Fatal("failing ingest succeeded")
+	}
+	if _, err := c.Search(bg, q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != 2 {
+		t.Fatalf("search after failed ingest served from cache (misses = %d, want 2)", misses)
+	}
+
+	p := NewProbeCache(&failingIngestor{local}, 8)
+	if _, err := p.Search(bg, q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest(bg, ops); err == nil {
+		t.Fatal("failing ingest succeeded")
+	}
+	if _, err := p.Search(bg, q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := p.Stats(); misses != 2 {
+		t.Fatalf("probe after failed ingest served from cache (misses = %d, want 2)", misses)
+	}
+
+	// A service without the write capability applied nothing: ErrNoIngest
+	// must not churn the cache.
+	ro := NewCached(local, 8)
+	if _, err := ro.Search(bg, q, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Ingest(bg, ops); !errors.Is(err, ErrNoIngest) {
+		t.Fatalf("ingest into read-only service: %v, want ErrNoIngest", err)
+	}
+	if n := ro.Invalidations(); n != 0 {
+		t.Fatalf("ErrNoIngest invalidated the cache (%d invalidations)", n)
+	}
+}
+
 // TestCachedWithJoinMethods: running the same join twice through a cached
 // service makes the second run free.
 func TestCachedJoinRepeatIsFree(t *testing.T) {

@@ -350,3 +350,8 @@ func (f *Faulty) IndexVersion(ctx context.Context) (uint64, error) {
 func (f *Faulty) PinSnapshot(ctx context.Context) context.Context {
 	return PinSnapshot(ctx, f.inner)
 }
+
+// SnapshotPinned implements PinProber when the inner service does.
+func (f *Faulty) SnapshotPinned(ctx context.Context) bool {
+	return SnapshotPinned(ctx, f.inner)
+}

@@ -111,6 +111,28 @@ func PinSnapshot(ctx context.Context, svc Service) context.Context {
 	return ctx
 }
 
+// PinProber is the companion capability to SnapshotPinner: it reports
+// whether a context carries a pinned view for the service (or anything
+// it wraps) that has fallen BEHIND the service's current state.
+// Version-keyed caches consult it to bypass both lookup and fill for
+// such queries — their answers reflect the old pinned view, and
+// recording one under the current index version would serve pre-write
+// results to unpinned readers. A pin still at the current state reports
+// false and keeps full cache utility.
+type PinProber interface {
+	SnapshotPinned(ctx context.Context) bool
+}
+
+// SnapshotPinned reports whether ctx carries a behind-current pinned
+// view for svc. Services without the capability never pin, so they
+// report false.
+func SnapshotPinned(ctx context.Context, svc Service) bool {
+	if p, ok := svc.(PinProber); ok {
+		return p.SnapshotPinned(ctx)
+	}
+	return false
+}
+
 // ErrNoIngest is returned when an ingest reaches a service without the
 // write capability (a frozen, read-only backend).
 var ErrNoIngest = errors.New("texservice: service does not support ingest")

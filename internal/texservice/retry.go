@@ -312,3 +312,8 @@ func (r *Retrying) IndexVersion(ctx context.Context) (uint64, error) {
 func (r *Retrying) PinSnapshot(ctx context.Context) context.Context {
 	return PinSnapshot(ctx, r.inner)
 }
+
+// SnapshotPinned implements PinProber when the inner service does.
+func (r *Retrying) SnapshotPinned(ctx context.Context) bool {
+	return SnapshotPinned(ctx, r.inner)
+}
