@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, batchprobe, vector, ingest, all")
+		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, batchprobe, vector, ingest, replica, all")
 		docs = flag.Int("docs", 2000, "corpus size D")
 		seed = flag.Int64("seed", 42, "generation seed")
 	)
@@ -196,6 +196,15 @@ func run(exp string, docs int, seed int64) error {
 			return err
 		}
 		bench.FormatInterference(os.Stdout, irows)
+	}
+	if want("replica") {
+		ran = true
+		header("Replica fleet chaos — one browned-out replica per partition at 16x offered load")
+		rrows, err := bench.ReplicaChaos(c, bench.ReplicaChaosConfig{})
+		if err != nil {
+			return err
+		}
+		bench.FormatReplicaChaos(os.Stdout, rrows)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

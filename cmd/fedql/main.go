@@ -273,9 +273,13 @@ func execute(w io.Writer, eng *core.Engine, query string, cfg config) error {
 		fmt.Fprintf(w, "\ntrace %s:\n", rec.ID)
 		obs.Dump(w, rec.Root())
 	}
-	fmt.Fprintf(w, "\n%d rows in %s (optimize %s); text-service usage: %d searches (%d probes), %d postings, %d short + %d long docs, simulated cost %.2fs (critical path %.2fs)\n\n",
+	hedged := ""
+	if res.Usage.Hedges > 0 {
+		hedged = fmt.Sprintf(", %d hedged", res.Usage.Hedges)
+	}
+	fmt.Fprintf(w, "\n%d rows in %s (optimize %s); text-service usage: %d searches (%d probes%s), %d postings, %d short + %d long docs, simulated cost %.2fs (critical path %.2fs)\n\n",
 		res.Table.Cardinality(), res.ExecuteTime.Round(10e3), res.OptimizeTime.Round(10e3),
-		res.Usage.Searches, res.Probes, res.Usage.Postings,
+		res.Usage.Searches, res.Probes, hedged, res.Usage.Postings,
 		res.Usage.ShortDocs, res.Usage.LongDocs, res.Usage.Cost, res.Usage.CritCost)
 	printTable(w, res.Table, cfg.maxRows)
 	return nil

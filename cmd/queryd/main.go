@@ -74,12 +74,29 @@ func main() {
 	}
 }
 
+// hedgeMode describes the configured hedging policy for the banner.
+func hedgeMode(ec appcfg.EngineConfig) string {
+	switch {
+	case ec.Hedge > 0:
+		return "fixed " + ec.Hedge.String()
+	case ec.Hedge < 0:
+		return "off"
+	default:
+		return "adaptive p95"
+	}
+}
+
 func run(ec appcfg.EngineConfig, addr string, gcfg gateway.Config, drainWait time.Duration, withPprof bool) error {
 	eng, cleanup, err := ec.BuildEngine()
 	if err != nil {
 		return err
 	}
 	defer cleanup()
+	if ec.Fleet != nil {
+		// Replicated text stack: surface routing activity (hedges,
+		// failovers, ejections) at /metrics.
+		gcfg.ReplicaStats = ec.Fleet.Stats
+	}
 
 	gw := gateway.New(eng, gcfg)
 	mux := http.NewServeMux()
@@ -102,6 +119,11 @@ func run(ec appcfg.EngineConfig, addr string, gcfg gateway.Config, drainWait tim
 	cfg := gw.Config()
 	fmt.Printf("queryd: serving on %s (workers %d, queue %d, queue timeout %s, query timeout %s, cost limit %.1fs, cache %d)\n",
 		addr, cfg.Workers, cfg.QueueDepth, cfg.QueueTimeout, cfg.QueryTimeout, cfg.CostLimit, ec.SearchCache)
+	if ec.Fleet != nil {
+		sets := ec.Fleet.Sets()
+		fmt.Printf("queryd: replicated text fleet: %d partition(s), %d replicas, hedging %s\n",
+			len(sets), ec.Fleet.Stats().Replicas, hedgeMode(ec))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

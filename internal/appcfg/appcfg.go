@@ -9,6 +9,7 @@ package appcfg
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"textjoin/internal/ingest"
 	"textjoin/internal/optimizer"
 	"textjoin/internal/relation"
+	"textjoin/internal/replica"
 	"textjoin/internal/shard"
 	"textjoin/internal/texservice"
 	"textjoin/internal/workload"
@@ -52,7 +54,16 @@ type EngineConfig struct {
 	Vectorized  bool          // column-oriented batch execution (default on)
 	LiveIngest  bool          // mutable in-process index accepting live writes
 	IngestDir   string        // WAL + snapshot directory for -live (implies -live)
+	Replicas    int           // in-process replicas per partition (>1 enables the routing tier)
+	Partitions  int           // partitions of the in-process replicated fleet
+	Hedge       time.Duration // fixed hedge budget; 0 = adaptive p95, negative disables hedging
 	Tables      TableList     // CSV tables as name=path.csv
+
+	// Fleet is populated by BuildEngine (and DialText, with pipe-grouped
+	// -remote endpoints) when replication is configured: the per-partition
+	// routing Sets, for wiring routing stats into the gateway's /metrics.
+	// Nil when the text stack is unreplicated.
+	Fleet *replica.Fleet
 }
 
 // Defaults returns the shared defaults (in-process demo database, PrL
@@ -65,6 +76,8 @@ func Defaults() EngineConfig {
 		Pool:       texservice.DefaultPoolSize,
 		Retries:    1,
 		Vectorized: true,
+		Replicas:   1,
+		Partitions: 1,
 	}
 }
 
@@ -75,7 +88,7 @@ func (c *EngineConfig) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.Docs, "docs", c.Docs, "corpus size for the generated text source")
 	fs.Int64Var(&c.Seed, "seed", c.Seed, "generation seed")
 	fs.StringVar(&c.Mode, "mode", c.Mode, "optimizer mode: traditional, prl, greedy")
-	fs.StringVar(&c.Remote, "remote", c.Remote, "textserve address(es) instead of the in-process index; a comma-separated list (host:port,host:port,…) is treated as a document-sharded cluster in partition order")
+	fs.StringVar(&c.Remote, "remote", c.Remote, "textserve address(es) instead of the in-process index; a comma-separated list (host:port,host:port,…) is treated as a document-sharded cluster in partition order, and pipe-grouped endpoints (a:1|a:2,b:1|b:2) as interchangeable replicas of each partition behind the load-aware routing tier")
 	fs.BoolVar(&c.BestEffort, "besteffort", c.BestEffort, "with a sharded -remote list: degrade gracefully on shard failure instead of failing the query (results may be partial)")
 	fs.IntVar(&c.Pool, "pool", c.Pool, "remote connection-pool size (with -remote)")
 	fs.DurationVar(&c.Timeout, "timeout", c.Timeout, "per-call timeout against the remote server, 0 = none (with -remote)")
@@ -86,6 +99,9 @@ func (c *EngineConfig) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Vectorized, "vectorized", c.Vectorized, "run relational operators as column-oriented batch pipelines; -vectorized=false falls back to the row-at-a-time engine")
 	fs.BoolVar(&c.LiveIngest, "live", c.LiveIngest, "serve the in-process text source from a mutable live-ingest index (accepts document writes); in-memory unless -ingest-dir is set")
 	fs.StringVar(&c.IngestDir, "ingest-dir", c.IngestDir, "durability directory for the live-ingest index (WAL + snapshots); implies -live, replays any existing log on start")
+	fs.IntVar(&c.Replicas, "replicas", c.Replicas, "serve the in-process corpus from this many interchangeable replicas per partition behind the load-aware routing tier (hedged requests, failover); 1 = unreplicated")
+	fs.IntVar(&c.Partitions, "partitions", c.Partitions, "document partitions of the in-process replicated fleet (with -replicas > 1); each partition gets its own replica group")
+	fs.DurationVar(&c.Hedge, "hedge", c.Hedge, "fixed hedge budget for replicated routing: launch a second replica attempt after this long; 0 = adaptive p95 budget, negative disables hedging")
 	fs.Var(&c.Tables, "table", "register a CSV table as name=path.csv (repeatable)")
 }
 
@@ -93,7 +109,11 @@ func (c *EngineConfig) RegisterFlags(fs *flag.FlagSet) {
 // client, several comma-separated endpoints are composed into a
 // document-sharded federation (each endpoint serving one partition, in
 // order — e.g. three textserve processes started with -shard 0/3, 1/3,
-// 2/3). Per-endpoint pools, timeouts and retries apply to each shard.
+// 2/3). Pipe-grouped endpoints within a partition — "a:1|a:2,b:1|b:2"
+// — are interchangeable replicas of that partition, fronted by the
+// load-aware routing tier (power-of-two-choices selection, hedged
+// requests, failover); the Fleet field is populated for stats wiring.
+// Per-endpoint pools, timeouts and retries apply to each backend.
 func (c *EngineConfig) DialText() (texservice.Service, func(), error) {
 	dialOpts := []texservice.DialOption{texservice.WithPoolSize(c.Pool)}
 	if c.Timeout > 0 {
@@ -110,37 +130,107 @@ func (c *EngineConfig) DialText() (texservice.Service, func(), error) {
 			r.Close()
 		}
 	}
-	endpoints := strings.Split(c.Remote, ",")
-	for _, ep := range endpoints {
+	dial := func(ep string) (*texservice.Remote, error) {
 		ep = strings.TrimSpace(ep)
 		if ep == "" {
-			cleanup()
-			return nil, nil, fmt.Errorf("empty endpoint in -remote %q", c.Remote)
+			return nil, fmt.Errorf("empty endpoint in -remote %q", c.Remote)
 		}
 		r, err := texservice.Dial(ep, nil, dialOpts...)
 		if err != nil {
-			cleanup()
-			return nil, nil, fmt.Errorf("dialing %s: %w", ep, err)
+			return nil, fmt.Errorf("dialing %s: %w", ep, err)
 		}
 		remotes = append(remotes, r)
+		return r, nil
 	}
-	if len(remotes) == 1 {
-		return remotes[0], cleanup, nil
+
+	partitions := strings.Split(c.Remote, ",")
+	replicated := strings.Contains(c.Remote, "|")
+	if !replicated {
+		// Unreplicated: plain client or sharded federation, as before.
+		for _, ep := range partitions {
+			if _, err := dial(ep); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+		if len(remotes) == 1 {
+			return remotes[0], cleanup, nil
+		}
+		shards := make([]texservice.Service, len(remotes))
+		for i, r := range remotes {
+			shards[i] = r
+		}
+		svc, err := shard.New(shards, c.shardOptions()...)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return svc, cleanup, nil
 	}
-	shards := make([]texservice.Service, len(remotes))
-	for i, r := range remotes {
-		shards[i] = r
+
+	// Replicated: each comma-separated group lists one partition's
+	// replicas, pipe-separated. A replica that is down at dial time is
+	// skipped with a warning rather than sinking the fleet — that is
+	// the point of replication — but a partition with no reachable
+	// replica at all is fatal, and so is a malformed endpoint list.
+	groups := make([][]texservice.Service, len(partitions))
+	for p, group := range partitions {
+		for _, ep := range strings.Split(group, "|") {
+			if strings.TrimSpace(ep) == "" {
+				cleanup()
+				return nil, nil, fmt.Errorf("empty endpoint in -remote %q", c.Remote)
+			}
+			r, err := dial(ep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warning: skipping unreachable replica: %v\n", err)
+				continue
+			}
+			groups[p] = append(groups[p], r)
+		}
+		if len(groups[p]) == 0 {
+			cleanup()
+			return nil, nil, fmt.Errorf("partition %d of -remote %q: no reachable replicas", p, c.Remote)
+		}
 	}
-	var shardOpts []shard.Option
-	if c.BestEffort {
-		shardOpts = append(shardOpts, shard.WithBestEffort())
+	fleet, err := replica.NewFleet(groups, c.replicaOptions()...)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
 	}
-	svc, err := shard.New(shards, shardOpts...)
+	c.Fleet = fleet
+	if len(groups) == 1 {
+		return fleet.Services()[0], cleanup, nil
+	}
+	svc, err := shard.New(fleet.Services(), c.shardOptions()...)
 	if err != nil {
 		cleanup()
 		return nil, nil, err
 	}
 	return svc, cleanup, nil
+}
+
+// shardOptions maps the config onto the federation layer's options.
+func (c *EngineConfig) shardOptions() []shard.Option {
+	var opts []shard.Option
+	if c.BestEffort {
+		opts = append(opts, shard.WithBestEffort())
+	}
+	return opts
+}
+
+// replicaOptions maps the config onto the routing tier's options.
+func (c *EngineConfig) replicaOptions() []replica.Option {
+	var opts []replica.Option
+	switch {
+	case c.Hedge > 0:
+		opts = append(opts, replica.WithHedgeAfter(c.Hedge))
+	case c.Hedge < 0:
+		opts = append(opts, replica.WithoutHedging())
+	}
+	if c.Seed != 0 {
+		opts = append(opts, replica.WithSeed(c.Seed))
+	}
+	return opts
 }
 
 // BuildEngine assembles the engine the config describes: demo or CSV
@@ -174,6 +264,32 @@ func (c *EngineConfig) BuildEngine() (*core.Engine, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
+	} else if c.Replicas > 1 || c.Partitions > 1 {
+		// In-process replicated fleet: each partition served by R
+		// interchangeable replicas behind the routing tier (hedged
+		// requests, failover), federated when partitioned. With -live
+		// each replica is its own mutable delta index and writes
+		// broadcast through the tier; a shared -ingest-dir would have
+		// the replicas fighting over one WAL, so it is rejected.
+		if c.IngestDir != "" {
+			return nil, nil, fmt.Errorf("-ingest-dir is not supported with -replicas/-partitions (replicas would share one WAL); use -live for in-memory writes")
+		}
+		parts, r := c.Partitions, c.Replicas
+		if parts < 1 {
+			parts = 1
+		}
+		if r < 1 {
+			r = 1
+		}
+		var fleet *replica.Fleet
+		var err error
+		svc, fleet, cleanup, err = demo.Corpus.ReplicatedService(parts, r,
+			c.LiveIngest, nil, c.replicaOptions(), c.shardOptions()...)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		c.Fleet = fleet
 	} else if c.LiveIngest || c.IngestDir != "" {
 		// Mutable live-ingest backend: the demo corpus becomes the base
 		// snapshot, writes layer over it in a delta (WAL-durable when

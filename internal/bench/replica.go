@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"textjoin/internal/replica"
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+	"textjoin/internal/workload"
+)
+
+// The replica chaos experiment: the corpus served by a P-partition ×
+// R-replica fleet behind the routing tier, with one replica per
+// partition browned out (a sustained latency multiplier — the
+// slow-but-alive failure ejection cannot see) while a closed-loop load
+// many times a single stream hammers the fleet. The unhedged baseline
+// with load-blind selection pays the brownout on most calls — a scatter
+// query is slow if ANY partition lands on its slow replica — so its p99
+// tracks the full degradation factor. The hedged tier launches a second
+// attempt at the adaptive p95 budget, cancels the loser, and ejects the
+// replica that keeps losing its own hedges, so its p99 stays pinned
+// near budget + healthy latency no matter how slow the victim gets.
+
+// ReplicaChaosConfig parameterises the experiment.
+type ReplicaChaosConfig struct {
+	// Partitions × Replicas shape the fleet (default 2 × 2).
+	Partitions int
+	Replicas   int
+	// Clients is the closed-loop concurrency — the offered-load multiple
+	// of a single query stream (default 16).
+	Clients int
+	// Calls is the number of searches each client issues (default 120).
+	Calls int
+	// PerCall is the healthy injected latency per backend invocation
+	// (default 1ms).
+	PerCall time.Duration
+	// Brownout is the latency multiplier applied to one replica per
+	// partition in the degraded scenarios (default 32).
+	Brownout float64
+}
+
+func (c *ReplicaChaosConfig) defaults() {
+	if c.Partitions == 0 {
+		c.Partitions = 2
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.Clients == 0 {
+		c.Clients = 16
+	}
+	if c.Calls == 0 {
+		c.Calls = 120
+	}
+	if c.PerCall == 0 {
+		c.PerCall = time.Millisecond
+	}
+	if c.Brownout == 0 {
+		c.Brownout = 32
+	}
+}
+
+// ReplicaChaosRow is one scenario's latency distribution and routing
+// activity.
+type ReplicaChaosRow struct {
+	Scenario string
+	Brownout bool
+	Hedged   bool
+
+	P50, P99 time.Duration
+	XHealthy float64 // P99 over the healthy scenario's P99
+
+	Stats  replica.Stats
+	Errors int
+}
+
+// ReplicaChaos measures three scenarios — healthy fleet with hedging,
+// browned-out fleet without hedging (uniform random selection, the
+// load- and latency-blind baseline), and browned-out fleet with the
+// full routing tier — and reports per-call p50/p99 plus the tier's
+// hedge and ejection counters. The first row is the healthy reference
+// for the XHealthy column.
+func ReplicaChaos(c *workload.Corpus, cfg ReplicaChaosConfig) ([]ReplicaChaosRow, error) {
+	cfg.defaults()
+	scenarios := []struct {
+		name     string
+		brownout bool
+		hedged   bool
+	}{
+		{"healthy + hedged", false, true},
+		{"brownout + unhedged", true, false},
+		{"brownout + hedged", true, true},
+	}
+	var out []ReplicaChaosRow
+	for _, sc := range scenarios {
+		row, err := replicaScenario(c, cfg, sc.name, sc.brownout, sc.hedged)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %s: %w", sc.name, err)
+		}
+		if len(out) > 0 && out[0].P99 > 0 {
+			row.XHealthy = float64(row.P99) / float64(out[0].P99)
+		} else {
+			row.XHealthy = 1
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func replicaScenario(c *workload.Corpus, cfg ReplicaChaosConfig, name string, brownout, hedged bool) (ReplicaChaosRow, error) {
+	row := ReplicaChaosRow{Scenario: name, Brownout: brownout, Hedged: hedged}
+	faulties := make([][]*texservice.Faulty, cfg.Partitions)
+	for p := range faulties {
+		faulties[p] = make([]*texservice.Faulty, cfg.Replicas)
+	}
+	decorate := func(p, k int, inner texservice.Service) texservice.Service {
+		f := texservice.NewFaulty(inner, texservice.FaultConfig{Latency: cfg.PerCall})
+		faulties[p][k] = f
+		return f
+	}
+	setOpts := []replica.Option{replica.WithSeed(42)}
+	if !hedged {
+		setOpts = append(setOpts,
+			replica.WithoutHedging(), replica.WithRandomSelection())
+	}
+	svc, fleet, cleanup, err := c.ReplicatedService(cfg.Partitions, cfg.Replicas,
+		false, decorate, setOpts)
+	if err != nil {
+		return row, err
+	}
+	defer cleanup()
+
+	// Selective author probes, not the scatter workload: each call
+	// matches a handful of documents, so the injected latency (and the
+	// brownout multiplier on it) dominates the measurement instead of
+	// result-serialization CPU time — this is a latency experiment, not
+	// a throughput one.
+	queries := make([]textidx.Expr, 0, len(c.Authors))
+	for _, a := range c.Authors {
+		queries = append(queries, textidx.Term{Field: "author", Word: a})
+	}
+	if len(queries) == 0 {
+		return row, fmt.Errorf("corpus yields no probe queries")
+	}
+	ctx := context.Background()
+
+	// Warm the adaptive hedge budget on the healthy fleet: the p95 ring
+	// needs its warmup quota of successes before the budget tightens.
+	for i := 0; i < 40; i++ {
+		if _, err := svc.Search(ctx, queries[i%len(queries)], texservice.FormShort); err != nil {
+			return row, err
+		}
+	}
+
+	if brownout {
+		for p := range faulties {
+			faulties[p][cfg.Replicas-1].SetBrownout(cfg.Brownout)
+		}
+	}
+
+	// Closed-loop load: Clients concurrent streams, each timing every
+	// call. The injected latency sleeps concurrently, so the offered
+	// load scales with the client count without a queueing collapse.
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+		wg        sync.WaitGroup
+	)
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, cfg.Calls)
+			fails := 0
+			for i := 0; i < cfg.Calls; i++ {
+				q := queries[(cl+i)%len(queries)]
+				start := time.Now()
+				if _, err := svc.Search(ctx, q, texservice.FormShort); err != nil {
+					fails++
+					continue
+				}
+				local = append(local, time.Since(start))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errs += fails
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+
+	if len(latencies) == 0 {
+		return row, fmt.Errorf("no successful calls")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	row.P50, row.P99 = q(0.50), q(0.99)
+	row.Stats = fleet.Stats()
+	row.Errors = errs
+	return row, nil
+}
+
+// FormatReplicaChaos renders the experiment as a table.
+func FormatReplicaChaos(w io.Writer, rows []ReplicaChaosRow) {
+	fmt.Fprintf(w, "%-22s %10s %10s %9s %8s %6s %8s %7s %7s %7s\n",
+		"scenario", "p50", "p99", "xhealthy", "hedges", "wins", "cancels", "eject", "readmit", "errors")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %10s %10s %8.2fx %8d %6d %8d %7d %7d %7d\n",
+			r.Scenario, r.P50.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond),
+			r.XHealthy, r.Stats.Hedges, r.Stats.HedgeWins, r.Stats.HedgeCancels,
+			r.Stats.Ejections, r.Stats.Readmissions, r.Errors)
+	}
+}

@@ -1,0 +1,91 @@
+package cost
+
+import (
+	"math"
+
+	"textjoin/internal/texservice"
+)
+
+// Hedged-request cost semantics for the replica routing tier
+// (internal/replica): a search that has not answered within the hedge
+// budget is raced against a second replica, and the first answer wins.
+// Hedging buys tail latency with extra work — the loser's invocation is
+// paid in total cost but never on the critical path (the winner defines
+// elapsed time). These predictors quantify both sides of that trade so
+// the optimizer's books and the experiments can reason about hedging
+// the same way they reason about scatter-gather.
+//
+// The model: per-call latency is "healthy" with probability 1-p and
+// "slow" with probability p (a browned-out replica, a GC pause, a
+// congested link). The hedge budget is calibrated near the healthy p95,
+// so hedges fire almost exactly on the slow fraction p.
+
+// HedgedSearchCost predicts the total and critical-path cost of one
+// search routed with hedging, given the probability pHedge that the
+// hedge fires. Total work pays the winner's full search plus pHedge
+// expected extra invocations (the loser is cancelled before processing
+// postings or transmitting documents, so only its c_i is sunk). The
+// critical path is the winner's cost alone: the race runs in parallel.
+func HedgedSearchCost(c texservice.Costs, pHedge float64, postings, docs int, form texservice.Form) (total, crit float64) {
+	pHedge = clamp01(pHedge)
+	base := c.SearchCost(postings, docs, form)
+	return base + pHedge*c.CI, base
+}
+
+// HedgedTailFraction predicts the probability that a hedged call is
+// still slow: both the primary and its hedge must independently land in
+// the slow fraction p. This is the mechanism behind "hedged p99 stays
+// flat while one replica browns out" — with R replicas and one slow,
+// the pair-both-slow probability collapses quadratically.
+func HedgedTailFraction(p float64) float64 {
+	p = clamp01(p)
+	return p * p
+}
+
+// HedgeOverheadFraction predicts the relative extra total work of
+// hedging: expected extra invocations over the unhedged invocation+data
+// cost. It stays small when the budget is calibrated (pHedge ≈ the
+// slow fraction) and the data terms dominate — the regime hedging is
+// meant for.
+func HedgeOverheadFraction(c texservice.Costs, pHedge float64, postings, docs int, form texservice.Form) float64 {
+	base := c.SearchCost(postings, docs, form)
+	if base <= 0 {
+		return 0
+	}
+	return clamp01(pHedge) * c.CI / base
+}
+
+// UnhedgedSlowdown predicts the expected per-call latency multiplier of
+// routing WITHOUT hedging against a fleet whose slow replicas are
+// slowFactor times their healthy cost: the slow fraction p of calls
+// pays the full degradation. Compare with the hedged expectation, where
+// only HedgedTailFraction(p) of calls does — the gap is the experiment
+// the replica chaos benchmark measures.
+func UnhedgedSlowdown(p, slowFactor float64) float64 {
+	p = clamp01(p)
+	if slowFactor < 1 {
+		slowFactor = 1
+	}
+	return 1 - p + p*slowFactor
+}
+
+// HedgedSlowdown is the hedged counterpart of UnhedgedSlowdown: a call
+// is degraded only when primary AND hedge are both slow; a fired hedge
+// that rescues the call pays the budget (as a fraction of healthy cost,
+// budgetFactor ≥ 0) before the fast answer lands.
+func HedgedSlowdown(p, slowFactor, budgetFactor float64) float64 {
+	p = clamp01(p)
+	if slowFactor < 1 {
+		slowFactor = 1
+	}
+	if budgetFactor < 0 {
+		budgetFactor = 0
+	}
+	both := p * p
+	rescued := p - both
+	return (1 - p) + rescued*(1+budgetFactor) + both*slowFactor
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

@@ -1,0 +1,82 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"textjoin/internal/texservice"
+)
+
+func TestHedgedSearchCost(t *testing.T) {
+	c := texservice.DefaultCosts()
+	base := c.SearchCost(10000, 50, texservice.FormShort)
+
+	total, crit := HedgedSearchCost(c, 0, 10000, 50, texservice.FormShort)
+	if total != base || crit != base {
+		t.Errorf("pHedge=0: total=%g crit=%g, want both %g", total, crit, base)
+	}
+	total, crit = HedgedSearchCost(c, 1, 10000, 50, texservice.FormShort)
+	if want := base + c.CI; math.Abs(total-want) > 1e-12 {
+		t.Errorf("pHedge=1: total=%g, want %g", total, want)
+	}
+	if crit != base {
+		t.Errorf("pHedge=1: crit=%g, want %g (hedges never lengthen the critical path)", crit, base)
+	}
+	// Out-of-range probabilities clamp rather than corrupt the books.
+	if tot2, _ := HedgedSearchCost(c, 7, 10000, 50, texservice.FormShort); tot2 != total {
+		t.Errorf("pHedge=7 not clamped: %g vs %g", tot2, total)
+	}
+}
+
+func TestHedgedTailFraction(t *testing.T) {
+	if got := HedgedTailFraction(0.1); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("p=0.1: %g, want 0.01", got)
+	}
+	if got := HedgedTailFraction(0); got != 0 {
+		t.Errorf("p=0: %g", got)
+	}
+	if got := HedgedTailFraction(1); got != 1 {
+		t.Errorf("p=1: %g", got)
+	}
+}
+
+func TestHedgeOverheadFraction(t *testing.T) {
+	c := texservice.DefaultCosts()
+	// Data-dominated search: overhead must be a small fraction.
+	f := HedgeOverheadFraction(c, 0.05, 1_000_000, 500, texservice.FormShort)
+	if f <= 0 || f > 0.05 {
+		t.Errorf("data-dominated overhead fraction = %g, want small positive", f)
+	}
+	// Invocation-dominated search hedging every call: approaches c_i/base ≈ 1.
+	f = HedgeOverheadFraction(c, 1, 0, 0, texservice.FormShort)
+	if math.Abs(f-1) > 1e-9 {
+		t.Errorf("invocation-only overhead fraction = %g, want 1", f)
+	}
+}
+
+// TestHedgeRescuesTheTail: the model predicts the experiment's shape —
+// without hedging a 10% slow fraction at 16x degrades the expectation
+// by >2x, with hedging the degradation collapses toward quadratic.
+func TestHedgeRescuesTheTail(t *testing.T) {
+	const p, slow = 0.5, 16.0 // one of two replicas browned out 16x
+	un := UnhedgedSlowdown(p, slow)
+	hd := HedgedSlowdown(p, slow, 0.1)
+	if un < 5 {
+		t.Errorf("unhedged slowdown %g, want >= 5 (half the calls pay 16x)", un)
+	}
+	if hd >= un {
+		t.Errorf("hedged slowdown %g vs unhedged %g: hedging is not predicted to help", hd, un)
+	}
+	// The independence model is the pessimistic bound: the router hedges to
+	// a DIFFERENT replica, so with one slow replica in two the real
+	// both-slow probability is far below p². At small slow fractions the
+	// quadratic collapse dominates and hedging wins big.
+	if hd2, un2 := HedgedSlowdown(0.1, slow, 0.1), UnhedgedSlowdown(0.1, slow); hd2 >= un2/2 {
+		t.Errorf("p=0.1: hedged %g vs unhedged %g, want >= 2x improvement", hd2, un2)
+	}
+	// Monotonicity: more slow probability can never make hedging look
+	// better than it is.
+	if HedgedSlowdown(0.2, slow, 0.1) > HedgedSlowdown(0.6, slow, 0.1) {
+		t.Error("hedged slowdown not monotone in p")
+	}
+}

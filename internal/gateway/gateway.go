@@ -44,6 +44,7 @@ import (
 	"textjoin/internal/exec"
 	"textjoin/internal/obs"
 	"textjoin/internal/plan"
+	"textjoin/internal/replica"
 	"textjoin/internal/texservice"
 )
 
@@ -78,6 +79,11 @@ type Config struct {
 	SlowQueryCost float64
 	// SlowLogf receives slow-query log entries; log.Printf when nil.
 	SlowLogf func(format string, args ...interface{})
+	// ReplicaStats, when set, feeds the replica-routing series in
+	// /metrics (hedges, failovers, ejections) from the fleet fronting
+	// the engine's text sources. Nil suppresses the series entirely —
+	// an unreplicated deployment has no routing tier to report on.
+	ReplicaStats func() replica.Stats
 }
 
 func (c Config) withDefaults() Config {

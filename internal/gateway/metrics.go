@@ -103,6 +103,22 @@ func (g *Gateway) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "textjoin_text_cost_seconds_total{source=%q} %s\n", u.name, fnum(u.cost))
 	}
 
+	// Replica-routing series, present only when a fleet fronts the
+	// engine's text sources (Config.ReplicaStats wired by the daemon).
+	if g.cfg.ReplicaStats != nil {
+		rs := g.cfg.ReplicaStats()
+		counter("hedge_total", "Hedged (speculative) replica requests launched.", rs.Hedges)
+		counter("hedge_wins_total", "Hedged requests that beat the primary attempt.", rs.HedgeWins)
+		counter("hedge_cancels_total", "Losing replica attempts cancelled after a hedged race.", rs.HedgeCancels)
+		counter("replica_failovers_total", "Failed replica attempts retried on another replica.", rs.Failovers)
+		counter("replica_ejections_total", "Replicas ejected from selection after consecutive failures or hedge losses.", rs.Ejections)
+		counter("replica_readmissions_total", "Ejected replicas re-admitted by a successful probe.", rs.Readmissions)
+		gauge("replica_ejected", "Replicas currently out of rotation.", float64(rs.Ejected))
+		gauge("replica_lagging", "Replicas currently missing acknowledged writes.", float64(rs.Lagging))
+		gauge("replicas", "Total replicas across all partitions.", float64(rs.Replicas))
+		gauge("replica_in_flight", "Requests currently outstanding against replica backends.", float64(rs.InFlight))
+	}
+
 	// Per-join-method outcome series, fed by the executed plans.
 	methods := g.methodSnapshot()
 	fmt.Fprintf(w, "# HELP textjoin_join_method_queries_total Completed queries per chosen join method.\n")

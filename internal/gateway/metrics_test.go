@@ -11,6 +11,7 @@ import (
 
 	"textjoin/internal/exec"
 	"textjoin/internal/gateway"
+	"textjoin/internal/replica"
 )
 
 // Line-grammar validator for the Prometheus text exposition format
@@ -177,6 +178,56 @@ func TestMetricsPromFormat(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("no per-join-method series in exposition:\n%s", text)
+	}
+}
+
+// TestMetricsReplicaSeries: with a replica fleet wired in, the routing
+// series appear in the exposition — and they pass the same line-grammar
+// validation as everything else. Without the wiring they are absent.
+func TestMetricsReplicaSeries(t *testing.T) {
+	stats := replica.Stats{
+		Hedges: 42, HedgeWins: 17, HedgeCancels: 40,
+		Failovers: 5, Ejections: 2, Readmissions: 1,
+		Replicas: 4, Ejected: 1, Lagging: 1, InFlight: 0,
+	}
+	gw, _ := newGateway(t, gateway.Config{
+		Workers:      2,
+		ReplicaStats: func() replica.Stats { return stats },
+	}, 0)
+	warm(t, gw, testQueries[0])
+
+	var b strings.Builder
+	gw.WriteMetrics(&b)
+	samples := validatePromText(t, b.String())
+
+	for key, want := range map[string]float64{
+		"textjoin_hedge_total":                42,
+		"textjoin_hedge_wins_total":           17,
+		"textjoin_hedge_cancels_total":        40,
+		"textjoin_replica_failovers_total":    5,
+		"textjoin_replica_ejections_total":    2,
+		"textjoin_replica_readmissions_total": 1,
+		"textjoin_replica_ejected":            1,
+		"textjoin_replica_lagging":            1,
+		"textjoin_replicas":                   4,
+		"textjoin_replica_in_flight":          0,
+	} {
+		got, ok := samples[key]
+		if !ok {
+			t.Errorf("series %s missing from exposition", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+
+	// Unreplicated gateways must not emit the series at all.
+	gw2, _ := newGateway(t, gateway.Config{Workers: 2}, 0)
+	var b2 strings.Builder
+	gw2.WriteMetrics(&b2)
+	if strings.Contains(b2.String(), "textjoin_hedge_total") {
+		t.Error("replica series emitted without a fleet wired in")
 	}
 }
 

@@ -1,0 +1,148 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"textjoin/internal/texservice"
+)
+
+// Fleet is R replicas × P partitions: one routing Set per partition,
+// ready to stand behind shard.Sharded. The fleet owns nothing about
+// document placement — partitioning stays the shard layer's concern —
+// it only aggregates the per-partition Sets for construction and
+// observability.
+type Fleet struct {
+	sets []*Set
+}
+
+// NewFleet builds one Set per partition. backends[p] lists the replica
+// services of partition p; every partition must have at least one
+// replica (they need not agree on R — a partition mid-resize is fine).
+// The same options apply to every Set, except the selection seed, which
+// is perturbed per partition so fleets built from one configured seed
+// do not make identical routing choices in lockstep.
+func NewFleet(backends [][]texservice.Service, opts ...Option) (*Fleet, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("replica: fleet needs at least one partition")
+	}
+	sets := make([]*Set, len(backends))
+	for p, replicas := range backends {
+		setOpts := append(append([]Option(nil), opts...), withSeedPerturbation(p))
+		set, err := New(replicas, setOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", p, err)
+		}
+		sets[p] = set
+	}
+	return &Fleet{sets: sets}, nil
+}
+
+// withSeedPerturbation decorrelates per-partition rngs the same way
+// shard.DeriveRetrySeed decorrelates retry jitter: applied after the
+// user's options so it sees the configured seed.
+func withSeedPerturbation(p int) Option {
+	return func(o *options) {
+		if o.seed == 0 {
+			o.seed = 1
+		}
+		o.seed += int64(p+1) * 0x9E3779B9
+	}
+}
+
+// Sets returns the per-partition routing Sets, index = partition. Each
+// implements texservice.Service — hand them to shard.New to scatter
+// queries across the fleet.
+func (f *Fleet) Sets() []*Set { return f.sets }
+
+// Services returns the Sets as the interface slice shard.New takes.
+func (f *Fleet) Services() []texservice.Service {
+	out := make([]texservice.Service, len(f.sets))
+	for i, s := range f.sets {
+		out[i] = s
+	}
+	return out
+}
+
+// Stats is a point-in-time aggregate of routing activity across a fleet
+// (or a single Set) — the numbers the gateway exports at /metrics.
+type Stats struct {
+	// Cumulative counters.
+	Hedges       uint64 // hedged attempts launched
+	HedgeWins    uint64 // operations won by the hedge, not the primary
+	HedgeCancels uint64 // losing attempts cancelled after a hedged race
+	Failovers    uint64 // failed attempts retried on another replica
+	Ejections    uint64 // replicas removed from selection
+	Readmissions uint64 // ejected replicas re-admitted by a probe
+
+	// Instantaneous gauges.
+	Replicas int // total replicas across all partitions
+	Ejected  int // replicas currently out of rotation
+	Lagging  int // replicas currently missing acked writes
+	InFlight int // requests currently outstanding against backends
+}
+
+// Add returns the element-wise sum of two stats snapshots.
+func (a Stats) Add(b Stats) Stats {
+	return Stats{
+		Hedges:       a.Hedges + b.Hedges,
+		HedgeWins:    a.HedgeWins + b.HedgeWins,
+		HedgeCancels: a.HedgeCancels + b.HedgeCancels,
+		Failovers:    a.Failovers + b.Failovers,
+		Ejections:    a.Ejections + b.Ejections,
+		Readmissions: a.Readmissions + b.Readmissions,
+		Replicas:     a.Replicas + b.Replicas,
+		Ejected:      a.Ejected + b.Ejected,
+		Lagging:      a.Lagging + b.Lagging,
+		InFlight:     a.InFlight + b.InFlight,
+	}
+}
+
+// Stats snapshots one Set's routing activity.
+func (s *Set) Stats() Stats {
+	st := Stats{
+		Hedges:       s.hedges.Load(),
+		HedgeWins:    s.hedgeWins.Load(),
+		HedgeCancels: s.hedgeCancels.Load(),
+		Failovers:    s.failovers.Load(),
+		Ejections:    s.ejections.Load(),
+		Readmissions: s.readmissions.Load(),
+		Replicas:     len(s.replicas),
+	}
+	now := time.Now().UnixNano()
+	for _, r := range s.replicas {
+		if ej := r.ejectedUntil.Load(); ej != 0 && now < ej {
+			st.Ejected++
+		}
+		if r.lagging.Load() {
+			st.Lagging++
+		}
+		st.InFlight += int(r.inflight.Load())
+	}
+	return st
+}
+
+// Stats aggregates routing activity across every partition's Set.
+func (f *Fleet) Stats() Stats {
+	var st Stats
+	for _, s := range f.sets {
+		st = st.Add(s.Stats())
+	}
+	return st
+}
+
+// CatchUpAll replays missed writes into lagging replicas across every
+// partition, returning the number repaired.
+func (f *Fleet) CatchUpAll(ctx context.Context) (int, error) {
+	repaired := 0
+	var firstErr error
+	for _, s := range f.sets {
+		n, err := s.CatchUp(ctx)
+		repaired += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return repaired, firstErr
+}

@@ -1,0 +1,269 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+
+	"textjoin/internal/texservice"
+)
+
+// Write path of the replica set. Reads pick ONE replica; writes must
+// reach ALL of them, or the copies stop being copies. The Set broadcasts
+// every ingest batch to every replica concurrently and acknowledges the
+// write once a quorum has applied it. Replicas that miss the batch
+// (down, ejected, slow past the caller's deadline) are marked lagging
+// and their acked index version stops advancing — which is exactly what
+// the read-your-writes gate keys on to route fresh reads away from
+// them. A bounded replay buffer holds recent batches so a lagging
+// replica can be caught up on its next successful contact without a
+// full snapshot transfer.
+
+// replayEntry is one broadcast batch retained for catch-up.
+type replayEntry struct {
+	batch   int64
+	ops     []texservice.IngestOp
+	version uint64 // set-wide version after this batch
+}
+
+// freshKey marks a context as requiring read-your-writes routing.
+type freshKey struct{}
+
+// WithFreshReads returns a context whose reads through a replica Set
+// are routed only to replicas that have acked every write the Set has
+// acknowledged — the read-your-writes gate. Queries without the mark
+// may be served by a lagging replica (monotonic staleness, never
+// corruption: every replica serves some consistent prefix of the
+// write history).
+func WithFreshReads(ctx context.Context) context.Context {
+	return context.WithValue(ctx, freshKey{}, true)
+}
+
+// FreshReads reports whether ctx demands read-your-writes routing.
+func FreshReads(ctx context.Context) bool {
+	v, _ := ctx.Value(freshKey{}).(bool)
+	return v
+}
+
+// Ingest implements texservice.Ingestor: broadcast the batch to every
+// replica, require a write quorum of acks, track per-replica progress.
+// Writes are serialized through the Set so every replica applies
+// batches in the same order — the replay buffer's order IS the write
+// order.
+func (s *Set) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texservice.IngestResult, error) {
+	if err := texservice.ValidateIngest(ops); err != nil {
+		return nil, err
+	}
+	for i, r := range s.replicas {
+		if _, ok := r.svc.(texservice.Ingestor); !ok {
+			return nil, fmt.Errorf("replica %d: %w", i, texservice.ErrNoIngest)
+		}
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+
+	batch := s.nextBatch
+	s.nextBatch++
+
+	type ack struct {
+		r   *replicaState
+		res *texservice.IngestResult
+		err error
+	}
+	base := texservice.DetachQueryMeter(ctx)
+	acks := make(chan ack, len(s.replicas))
+	for _, r := range s.replicas {
+		r := r
+		go func() {
+			res, err := s.applyTo(base, r, batch, ops)
+			acks <- ack{r: r, res: res, err: err}
+		}()
+	}
+
+	var best *texservice.IngestResult
+	acked := 0
+	var firstErr error
+	for range s.replicas {
+		a := <-acks
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			a.r.lagging.Store(true)
+			s.observeFailure(a.r)
+			continue
+		}
+		acked++
+		if best == nil || a.res.Version > best.Version {
+			best = a.res
+		}
+	}
+	if acked < s.opts.writeQuorum {
+		return nil, fmt.Errorf("replica: ingest acked by %d/%d replicas, quorum is %d: %w",
+			acked, len(s.replicas), s.opts.writeQuorum, firstErr)
+	}
+
+	// The set-wide version is the highest acked replica version: every
+	// caught-up replica reports the same number (same batches, same
+	// order), and laggers report less. Retain the batch for catch-up.
+	s.version.Store(best.Version)
+	if s.opts.replayDepth > 0 {
+		s.replay = append(s.replay, replayEntry{batch: batch, ops: ops, version: best.Version})
+		if len(s.replay) > s.opts.replayDepth {
+			s.replay = s.replay[len(s.replay)-s.opts.replayDepth:]
+		}
+	}
+	return best, nil
+}
+
+// applyTo pushes one batch into one replica, replaying any batches it
+// missed first. Called with ingestMu held (by Ingest) or re-acquiring
+// it (by CatchUp), so replay reads are stable.
+func (s *Set) applyTo(ctx context.Context, r *replicaState, batch int64, ops []texservice.IngestOp) (*texservice.IngestResult, error) {
+	// Replay the gap, oldest first. Puts are upserts and deletes are
+	// idempotent tombstones, so re-applying a batch the replica already
+	// has is harmless — at-least-once delivery is enough.
+	last := r.ackedBatch.Load()
+	if last < batch-1 {
+		var gap []replayEntry
+		for _, e := range s.replay {
+			if e.batch > last && e.batch < batch {
+				gap = append(gap, e)
+			}
+		}
+		// The buffer must cover every missed batch; if the oldest missed
+		// batch has been evicted the replica is beyond replay repair.
+		need := batch - 1 - last
+		if int64(len(gap)) < need {
+			return nil, fmt.Errorf("replica %d: %d missed batch(es) evicted from replay buffer (depth %d); replica needs snapshot transfer",
+				r.idx, need-int64(len(gap)), s.opts.replayDepth)
+		}
+		for _, e := range gap {
+			if _, err := texservice.IngestInto(ctx, r.svc, e.ops); err != nil {
+				return nil, fmt.Errorf("replica %d: replay batch %d: %w", r.idx, e.batch, err)
+			}
+			r.ackedBatch.Store(e.batch)
+			r.version.Store(e.version)
+		}
+	}
+	res, err := texservice.IngestInto(ctx, r.svc, ops)
+	if err != nil {
+		return nil, err
+	}
+	r.ackedBatch.Store(batch)
+	r.version.Store(res.Version)
+	r.lagging.Store(false)
+	return res, nil
+}
+
+// CatchUp replays missed batches into every lagging replica. The read
+// path calls nothing — catch-up is driven by the next write or by an
+// explicit call (e.g. after a chaos window ends, or from a probe hook).
+// Returns the number of replicas repaired.
+func (s *Set) CatchUp(ctx context.Context) (int, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.nextBatch == 0 {
+		return 0, nil
+	}
+	repaired := 0
+	var firstErr error
+	for _, r := range s.replicas {
+		if !r.lagging.Load() {
+			continue
+		}
+		last := r.ackedBatch.Load()
+		target := s.nextBatch - 1
+		if last >= target {
+			r.lagging.Store(false)
+			repaired++
+			continue
+		}
+		// Reuse applyTo's replay logic by "re-sending" the newest batch:
+		// it replays the gap then applies the final entry.
+		var newest *replayEntry
+		for i := range s.replay {
+			if s.replay[i].batch == target {
+				newest = &s.replay[i]
+			}
+		}
+		if newest == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %d: newest batch %d evicted from replay buffer", r.idx, target)
+			}
+			continue
+		}
+		if _, err := s.applyTo(texservice.DetachQueryMeter(ctx), r, newest.batch, newest.ops); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		repaired++
+	}
+	return repaired, firstErr
+}
+
+// IndexVersion implements texservice.Versioned: the highest version any
+// quorum write has acked — the fence WithFreshReads routes against.
+func (s *Set) IndexVersion(ctx context.Context) (uint64, error) {
+	if v := s.version.Load(); v > 0 {
+		return v, nil
+	}
+	// No writes through this Set yet: ask a replica (they agree at rest).
+	var firstErr error
+	for _, r := range s.replicas {
+		if ver, ok := r.svc.(texservice.Versioned); ok {
+			v, err := ver.IndexVersion(ctx)
+			if err == nil {
+				return v, nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return 0, nil
+}
+
+// PinSnapshot implements texservice.SnapshotPinner by delegating to the
+// replicas that support it: each replica pins its own view, and the
+// fresh-reads gate keeps pinned queries off replicas whose view is
+// behind the pin.
+func (s *Set) PinSnapshot(ctx context.Context) context.Context {
+	for _, r := range s.replicas {
+		ctx = texservice.PinSnapshot(ctx, r.svc)
+	}
+	return WithFreshReads(ctx)
+}
+
+// SnapshotPinned implements texservice.PinProber: behind-current if any
+// replica's pin is.
+func (s *Set) SnapshotPinned(ctx context.Context) bool {
+	for _, r := range s.replicas {
+		if texservice.SnapshotPinned(ctx, r.svc) {
+			return true
+		}
+	}
+	return false
+}
+
+// Lagging lists the indexes of replicas currently marked lagging.
+func (s *Set) Lagging() []int {
+	var out []int
+	for i, r := range s.replicas {
+		if r.lagging.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+var (
+	_ texservice.Ingestor       = (*Set)(nil)
+	_ texservice.Versioned      = (*Set)(nil)
+	_ texservice.SnapshotPinner = (*Set)(nil)
+	_ texservice.PinProber      = (*Set)(nil)
+)

@@ -1,0 +1,115 @@
+package replica_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"textjoin/internal/replica"
+	"textjoin/internal/texservice"
+)
+
+// TestHedgeCancellationNoLeaks is the leak gate scripts/check.sh runs:
+// a thousand hedged calls against real TCP remotes (one browned out so
+// hedges actually fire and lose) must leave no goroutines and no
+// connections beyond the pools behind. A hedge whose loser is not
+// reliably cancelled leaks one goroutine and pins one pooled connection
+// per call — a thousand calls make that unmissable.
+func TestHedgeCancellationNoLeaks(t *testing.T) {
+	ix := fixture(t)
+	// Both backends are slower than the hedge budget, so a hedge fires
+	// on virtually every call and the losing side is cancelled mid-wait
+	// — the maximum-churn regime for the leak check.
+	a := texservice.NewFaulty(local(t, ix), texservice.FaultConfig{Latency: time.Millisecond})
+	b := texservice.NewFaulty(local(t, ix), texservice.FaultConfig{Latency: time.Millisecond})
+
+	var addrs [2]string
+	for i, svc := range []texservice.Service{a, b} {
+		srv := texservice.NewServer(svc)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = addr
+	}
+
+	remotes := make([]*texservice.Remote, 2)
+	backends := make([]texservice.Service, 2)
+	for i, addr := range addrs {
+		r, err := texservice.Dial(addr, texservice.NewMeter(texservice.DefaultCosts()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		remotes[i] = r
+		backends[i] = r
+	}
+
+	// Ejection thresholds are pushed out of reach so the slow replica
+	// keeps racing (and losing) for the entire run — maximal
+	// cancellation traffic.
+	s, err := replica.New(backends,
+		replica.WithSeed(17),
+		replica.WithHedgeAfter(200*time.Microsecond), // hedge almost always
+		replica.WithEjectAfter(1<<30),
+		replica.WithHedgeLossEject(1<<30),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	const calls = 1000
+	for i := 0; i < calls; i++ {
+		if _, err := s.Search(bg, testQuery, texservice.FormShort); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Hedges < calls/10 {
+		t.Fatalf("only %d hedges across %d calls — the leak check is not exercising hedging", st.Hedges, calls)
+	}
+	if st.HedgeCancels == 0 {
+		t.Fatal("no cancellations recorded — nothing to leak-check")
+	}
+
+	// Every routed attempt must have drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		inflight := 0
+		for _, n := range s.InFlight() {
+			inflight += n
+		}
+		if inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight attempts never drained: %v", s.InFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Pool stats: cancelled attempts must return (or close) their
+	// connections — never more idle conns than the pool cap, and the
+	// goroutine count must settle back to the baseline.
+	for i, r := range remotes {
+		if idle := r.IdleConns(); idle > texservice.DefaultPoolSize {
+			t.Errorf("remote %d: %d idle conns exceed pool size %d — conn leak",
+				i, idle, texservice.DefaultPoolSize)
+		}
+	}
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after %d hedged calls: baseline %d, now %d\n%s",
+				calls, baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

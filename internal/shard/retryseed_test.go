@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"textjoin/internal/texservice"
+	"textjoin/internal/textidx"
+)
+
+// TestDeriveRetrySeedDecorrelates: per-shard retry seeds must be
+// pairwise distinct (for any base, including zero) and stable — a
+// federation whose shards share one jitter stream retries a down
+// backend in lockstep, turning every recovery into a synchronized wave.
+func TestDeriveRetrySeedDecorrelates(t *testing.T) {
+	for _, base := range []int64{0, 1, 42, -7} {
+		seen := map[int64]bool{}
+		for k := 0; k < 64; k++ {
+			s := DeriveRetrySeed(base, k)
+			if s == 0 {
+				t.Fatalf("base %d shard %d: derived seed 0 (the unseeded sentinel)", base, k)
+			}
+			if seen[s] {
+				t.Fatalf("base %d: shard %d collides with an earlier shard (seed %d)", base, k, s)
+			}
+			seen[s] = true
+			if again := DeriveRetrySeed(base, k); again != s {
+				t.Fatalf("base %d shard %d: unstable derivation %d vs %d", base, k, again, s)
+			}
+		}
+	}
+	// Different bases stay different streams for the same shard.
+	if DeriveRetrySeed(1, 3) == DeriveRetrySeed(2, 3) {
+		t.Error("distinct bases collapsed to one seed")
+	}
+}
+
+// firstFailTimer fails each shard's first search with a transient error
+// and records the gap between that failure and the retry that follows —
+// the per-shard jittered backoff, observed end to end.
+type firstFailTimer struct {
+	texservice.Service
+	mu     sync.Mutex
+	failed bool
+	failAt time.Time
+	delay  *time.Duration
+}
+
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "shard_test: injected transient failure" }
+func (transientErr) Transient() bool { return true }
+
+func (f *firstFailTimer) Search(ctx context.Context, e textidx.Expr, form texservice.Form) (*texservice.Result, error) {
+	f.mu.Lock()
+	if !f.failed {
+		f.failed = true
+		f.failAt = time.Now()
+		f.mu.Unlock()
+		return nil, transientErr{}
+	}
+	if *f.delay == 0 {
+		*f.delay = time.Since(f.failAt)
+	}
+	f.mu.Unlock()
+	return f.Service.Search(ctx, e, form)
+}
+
+// TestScatterRetryJitterDesynchronized: end-to-end check that a cluster
+// built by New gives each shard its own jitter stream. Every shard
+// fails its first call at the same instant (the scatter), so with a
+// shared stream every retry would land after the same jittered delay;
+// with per-shard derived seeds the delays must spread.
+func TestScatterRetryJitterDesynchronized(t *testing.T) {
+	ix := fixture(t)
+	const n = 4
+	delays := make([]time.Duration, n)
+	sharded, err := NewLocalCluster(ix, n,
+		[]texservice.LocalOption{texservice.WithShortFields("title", "author", "year")},
+		func(k int, svc texservice.Service) texservice.Service {
+			return &firstFailTimer{Service: svc, delay: &delays[k]}
+		},
+		WithRetry(texservice.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			Jitter:      1.0, // delay uniform over [10ms, 30ms]
+			Seed:        99,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.Search(bg, queries()[0], texservice.FormShort); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int64]bool{}
+	for k, d := range delays {
+		if d == 0 {
+			t.Fatalf("shard %d never retried; fixture broken", k)
+		}
+		// Bucket to 2ms so scheduler noise cannot fake distinctness.
+		distinct[int64(d/(2*time.Millisecond))] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all %d shards retried after the same jittered delay (%v) — synchronized retry wave",
+			n, delays)
+	}
+}

@@ -102,7 +102,15 @@ func New(shards []texservice.Service, opts ...Option) (*Sharded, error) {
 	backends := append([]texservice.Service(nil), shards...)
 	if cfg.retry != nil {
 		for i, s := range backends {
-			backends[i] = texservice.NewRetrying(s, *cfg.retry)
+			// Every shard gets the same jittered policy but a distinct
+			// jitter stream. With one shared seed (the old behavior) every
+			// Retrying wrapper draws identical jitter values, so a failure
+			// that hits several shards of one scatter backs off in lockstep
+			// and re-converges on the struggling backends as a synchronized
+			// retry wave — exactly what jitter exists to prevent.
+			p := *cfg.retry
+			p.Seed = DeriveRetrySeed(p.Seed, i)
+			backends[i] = texservice.NewRetrying(s, p)
 		}
 	}
 	short := canonicalFields(backends[0].ShortFields())
@@ -128,6 +136,18 @@ func New(shards []texservice.Service, opts ...Option) (*Sharded, error) {
 		shortFields: short,
 		shardErrs:   make([]int, len(backends)),
 	}, nil
+}
+
+// DeriveRetrySeed maps one base retry-policy seed to a distinct,
+// deterministic per-backend seed so concurrent retriers across a scatter
+// (or a replica set) never share a jitter stream. The multiplier is an
+// odd 32-bit constant (SplitMix-style), so distinct k always produce
+// distinct seeds and a zero base (meaning "default") still fans out.
+func DeriveRetrySeed(base int64, k int) int64 {
+	if base == 0 {
+		base = 1
+	}
+	return base + int64(k+1)*0x9E3779B9
 }
 
 func canonicalFields(fields []string) []string {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -36,14 +37,18 @@ import (
 //     adds this delay, modelling transmission time proportional to the
 //     result size — the knob that makes scatter-gather speedups visible
 //     in wall-clock time, since each shard only transmits its fraction.
+//   - Brownout:   a sustained multiplier on both latency knobs (SetBrownout
+//     at runtime), modelling a backend that is up but degraded — the
+//     slow-replica case hedged requests exist for. 1 (or 0) = healthy.
 //
 // Injected errors are transient (retryable) unless Permanent is set.
 // Metadata operations (NumDocs, MaxTerms, ShortFields, Meter) pass
 // through unharmed.
 type Faulty struct {
-	inner   Service
-	cfg     FaultConfig
-	latency atomic.Int64 // current per-operation latency in ns; see SetLatency
+	inner    Service
+	cfg      FaultConfig
+	latency  atomic.Int64  // current per-operation latency in ns; see SetLatency
+	brownout atomic.Uint64 // latency multiplier as float64 bits; 0 = 1x; see SetBrownout
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -94,13 +99,15 @@ type FaultConfig struct {
 	HangEvery  int           // hang until cancellation every Nth operation (0 = off)
 	Latency    time.Duration // added to every operation (0 = off)
 	DocLatency time.Duration // added per transmitted document (0 = off)
+	Brownout   float64       // sustained multiplier on both latency knobs (0 or 1 = healthy)
 	Seed       int64         // seeds the ErrorRate generator (default 1)
 	Permanent  bool          // injected errors are permanent (not retryable)
 }
 
 // ParseFaultConfig parses the comma-separated key=value syntax of the
 // `textserve -chaos` flag, e.g. "rate=0.1,latency=20ms,drop=50,seed=7".
-// Keys: every, rate, drop, hang, latency, doclat, seed, permanent.
+// Keys: every, rate, drop, hang, latency, doclat, brownout, seed,
+// permanent.
 func ParseFaultConfig(s string) (FaultConfig, error) {
 	var cfg FaultConfig
 	for _, part := range strings.Split(s, ",") {
@@ -123,6 +130,8 @@ func ParseFaultConfig(s string) (FaultConfig, error) {
 			cfg.Latency, err = time.ParseDuration(val)
 		case "doclat":
 			cfg.DocLatency, err = time.ParseDuration(val)
+		case "brownout":
+			cfg.Brownout, err = strconv.ParseFloat(val, 64)
 		case "seed":
 			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "permanent":
@@ -140,6 +149,9 @@ func ParseFaultConfig(s string) (FaultConfig, error) {
 	if cfg.ErrorRate < 0 || cfg.ErrorRate > 1 {
 		return FaultConfig{}, fmt.Errorf("texservice: chaos rate %v outside [0,1]", cfg.ErrorRate)
 	}
+	if cfg.Brownout < 0 {
+		return FaultConfig{}, fmt.Errorf("texservice: chaos brownout %v is negative", cfg.Brownout)
+	}
 	return cfg, nil
 }
 
@@ -151,6 +163,9 @@ func NewFaulty(inner Service, cfg FaultConfig) *Faulty {
 	}
 	f := &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 	f.latency.Store(int64(cfg.Latency))
+	if cfg.Brownout > 0 {
+		f.SetBrownout(cfg.Brownout)
+	}
 	return f
 }
 
@@ -159,9 +174,32 @@ func NewFaulty(inner Service, cfg FaultConfig) *Faulty {
 // backend and then degrade it mid-run.
 func (f *Faulty) SetLatency(d time.Duration) { f.latency.Store(int64(d)) }
 
+// SetBrownout changes the sustained latency multiplier at runtime: every
+// injected delay (both the per-operation and the per-document knob) is
+// scaled by factor until the next call. A factor of 1 (or anything below)
+// restores the healthy baseline. This is the deterministic "slow but
+// alive" degradation the replica-hedging experiments brown one backend
+// out with — unlike SetLatency it composes with a nonzero baseline, so
+// "32x slower" does not require knowing the current latency.
+func (f *Faulty) SetBrownout(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	f.brownout.Store(math.Float64bits(factor))
+}
+
+// brownoutFactor returns the current multiplier (1 when never set).
+func (f *Faulty) brownoutFactor() float64 {
+	bits := f.brownout.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
 // gate applies latency and decides this operation's fate.
 func (f *Faulty) gate(ctx context.Context) error {
-	delayed := time.Duration(f.latency.Load())
+	delayed := time.Duration(float64(f.latency.Load()) * f.brownoutFactor())
 	if delayed > 0 {
 		if err := sleepCtx(ctx, delayed); err != nil {
 			return err
@@ -214,7 +252,7 @@ func (f *Faulty) transmit(ctx context.Context, nDocs int) error {
 	if f.cfg.DocLatency <= 0 || nDocs <= 0 {
 		return nil
 	}
-	d := time.Duration(nDocs) * f.cfg.DocLatency
+	d := time.Duration(float64(nDocs) * float64(f.cfg.DocLatency) * f.brownoutFactor())
 	f.mu.Lock()
 	f.stats.DocDelays += nDocs
 	f.stats.DelayTotal += d

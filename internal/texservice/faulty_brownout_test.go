@@ -1,0 +1,101 @@
+package texservice
+
+import (
+	"testing"
+	"time"
+
+	"textjoin/internal/textidx"
+)
+
+// TestFaultyBrownout: the runtime multiplier scales both latency knobs,
+// composes with the configured baseline, and resets to healthy.
+func TestFaultyBrownout(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 2 * time.Millisecond
+	f := NewFaulty(local, FaultConfig{Latency: base})
+	expr := textidx.Term{Field: "title", Word: "text"}
+
+	search := func() time.Duration {
+		t.Helper()
+		before := f.Stats().DelayTotal
+		if _, err := f.Search(bg, expr, FormShort); err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats().DelayTotal - before
+	}
+
+	if d := search(); d < base || d >= 4*base {
+		t.Fatalf("healthy injected delay %v, want ~%v", d, base)
+	}
+	f.SetBrownout(8)
+	if d := search(); d < 8*base {
+		t.Fatalf("browned-out injected delay %v, want >= %v", d, 8*base)
+	}
+	// Back to healthy: factors below 1 clamp to the baseline.
+	f.SetBrownout(0.25)
+	if d := search(); d >= 8*base {
+		t.Fatalf("brownout did not reset: injected delay %v", d)
+	}
+}
+
+// TestFaultyBrownoutScalesDocLatency: the per-document transmission
+// delay is scaled too, so a browned-out replica's result size still
+// matters.
+func TestFaultyBrownoutScalesDocLatency(t *testing.T) {
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(local, FaultConfig{DocLatency: time.Millisecond})
+	expr := textidx.Term{Field: "title", Word: "text"}
+
+	res, err := f.Search(bg, expr, FormShort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDocs := len(res.Hits)
+	if nDocs == 0 {
+		t.Fatal("fixture query matched nothing; test is vacuous")
+	}
+	healthy := f.Stats().DelayTotal
+
+	f.SetBrownout(5)
+	if _, err := f.Search(bg, expr, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	browned := f.Stats().DelayTotal - healthy
+	if browned < 5*time.Duration(nDocs)*time.Millisecond {
+		t.Fatalf("browned-out doc delay %v for %d docs, want >= %v",
+			browned, nDocs, 5*time.Duration(nDocs)*time.Millisecond)
+	}
+}
+
+// TestFaultyBrownoutConfigAndParse: the chaos-flag syntax accepts the
+// brownout key and rejects nonsense; NewFaulty applies a configured
+// factor from construction.
+func TestFaultyBrownoutConfigAndParse(t *testing.T) {
+	cfg, err := ParseFaultConfig("latency=1ms,brownout=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Brownout != 4 {
+		t.Fatalf("parsed brownout %v, want 4", cfg.Brownout)
+	}
+	if _, err := ParseFaultConfig("brownout=-2"); err == nil {
+		t.Fatal("negative brownout accepted")
+	}
+	local, err := NewLocal(testIndex(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(local, cfg)
+	if _, err := f.Search(bg, textidx.Term{Field: "title", Word: "text"}, FormShort); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().DelayTotal; got < 4*time.Millisecond {
+		t.Fatalf("configured brownout not applied: injected %v, want >= 4ms", got)
+	}
+}

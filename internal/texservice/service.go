@@ -115,6 +115,7 @@ type Usage struct {
 	LongDocs  int     // documents transmitted in long form (searches + retrieves)
 	RTPDocs   int     // documents string-matched relationally (charged c_a)
 	Retries   int     // failed invocations that were retried (each re-charged c_i)
+	Hedges    int     // speculative (hedged) invocations that lost their race (each charged c_i)
 	Cost      float64 // total simulated cost in seconds (sum of all work)
 	// CritCost is the critical-path simulated cost in seconds: sequential
 	// operations charge it exactly like Cost, but a scatter-gather search
@@ -134,6 +135,7 @@ func (u Usage) Add(v Usage) Usage {
 		LongDocs:  u.LongDocs + v.LongDocs,
 		RTPDocs:   u.RTPDocs + v.RTPDocs,
 		Retries:   u.Retries + v.Retries,
+		Hedges:    u.Hedges + v.Hedges,
 		Cost:      u.Cost + v.Cost,
 		CritCost:  u.CritCost + v.CritCost,
 	}
@@ -149,6 +151,7 @@ func (u Usage) Sub(v Usage) Usage {
 		LongDocs:  u.LongDocs - v.LongDocs,
 		RTPDocs:   u.RTPDocs - v.RTPDocs,
 		Retries:   u.Retries - v.Retries,
+		Hedges:    u.Hedges - v.Hedges,
 		Cost:      u.Cost - v.Cost,
 		CritCost:  u.CritCost - v.CritCost,
 	}
@@ -297,6 +300,19 @@ func (m *Meter) ChargeRetrieve(ctx context.Context) {
 // charged another c_i on top of whatever the eventual success charges.
 func (m *Meter) ChargeRetry(ctx context.Context) {
 	delta := Usage{Retries: 1, Cost: m.costs.CI, CritCost: m.costs.CI}
+	m.accumulate(delta)
+	mirror(ctx, m, delta)
+}
+
+// ChargeHedge records one speculative (hedged) invocation that lost its
+// race: the backend it was sent to really did the invocation work, so the
+// extra c_i lands in total Cost, but the hedge ran in parallel with the
+// winning attempt, so the critical path — the elapsed time the query
+// observed — grows by nothing. This is the accounting dual of
+// ChargeRetry: a retry is sequential waste (Cost and CritCost), a hedge
+// is parallel insurance (Cost only).
+func (m *Meter) ChargeHedge(ctx context.Context) {
+	delta := Usage{Hedges: 1, Cost: m.costs.CI}
 	m.accumulate(delta)
 	mirror(ctx, m, delta)
 }

@@ -64,6 +64,17 @@ go test -race -run 'TestLiveIngest' ./internal/join
 # the same directory, and require the acked document to be queryable.
 ./scripts/crash_smoke.sh
 
+# Replica routing gates, both under the race detector:
+# 1. Failover: all five join methods stay equivalent to the naive
+#    oracle over replicated fleets with one replica per partition
+#    killed mid-query, plus ejection/probe re-admission behavior.
+# 2. Hedge-cancellation leak check: 1000 hedged calls against remote
+#    replicas must drain in-flight counts to zero and return goroutine
+#    and pooled-connection counts to baseline — a lost cancel or an
+#    unconsumed loser attempt fails this.
+go test -race -run 'TestJoinMethodsOverReplicated|TestFailover|TestProbeReadmission' ./internal/replica
+go test -race -run 'TestHedgeCancellationNoLeaks' ./internal/replica
+
 # Benchmarks must at least compile and run one iteration — they are the
 # before/after evidence for the execution core and rot silently otherwise.
 go test -run 'NOTESTS' -bench . -benchtime 1x ./internal/vec ./internal/relation
