@@ -77,10 +77,11 @@ type Stats struct {
 	Readmissions uint64 // ejected replicas re-admitted by a probe
 
 	// Instantaneous gauges.
-	Replicas int // total replicas across all partitions
-	Ejected  int // replicas currently out of rotation
-	Lagging  int // replicas currently missing acked writes
-	InFlight int // requests currently outstanding against backends
+	Replicas     int // total replicas across all partitions
+	Ejected      int // replicas currently out of rotation
+	Lagging      int // replicas currently missing acked writes
+	InFlight     int // requests currently outstanding against backends
+	WritePending int // broadcast acks still draining (quorum acked, stragglers applying)
 }
 
 // Add returns the element-wise sum of two stats snapshots.
@@ -96,6 +97,7 @@ func (a Stats) Add(b Stats) Stats {
 		Ejected:      a.Ejected + b.Ejected,
 		Lagging:      a.Lagging + b.Lagging,
 		InFlight:     a.InFlight + b.InFlight,
+		WritePending: a.WritePending + b.WritePending,
 	}
 }
 
@@ -109,6 +111,7 @@ func (s *Set) Stats() Stats {
 		Ejections:    s.ejections.Load(),
 		Readmissions: s.readmissions.Load(),
 		Replicas:     len(s.replicas),
+		WritePending: int(s.applying.Load()),
 	}
 	now := time.Now().UnixNano()
 	for _, r := range s.replicas {

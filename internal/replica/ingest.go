@@ -20,9 +20,8 @@ import (
 
 // replayEntry is one broadcast batch retained for catch-up.
 type replayEntry struct {
-	batch   int64
-	ops     []texservice.IngestOp
-	version uint64 // set-wide version after this batch
+	batch int64
+	ops   []texservice.IngestOp
 }
 
 // freshKey marks a context as requiring read-your-writes routing.
@@ -45,10 +44,12 @@ func FreshReads(ctx context.Context) bool {
 }
 
 // Ingest implements texservice.Ingestor: broadcast the batch to every
-// replica, require a write quorum of acks, track per-replica progress.
-// Writes are serialized through the Set so every replica applies
-// batches in the same order — the replay buffer's order IS the write
-// order.
+// replica, acknowledge once a write quorum has applied it, track
+// per-replica progress. Writes are serialized through the Set so every
+// replica applies batches in the same order — the replay buffer's order
+// IS the write order. Replicas still applying when quorum is reached
+// finish in the background: a hung replica must not hold every writer
+// hostage once enough copies have the batch.
 func (s *Set) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texservice.IngestResult, error) {
 	if err := texservice.ValidateIngest(ops); err != nil {
 		return nil, err
@@ -64,6 +65,22 @@ func (s *Set) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texservic
 	batch := s.nextBatch
 	s.nextBatch++
 
+	// Retain the batch for catch-up BEFORE its outcome is known: even a
+	// quorum-failed broadcast may have been applied by some replicas, and
+	// the ones that missed it can only close the gap if the batch stays
+	// replayable. Re-applying to a replica that did ack is harmless —
+	// puts are upserts and deletes idempotent tombstones, so the
+	// at-least-once contract covers the retry. Only the version fence
+	// below is gated on quorum.
+	if s.opts.replayDepth > 0 {
+		s.replayMu.Lock()
+		s.replay = append(s.replay, replayEntry{batch: batch, ops: ops})
+		if len(s.replay) > s.opts.replayDepth {
+			s.replay = s.replay[len(s.replay)-s.opts.replayDepth:]
+		}
+		s.replayMu.Unlock()
+	}
+
 	type ack struct {
 		r   *replicaState
 		res *texservice.IngestResult
@@ -71,6 +88,7 @@ func (s *Set) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texservic
 	}
 	base := texservice.DetachQueryMeter(ctx)
 	acks := make(chan ack, len(s.replicas))
+	s.applying.Add(int64(len(s.replicas)))
 	for _, r := range s.replicas {
 		r := r
 		go func() {
@@ -79,57 +97,85 @@ func (s *Set) Ingest(ctx context.Context, ops []texservice.IngestOp) (*texservic
 		}()
 	}
 
+	// Each received ack books per-replica state first, then decrements
+	// the WritePending gauge — a zero gauge means every outcome of every
+	// broadcast has been fully recorded (tests and drain monitors key on
+	// it).
 	var best *texservice.IngestResult
 	acked := 0
 	var firstErr error
-	for range s.replicas {
+	for pending := len(s.replicas); pending > 0; pending-- {
 		a := <-acks
 		if a.err != nil {
 			if firstErr == nil {
 				firstErr = a.err
 			}
 			a.r.lagging.Store(true)
-			s.observeFailure(a.r)
+			s.observeFailure(a.r, false)
+			s.applying.Add(-1)
 			continue
 		}
 		acked++
 		if best == nil || a.res.Version > best.Version {
 			best = a.res
 		}
-	}
-	if acked < s.opts.writeQuorum {
-		return nil, fmt.Errorf("replica: ingest acked by %d/%d replicas, quorum is %d: %w",
-			acked, len(s.replicas), s.opts.writeQuorum, firstErr)
-	}
-
-	// The set-wide version is the highest acked replica version: every
-	// caught-up replica reports the same number (same batches, same
-	// order), and laggers report less. Retain the batch for catch-up.
-	s.version.Store(best.Version)
-	if s.opts.replayDepth > 0 {
-		s.replay = append(s.replay, replayEntry{batch: batch, ops: ops, version: best.Version})
-		if len(s.replay) > s.opts.replayDepth {
-			s.replay = s.replay[len(s.replay)-s.opts.replayDepth:]
+		s.applying.Add(-1)
+		if acked < s.opts.writeQuorum {
+			continue
 		}
+		// Quorum reached: acknowledge now. Every acking replica replayed
+		// its whole gap before applying, so all of them report the same
+		// post-batch version — that is the set-wide fence. Stragglers
+		// drain in the background so their lagging/ejection state stays
+		// truthful for the read-your-writes gate and CatchUp, and so a
+		// hung replica cannot hold every writer hostage.
+		if rest := pending - 1; rest > 0 {
+			go func() {
+				for i := 0; i < rest; i++ {
+					a := <-acks
+					if a.err != nil {
+						a.r.lagging.Store(true)
+						s.observeFailure(a.r, false)
+					}
+					s.applying.Add(-1)
+				}
+			}()
+		}
+		s.version.Store(best.Version)
+		return best, nil
 	}
-	return best, nil
+	return nil, fmt.Errorf("replica: ingest acked by %d/%d replicas, quorum is %d: %w",
+		acked, len(s.replicas), s.opts.writeQuorum, firstErr)
 }
 
 // applyTo pushes one batch into one replica, replaying any batches it
-// missed first. Called with ingestMu held (by Ingest) or re-acquiring
-// it (by CatchUp), so replay reads are stable.
+// missed first. Safe without ingestMu: the replay buffer is read under
+// replayMu, and r.applyMu serializes application per replica — Ingest
+// returns at quorum, so a straggling apply of batch N can race the
+// broadcast of batch N+1 to the same replica, and without the lock the
+// two could interleave out of order.
 func (s *Set) applyTo(ctx context.Context, r *replicaState, batch int64, ops []texservice.IngestOp) (*texservice.IngestResult, error) {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+
+	last := r.ackedBatch.Load()
+	if last >= batch {
+		// A later broadcast already replayed this batch into the replica
+		// while this apply waited for the lock; nothing to do.
+		return &texservice.IngestResult{Version: r.version.Load()}, nil
+	}
 	// Replay the gap, oldest first. Puts are upserts and deletes are
 	// idempotent tombstones, so re-applying a batch the replica already
 	// has is harmless — at-least-once delivery is enough.
-	last := r.ackedBatch.Load()
 	if last < batch-1 {
 		var gap []replayEntry
+		s.replayMu.RLock()
 		for _, e := range s.replay {
 			if e.batch > last && e.batch < batch {
 				gap = append(gap, e)
 			}
 		}
+		s.replayMu.RUnlock()
 		// The buffer must cover every missed batch; if the oldest missed
 		// batch has been evicted the replica is beyond replay repair.
 		need := batch - 1 - last
@@ -138,11 +184,12 @@ func (s *Set) applyTo(ctx context.Context, r *replicaState, batch int64, ops []t
 				r.idx, need-int64(len(gap)), s.opts.replayDepth)
 		}
 		for _, e := range gap {
-			if _, err := texservice.IngestInto(ctx, r.svc, e.ops); err != nil {
+			res, err := texservice.IngestInto(ctx, r.svc, e.ops)
+			if err != nil {
 				return nil, fmt.Errorf("replica %d: replay batch %d: %w", r.idx, e.batch, err)
 			}
 			r.ackedBatch.Store(e.batch)
-			r.version.Store(e.version)
+			r.version.Store(res.Version)
 		}
 	}
 	res, err := texservice.IngestInto(ctx, r.svc, ops)

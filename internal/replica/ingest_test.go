@@ -3,12 +3,28 @@ package replica_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"textjoin/internal/ingest"
 	"textjoin/internal/replica"
 	"textjoin/internal/texservice"
 	"textjoin/internal/textidx"
 )
+
+// waitWritesSettled blocks until the Set has processed every broadcast
+// ack. Ingest acknowledges at quorum, so stragglers' applies — and the
+// lagging marks for replicas that failed — can land shortly after
+// Ingest returns.
+func waitWritesSettled(t testing.TB, s *replica.Set) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().WritePending != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ingest broadcast never settled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // liveReplica builds one writable replica: an ingest.Live over its own
 // memory-only store seeded from the shared base index.
@@ -57,6 +73,7 @@ func TestIngestBroadcast(t *testing.T) {
 	if res.Applied != 1 {
 		t.Fatalf("applied %d, want 1", res.Applied)
 	}
+	waitWritesSettled(t, s)
 	if len(s.Lagging()) != 0 {
 		t.Fatalf("healthy broadcast left laggers: %v", s.Lagging())
 	}
@@ -89,6 +106,7 @@ func TestIngestQuorum(t *testing.T) {
 	if _, err := s.Ingest(bg, []texservice.IngestOp{putOp("w1", "Quorum Writes")}); err != nil {
 		t.Fatalf("majority write failed: %v", err)
 	}
+	waitWritesSettled(t, s)
 	if lag := s.Lagging(); len(lag) != 1 || lag[0] != 0 {
 		t.Fatalf("Lagging() = %v, want [0]", lag)
 	}
@@ -122,6 +140,48 @@ func TestIngestQuorum(t *testing.T) {
 	}
 }
 
+// TestQuorumFailedBatchStaysReplayable: a batch that misses quorum is
+// still retained for replay — some replicas may have applied it, and
+// the ones that missed it can only close the gap if the batch stays in
+// the buffer. A transient per-replica failure must not wedge the set
+// into failing every subsequent write.
+func TestQuorumFailedBatchStaysReplayable(t *testing.T) {
+	var flaky *killable
+	s := writableSet(t, 2, func(k int, svc texservice.Service) texservice.Service {
+		if k != 1 {
+			return svc
+		}
+		flaky = &killable{inner: svc}
+		return flaky
+	}, replica.WithSeed(17))
+	flaky.dead.Store(true)
+	if _, err := s.Ingest(bg, []texservice.IngestOp{putOp("q1", "Transient Failure")}); err == nil {
+		t.Fatal("write succeeded without quorum")
+	}
+	flaky.dead.Store(false)
+	// The quorum-failed batch must be replayable: the next write closes
+	// the flaky replica's gap and reaches quorum.
+	if _, err := s.Ingest(bg, []texservice.IngestOp{putOp("q2", "After Recovery")}); err != nil {
+		t.Fatalf("set wedged after a transient quorum failure: %v", err)
+	}
+	waitWritesSettled(t, s)
+	if len(s.Lagging()) != 0 {
+		t.Fatalf("laggers remain after recovery: %v", s.Lagging())
+	}
+	for _, word := range []string{"transient", "recovery"} {
+		q := textidx.Term{Field: "title", Word: word}
+		for i := 0; i < 20; i++ {
+			got, err := s.Search(bg, q, texservice.FormShort)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Hits) != 1 {
+				t.Fatalf("word %q call %d: %d hits, want 1 — a replica is missing the batch", word, i, len(got.Hits))
+			}
+		}
+	}
+}
+
 // TestFreshReadsRouteAroundLaggers: after a write misses one replica,
 // an unpinned read may see stale data but a WithFreshReads read never
 // does; after catch-up the lagger serves fresh data again.
@@ -139,6 +199,9 @@ func TestFreshReadsRouteAroundLaggers(t *testing.T) {
 	if _, err := s.Ingest(bg, []texservice.IngestOp{putOp("w1", "Freshness Matters")}); err != nil {
 		t.Fatal(err)
 	}
+	// Let the lagger's failed apply finish draining before reviving it,
+	// or the straggling broadcast could land on the healed replica.
+	waitWritesSettled(t, s)
 	lagger.dead.Store(false) // alive again, but behind
 
 	q := textidx.Term{Field: "title", Word: "freshness"}
@@ -194,11 +257,15 @@ func TestReplayCatchUpMultiBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	waitWritesSettled(t, s)
 	lagger.dead.Store(false)
-	// The next write replays the gap into the lagger before applying.
+	// The next write replays the gap into the lagger before applying;
+	// the lagger's catch-up completes after the quorum ack, so settle
+	// before checking.
 	if _, err := s.Ingest(bg, []texservice.IngestOp{putOp("w9", "After The Gap")}); err != nil {
 		t.Fatal(err)
 	}
+	waitWritesSettled(t, s)
 	if len(s.Lagging()) != 0 {
 		t.Fatalf("laggers remain after write-driven catch-up: %v", s.Lagging())
 	}
@@ -237,6 +304,7 @@ func TestReplayEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	waitWritesSettled(t, s)
 	lagger.dead.Store(false)
 	if _, err := s.CatchUp(bg); err == nil {
 		t.Fatal("catch-up succeeded past an evicted batch")
@@ -287,6 +355,7 @@ func TestIngestSerialization(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	waitWritesSettled(t, s)
 	if len(s.Lagging()) != 0 {
 		t.Fatalf("concurrent writes left laggers: %v", s.Lagging())
 	}

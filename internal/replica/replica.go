@@ -230,6 +230,8 @@ type replicaState struct {
 	lagging    atomic.Bool   // missed at least one acked write
 	ackedBatch atomic.Int64  // last replay-buffer batch index acked
 	failures   atomic.Uint64 // cumulative failed calls
+
+	applyMu sync.Mutex // serializes ingest application into this replica
 }
 
 // Set fronts the replicas of one partition behind texservice.Service.
@@ -248,9 +250,11 @@ type Set struct {
 
 	version atomic.Uint64 // highest acked index version (the RYW fence)
 
-	ingestMu  sync.Mutex // serializes writes: broadcast order = replay order
+	ingestMu  sync.Mutex   // serializes writes: broadcast order = replay order
+	replayMu  sync.RWMutex // guards replay: straggler applies outlive Ingest
 	replay    []replayEntry
 	nextBatch int64
+	applying  atomic.Int64 // broadcast acks not yet processed (incl. background drain)
 
 	hedges       atomic.Uint64
 	hedgeWins    atomic.Uint64
@@ -334,14 +338,19 @@ func (s *Set) NumReplicas() int { return len(s.replicas) }
 // pick selects the next replica to try. tried marks replicas already
 // attempted by this operation (nil = none). minVer, when nonzero, is the
 // read-your-writes fence: replicas whose last acked version is older are
-// skipped. Returns nil when no replica is usable.
+// skipped. Returns nil when no replica is usable. The second return
+// reports whether this pick acquired the replica's probe slot: only the
+// attempt that owns the slot may release or consume it — the
+// least-failed fallback below can hand out an ejected replica while
+// another operation's probe holds probing=true, and that probe must not
+// be released by a bystander.
 //
 // Selection order: replicas due for a probe take precedence (one probe in
 // flight at a time — that is how an ejected replica earns its way back),
 // then power-of-two-choices over the healthy ones, and if everything is
 // ejected the least-failed replica is tried anyway — an all-ejected Set
 // must still attempt service rather than fail fast forever.
-func (s *Set) pick(tried []bool, minVer uint64) *replicaState {
+func (s *Set) pick(tried []bool, minVer uint64) (*replicaState, bool) {
 	now := time.Now().UnixNano()
 	var healthy, fallback []*replicaState
 	for _, r := range s.replicas {
@@ -357,7 +366,7 @@ func (s *Set) pick(tried []bool, minVer uint64) *replicaState {
 			healthy = append(healthy, r)
 		case now >= ej:
 			if r.probing.CompareAndSwap(false, true) {
-				return r
+				return r, true
 			}
 			fallback = append(fallback, r)
 		default:
@@ -366,7 +375,7 @@ func (s *Set) pick(tried []bool, minVer uint64) *replicaState {
 	}
 	if len(healthy) == 0 {
 		if len(fallback) == 0 {
-			return nil
+			return nil, false
 		}
 		best := fallback[0]
 		for _, r := range fallback[1:] {
@@ -374,10 +383,10 @@ func (s *Set) pick(tried []bool, minVer uint64) *replicaState {
 				best = r
 			}
 		}
-		return best
+		return best, false
 	}
 	if len(healthy) == 1 {
-		return healthy[0]
+		return healthy[0], false
 	}
 	s.mu.Lock()
 	i := s.rng.Intn(len(healthy))
@@ -387,20 +396,20 @@ func (s *Set) pick(tried []bool, minVer uint64) *replicaState {
 		j++
 	}
 	if s.opts.random {
-		return healthy[i]
+		return healthy[i], false
 	}
 	a, b := healthy[i], healthy[j]
 	ia, ib := a.inflight.Load(), b.inflight.Load()
 	if ib < ia {
-		return b
+		return b, false
 	}
 	if ia < ib {
-		return a
+		return a, false
 	}
 	if b.ewmaNs.Load() < a.ewmaNs.Load() {
-		return b
+		return b, false
 	}
-	return a
+	return a, false
 }
 
 // hedgeBudget returns how long the primary attempt may run before a
@@ -443,8 +452,11 @@ func (s *Set) recordLatency(d time.Duration) {
 
 // observeSuccess updates a replica's tracker after a winning call:
 // refresh the EWMA, clear failure and slowness evidence, and re-admit it
-// if this was a probe (or it was ejected at all — a success is a success).
-func (s *Set) observeSuccess(r *replicaState, elapsed time.Duration) {
+// if it was ejected at all — a success is a success. wasProbe marks an
+// attempt that owns the replica's probe slot (the CAS in pick); only the
+// owner releases it, so a fallback attempt cannot free a probe slot held
+// by another operation.
+func (s *Set) observeSuccess(r *replicaState, elapsed time.Duration, wasProbe bool) {
 	const alpha = 0.2
 	for {
 		old := r.ewmaNs.Load()
@@ -461,17 +473,21 @@ func (s *Set) observeSuccess(r *replicaState, elapsed time.Duration) {
 	if r.ejectedUntil.Swap(0) != 0 {
 		s.readmissions.Add(1)
 	}
-	r.probing.Store(false)
+	if wasProbe {
+		r.probing.Store(false)
+	}
 	s.recordLatency(elapsed)
 }
 
 // observeFailure updates a replica's tracker after a failed call and
 // ejects it when the consecutive-failure threshold is crossed. A failed
-// probe re-ejects immediately: the replica has not earned its way back.
-func (s *Set) observeFailure(r *replicaState) {
+// probe (an attempt that owns the probe slot) re-ejects immediately: the
+// replica has not earned its way back.
+func (s *Set) observeFailure(r *replicaState, wasProbe bool) {
 	r.failures.Add(1)
 	fails := r.consecFails.Add(1)
-	if r.probing.CompareAndSwap(true, false) {
+	if wasProbe {
+		r.probing.Store(false)
 		s.eject(r)
 		return
 	}
@@ -527,6 +543,7 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 	type attempt struct {
 		r      *replicaState
 		hedge  bool
+		probe  bool // this attempt acquired r's probe slot in pick
 		cancel context.CancelFunc
 		start  time.Time
 	}
@@ -545,16 +562,20 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 			at.cancel()
 		}
 		// Attempts whose outcome was never consumed (cancelled losers,
-		// early caller cancellation) must release a probe slot they may
-		// hold, or an ejected replica's probe could wedge shut forever.
+		// early caller cancellation) must release a probe slot they
+		// acquired, or an ejected replica's probe could wedge shut
+		// forever. Only the owner releases: another operation's probe may
+		// hold the flag on a replica we reached via the ejected fallback.
 		for at := range live {
-			at.r.probing.CompareAndSwap(true, false)
+			if at.probe {
+				at.r.probing.Store(false)
+			}
 		}
 	}()
 
-	launch := func(r *replicaState, hedge bool) {
+	launch := func(r *replicaState, hedge, probe bool) {
 		actx, cancel := context.WithCancel(base)
-		at := &attempt{r: r, hedge: hedge, cancel: cancel, start: time.Now()}
+		at := &attempt{r: r, hedge: hedge, probe: probe, cancel: cancel, start: time.Now()}
 		tried[r.idx] = true
 		all = append(all, at)
 		live[at] = true
@@ -566,11 +587,11 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 		}()
 	}
 
-	primary := s.pick(tried, minVer)
+	primary, probe := s.pick(tried, minVer)
 	if primary == nil {
 		return nil, st, s.noReplicaError(op, minVer)
 	}
-	launch(primary, false)
+	launch(primary, false, probe)
 
 	var hedgeC <-chan time.Time
 	if !s.opts.hedgeOff && n > 1 {
@@ -587,16 +608,16 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 			return nil, st, ctx.Err()
 		case <-hedgeC:
 			hedgeC = nil
-			if r := s.pick(tried, minVer); r != nil {
+			if r, probe := s.pick(tried, minVer); r != nil {
 				st.hedges++
 				s.hedges.Add(1)
-				launch(r, true)
+				launch(r, true, probe)
 			}
 		case out := <-results:
 			at := out.at
 			delete(live, at)
 			if out.err == nil {
-				s.observeSuccess(at.r, time.Since(at.start))
+				s.observeSuccess(at.r, time.Since(at.start), at.probe)
 				st.winner = at.r
 				st.hedgeWin = at.hedge
 				if at.hedge {
@@ -604,7 +625,10 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 				}
 				for l := range live {
 					l.cancel()
-					if st.hedges > 0 {
+					// A cancel counts as a hedge cancel only when the race
+					// involved a hedge — a failover attempt losing to a
+					// primary is not hedging at work.
+					if l.hedge || at.hedge {
 						s.hedgeCancels.Add(1)
 					}
 					if at.hedge && !l.hedge {
@@ -616,22 +640,29 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 				return out.v, st, nil
 			}
 			if ctx.Err() != nil {
+				if at.probe {
+					at.r.probing.Store(false)
+				}
 				return nil, st, ctx.Err()
 			}
 			// A loser we cancelled ourselves reports context.Canceled on a
 			// dead attempt context; that is bookkeeping, not a failure.
 			if !errors.Is(out.err, context.Canceled) {
 				st.failures++
-				s.observeFailure(at.r)
+				s.observeFailure(at.r, at.probe)
 				if firstErr == nil {
 					firstErr = out.err
 				}
+			} else if at.probe {
+				// Not a real failure, but the probe attempt is over: give
+				// the slot back so the next pick can probe again.
+				at.r.probing.Store(false)
 			}
 			if attempts < s.opts.maxAttempts {
-				if r := s.pick(tried, minVer); r != nil {
+				if r, probe := s.pick(tried, minVer); r != nil {
 					attempts++
 					s.failovers.Add(1)
-					launch(r, false)
+					launch(r, false, probe)
 					continue
 				}
 			}

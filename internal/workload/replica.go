@@ -47,7 +47,12 @@ func (c *Corpus) ReplicatedService(partitions, r int, live bool,
 		for k := 0; k < r; k++ {
 			var svc texservice.Service
 			if live {
-				store, err := ingest.Open(part, ingest.Options{})
+				// Each store must know its partition: the shard layer
+				// broadcasts every op batch to all partitions and relies
+				// on the hash-owner rule to dedup — without ShardCount
+				// every partition would insert every put.
+				store, err := ingest.Open(part, ingest.Options{
+					ShardIndex: p, ShardCount: partitions})
 				if err != nil {
 					cleanup()
 					return nil, nil, func() {}, err
