@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, batchprobe, vector, ingest, replica, all")
+		exp  = flag.String("exp", "all", "experiment: table2, ranking, fig1a, fig1b, fig2, q5, validate, ablation, correlation, overhead, gateway, batchprobe, vector, ingest, replica, trace, all")
 		docs = flag.Int("docs", 2000, "corpus size D")
 		seed = flag.Int64("seed", 42, "generation seed")
 	)
@@ -196,6 +196,16 @@ func run(exp string, docs int, seed int64) error {
 			return err
 		}
 		bench.FormatInterference(os.Stdout, irows)
+	}
+	if want("trace") {
+		ran = true
+		header("Tracing overhead — span cost with tracing disabled vs recording")
+		res := bench.MeasureTraceOverhead()
+		bench.FormatTraceOverhead(os.Stdout, res)
+		if err := bench.WriteTraceJSON("BENCH_trace.json", res); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_trace.json")
 	}
 	if want("replica") {
 		ran = true

@@ -50,7 +50,7 @@ func main() {
 		query       = flag.String("query", "", "query to run (or use -i)")
 		interactive = flag.Bool("i", false, "interactive mode: read one query per line from stdin")
 		explain     = flag.Bool("explain", true, "print the chosen plan")
-		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print per-operator estimated vs. actual cost, and the span trace")
+		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: print per-operator estimated vs. actual cost, and the span trace (spans returned by remote backends render inline with a remote=<addr> marker)")
 		trace       = flag.Bool("trace", false, "print the query's span trace (implied by -analyze)")
 		maxRows     = flag.Int("maxrows", 20, "result rows to print")
 		ingestOps   = flag.String("ingest", "", `apply a write batch to the text source and exit: a JSON array of {"kind":"put"|"delete","ext":...,"fields":{...}} ops, or @file to read it from a file`)

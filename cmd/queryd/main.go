@@ -13,6 +13,9 @@
 //	POST /analyze  execute with EXPLAIN ANALYZE: per-operator est vs act + span trace
 //	GET  /stats    admission counters, latency/cost histograms, cache hit rate
 //	GET  /metrics  the same in Prometheus text exposition format
+//	GET  /trace/{id}  a retained trace by ID (with -trace-store)
+//	GET  /traces      newest retained traces + tail-sampling stats
+//	GET  /telemetry   per-query feedback records + aggregated predicate fanouts
 //	/debug/pprof/  Go profiling endpoints (with -pprof)
 //
 // Usage:
@@ -20,6 +23,8 @@
 //	queryd -addr 127.0.0.1:8080 -workers 8 -queue 16
 //	queryd -remote host:7070,host:7071,host:7072   # 3-shard textserve cluster
 //	queryd -trace -slow-query 500ms -pprof         # observability surface
+//	queryd -trace-store 512 -trace-sample 10 -trace-slow 250ms \
+//	       -telemetry 256 -telemetry-file telemetry.jsonl
 //
 // Engine flags (-docs, -mode, -remote, -table, -cache, …) are shared with
 // fedql; see internal/appcfg. SIGINT/SIGTERM drain gracefully: in-flight
@@ -39,6 +44,8 @@ import (
 
 	"textjoin/internal/appcfg"
 	"textjoin/internal/gateway"
+	"textjoin/internal/obs"
+	"textjoin/internal/telemetry"
 )
 
 func main() {
@@ -57,9 +64,14 @@ func main() {
 		slowQuery    = flag.Duration("slow-query", 0, "log queries slower than this post-admission latency, 0 = off")
 		slowCost     = flag.Float64("slow-cost", 0, "log queries whose simulated text cost exceeds this many seconds, 0 = off")
 		withPprof    = flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/")
+		traceStore   = flag.Int("trace-store", 0, "retain up to this many traces for /trace/{id} and /traces, 0 = off")
+		traceSample  = flag.Int("trace-sample", 10, "keep 1 in N healthy traces (errors/overloads/budget trips are always kept)")
+		traceSlow    = flag.Duration("trace-slow", 0, "always retain healthy traces at least this slow, 0 = off")
+		telemCap     = flag.Int("telemetry", 0, "retain this many per-query telemetry records at /telemetry, 0 = off")
+		telemFile    = flag.String("telemetry-file", "", "append each telemetry record as a JSON line to this file")
 	)
 	flag.Parse()
-	if err := run(ec, *addr, gateway.Config{
+	gcfg := gateway.Config{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		QueueTimeout:     *queueTimeout,
@@ -68,7 +80,26 @@ func main() {
 		Trace:            *trace,
 		SlowQueryLatency: *slowQuery,
 		SlowQueryCost:    *slowCost,
-	}, *drainWait, *withPprof); err != nil {
+	}
+	if *traceStore > 0 {
+		gcfg.TraceStore = obs.NewTraceStore(*traceStore, *traceSample, *traceSlow)
+	}
+	if *telemCap > 0 || *telemFile != "" {
+		cap := *telemCap
+		if cap <= 0 {
+			cap = 256
+		}
+		sink := telemetry.NewSink(cap)
+		if *telemFile != "" {
+			if err := sink.SetFile(*telemFile); err != nil {
+				fmt.Fprintln(os.Stderr, "queryd:", err)
+				os.Exit(1)
+			}
+		}
+		defer sink.Close()
+		gcfg.Telemetry = sink
+	}
+	if err := run(ec, *addr, gcfg, *drainWait, *withPprof); err != nil {
 		fmt.Fprintln(os.Stderr, "queryd:", err)
 		os.Exit(1)
 	}
@@ -123,6 +154,12 @@ func run(ec appcfg.EngineConfig, addr string, gcfg gateway.Config, drainWait tim
 		sets := ec.Fleet.Sets()
 		fmt.Printf("queryd: replicated text fleet: %d partition(s), %d replicas, hedging %s\n",
 			len(sets), ec.Fleet.Stats().Replicas, hedgeMode(ec))
+	}
+	if cfg.TraceStore != nil {
+		fmt.Println("queryd: trace store on: GET /trace/{id}, GET /traces")
+	}
+	if cfg.Telemetry != nil {
+		fmt.Println("queryd: telemetry sink on: GET /telemetry")
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -3,6 +3,12 @@
 // serves a generated bibliographic corpus; with -load it indexes documents
 // from a JSON file (an array of {"ext": ..., "fields": {...}} objects).
 //
+// When a tracing client asks (span-return capability is advertised in
+// the info handshake and negotiated per connection), each reply
+// piggybacks the server's own span subtree for that operation, so
+// client-side traces (fedql -analyze, queryd /trace/{id}) show
+// backend-internal work attributed to this process.
+//
 // Usage:
 //
 //	textserve -addr 127.0.0.1:7070 -docs 5000
@@ -151,8 +157,8 @@ func run(addr string, docs int, seed int64, load, snapshot, writeTo, short strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("textserve: serving %d documents%s on %s (short form: %s, M=%d, latency %s)\n",
-		ix.NumDocs(), shardInfo, bound, short, maxTerms, latency)
+	fmt.Printf("textserve: serving %d documents%s on %s (short form: %s, M=%d, latency %s, span return v%d)\n",
+		ix.NumDocs(), shardInfo, bound, short, maxTerms, latency, texservice.SpanWireVersion())
 	if chaos != "" {
 		fmt.Printf("textserve: chaos mode active (%s)\n", chaos)
 	}

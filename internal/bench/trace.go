@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"textjoin/internal/obs"
+)
+
+// TraceOverhead is the tracing-cost experiment: the per-span price of the
+// disabled path (every query pays this on every instrumented operation
+// when no recorder is installed — the design target is a few ns and zero
+// allocations) versus the live recording path. Serialized as
+// BENCH_trace.json so successive PRs can diff the trajectory.
+type TraceOverhead struct {
+	DisabledNsOp     float64 `json:"disabled_ns_op"`
+	DisabledAllocsOp int64   `json:"disabled_allocs_op"`
+	EnabledNsOp      float64 `json:"enabled_ns_op"`
+	EnabledAllocsOp  int64   `json:"enabled_allocs_op"`
+	// OverheadX is the enabled/disabled ns ratio — what turning tracing on
+	// multiplies the per-span cost by.
+	OverheadX float64 `json:"overhead_x"`
+}
+
+// MeasureTraceOverhead runs both span-path benchmarks in-process.
+func MeasureTraceOverhead() TraceOverhead {
+	disabled := testing.Benchmark(func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := obs.StartSpan(ctx, "op")
+			if sp != nil {
+				sp.SetAttr(obs.Int("i", i)) // never taken: no recorder
+			}
+			sp.End()
+		}
+	})
+	enabled := testing.Benchmark(func(b *testing.B) {
+		rec := obs.NewRecorder("bench")
+		ctx := obs.WithRecorder(context.Background(), rec)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, sp := obs.StartSpan(ctx, "op")
+			if sp != nil {
+				sp.SetAttr(obs.Int("i", i))
+			}
+			sp.End()
+		}
+	})
+	r := TraceOverhead{
+		DisabledNsOp:     float64(disabled.T.Nanoseconds()) / float64(disabled.N),
+		DisabledAllocsOp: disabled.AllocsPerOp(),
+		EnabledNsOp:      float64(enabled.T.Nanoseconds()) / float64(enabled.N),
+		EnabledAllocsOp:  enabled.AllocsPerOp(),
+	}
+	if r.DisabledNsOp > 0 {
+		r.OverheadX = r.EnabledNsOp / r.DisabledNsOp
+	}
+	return r
+}
+
+// FormatTraceOverhead prints the experiment in the report shape.
+func FormatTraceOverhead(w io.Writer, r TraceOverhead) {
+	fmt.Fprintf(w, "%-34s %12s %12s\n", "span path", "ns/op", "allocs/op")
+	fmt.Fprintf(w, "%-34s %12.1f %12d\n", "disabled (no recorder on ctx)", r.DisabledNsOp, r.DisabledAllocsOp)
+	fmt.Fprintf(w, "%-34s %12.1f %12d\n", "enabled (recording + attr)", r.EnabledNsOp, r.EnabledAllocsOp)
+	fmt.Fprintf(w, "enabled/disabled overhead: %.1fx\n", r.OverheadX)
+}
+
+// WriteTraceJSON writes the machine-readable result file.
+func WriteTraceJSON(path string, r TraceOverhead) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"textjoin/internal/obs"
+)
+
+// TestDisabledSpanPathBudget is the allocation-regression gate on the
+// tentpole's hard requirement: with no recorder on the context, an
+// instrumented operation (StartSpan + End) must stay allocation-free —
+// tracing off may not tax the hot path. The ns/op side is covered by the
+// trace experiment (benchrun -exp trace), which is timing and so not
+// asserted in a unit test.
+func TestDisabledSpanPathBudget(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, sp := obs.StartSpan(ctx, "op")
+		if sp != nil {
+			sp.SetAttr(obs.Int("i", 1))
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestMeasureTraceOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two in-process benchmarks")
+	}
+	r := MeasureTraceOverhead()
+	if r.DisabledAllocsOp != 0 {
+		t.Errorf("disabled path allocates %d per op, want 0", r.DisabledAllocsOp)
+	}
+	if r.DisabledNsOp <= 0 || r.EnabledNsOp <= r.DisabledNsOp || r.OverheadX <= 1 {
+		t.Errorf("implausible measurement: %+v", r)
+	}
+}

@@ -115,6 +115,12 @@ func (e *Executor) eval(ctx context.Context, n plan.Node, st *RunStats) (*relati
 		sp.SetAttr(obs.Str("op", n.Describe()),
 			obs.F64("est_card", n.Card()), obs.F64("est_cost", n.Cost()),
 			obs.Int("rows", rows), obs.F64("text_cost", usage.Cost))
+		if err != nil {
+			// Error traces are always retained by the trace store's tail
+			// sampler; mark the operator that failed so the retained tree
+			// pinpoints it.
+			sp.SetAttr(obs.Str("err", err.Error()))
+		}
 		sp.End()
 	}
 	if an != nil && err == nil {

@@ -45,6 +45,7 @@ import (
 	"textjoin/internal/obs"
 	"textjoin/internal/plan"
 	"textjoin/internal/replica"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/texservice"
 )
 
@@ -84,6 +85,25 @@ type Config struct {
 	// the engine's text sources. Nil suppresses the series entirely —
 	// an unreplicated deployment has no routing tier to report on.
 	ReplicaStats func() replica.Stats
+	// TraceStore, when set, retains completed query traces under tail-
+	// based sampling and serves them at /trace/{id} and /traces. It
+	// implies per-query tracing (like Trace) for every served query, and
+	// retained trace IDs become histogram exemplars in /metrics.
+	TraceStore *obs.TraceStore
+	// Telemetry, when set, receives one structured record per served
+	// query: normalized SQL shape, per-node est-vs-act rows/cost, probe
+	// fanouts, hedge/failover counts. It implies per-node actuals
+	// collection (the EXPLAIN ANALYZE machinery) on every query.
+	Telemetry *telemetry.Sink
+	// SlowDumpSpans caps how many spans one slow-query log entry may dump
+	// (default 64); deeper trees are truncated with a count.
+	SlowDumpSpans int
+	// SlowDumpBudget bounds span dumps in the slow-query log to this many
+	// per minute (default 12): under sustained overload every query can
+	// cross the slow threshold, and unbounded tree dumps would turn the
+	// log itself into the memory hog. Entries past the budget keep the
+	// one-line summary and drop only the tree.
+	SlowDumpBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +115,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueTimeout <= 0 {
 		c.QueueTimeout = time.Second
+	}
+	if c.SlowDumpSpans <= 0 {
+		c.SlowDumpSpans = 64
+	}
+	if c.SlowDumpBudget <= 0 {
+		c.SlowDumpBudget = 12
 	}
 	return c
 }
@@ -164,6 +190,14 @@ type Gateway struct {
 	// mutex-guarded map beats preregistering every method name.
 	methodMu sync.Mutex
 	methods  map[string]*methodCounts
+
+	// slowDumps rotates the slow-query log's span-dump budget: at most
+	// SlowDumpBudget tree dumps per minute window.
+	slowDumps struct {
+		sync.Mutex
+		window int64 // unix minute of the current window
+		used   int
+	}
 
 	mu       sync.Mutex
 	draining bool
@@ -291,13 +325,16 @@ func (g *Gateway) Analyze(ctx context.Context, sql string) (*Response, error) {
 func (g *Gateway) serve(ctx context.Context, sql string, analyze bool) (*Response, error) {
 	// Attach a per-query recorder when tracing is wanted and the caller
 	// has not already installed one (an embedding caller's recorder wins —
-	// the gateway's spans then nest under its tree).
+	// the gateway's spans then nest under its tree). A configured trace
+	// store implies tracing: tail-based sampling needs the tree to exist
+	// before it can decide to keep it.
 	var rec *obs.Recorder
-	if (g.cfg.Trace || analyze) && obs.RecorderFrom(ctx) == nil {
+	if (g.cfg.Trace || analyze || g.cfg.TraceStore != nil) && obs.RecorderFrom(ctx) == nil {
 		rec = obs.NewRecorder("query")
 		rec.ID = fmt.Sprintf("q-%d", g.qseq.Add(1))
 		ctx = obs.WithRecorder(ctx, rec)
 	}
+	started := time.Now()
 
 	actx, asp := obs.StartSpan(ctx, "gateway.admit")
 	release, queued, err := g.admit(actx)
@@ -311,23 +348,27 @@ func (g *Gateway) serve(ctx context.Context, sql string, analyze bool) (*Respons
 		asp.End()
 	}
 	if err != nil {
+		// Shed or rejected before execution. Overload traces are exactly
+		// what tail sampling is for, so the (admission-only) trace and a
+		// telemetry record are still emitted.
+		g.finish(rec, sql, started, time.Since(started), nil, nil, err)
 		return nil, err
 	}
 	defer release()
 
 	start := time.Now()
-	resp, err := g.execute(ctx, sql, analyze)
+	resp, telem, err := g.execute(ctx, sql, analyze)
 	elapsed := time.Since(start)
-	if rec != nil {
-		rec.Root().End()
-	}
 	if err != nil {
 		g.ctrs.failed.Add(1)
+		g.finish(rec, sql, started, elapsed, nil, telem, err)
 		g.maybeSlowLog(rec, sql, elapsed, 0, err)
 		return nil, err
 	}
 	resp.Queued = queued
 	resp.Elapsed = elapsed
+	g.ctrs.completed.Add(1)
+	g.finish(rec, sql, started, elapsed, resp, telem, nil)
 	if rec != nil {
 		resp.TraceID = rec.ID
 		if analyze {
@@ -335,15 +376,87 @@ func (g *Gateway) serve(ctx context.Context, sql string, analyze bool) (*Respons
 			resp.Trace = &snap
 		}
 	}
-	g.ctrs.completed.Add(1)
-	g.latency.observe(elapsed.Seconds())
-	g.textCost.observe(resp.Usage.Cost)
 	g.maybeSlowLog(rec, sql, elapsed, resp.Usage.Cost, nil)
 	return resp, nil
 }
 
+// finish closes out one served query whatever its outcome: it ends the
+// root span, offers the trace to the retention store, feeds the latency
+// and cost histograms (with the retained trace ID as the bucket exemplar),
+// and appends the telemetry record.
+func (g *Gateway) finish(rec *obs.Recorder, sql string, started time.Time,
+	elapsed time.Duration, resp *Response, telem *telemetry.Record, qerr error) {
+	outcome := classifyOutcome(qerr)
+	var traceID string
+	retained := false
+	if rec != nil {
+		rec.Root().End()
+		traceID = rec.ID
+		if ts := g.cfg.TraceStore; ts != nil {
+			st := obs.StoredTrace{
+				ID: rec.ID, Start: started, DurationNs: elapsed.Nanoseconds(),
+				Outcome: outcome, Query: sql, Root: rec.Root().Snapshot(),
+			}
+			if qerr != nil {
+				st.Error = qerr.Error()
+			}
+			retained = ts.Offer(st)
+		}
+	}
+	if qerr == nil && resp != nil {
+		// Only retained traces may back exemplars: an exemplar pointing at
+		// a sampled-out ID would 404 on /trace/{id}.
+		exID := ""
+		if retained {
+			exID = traceID
+		}
+		g.latency.observe(elapsed.Seconds(), exID)
+		g.textCost.observe(resp.Usage.Cost, exID)
+	}
+	if sink := g.cfg.Telemetry; sink != nil {
+		var r telemetry.Record
+		if telem != nil {
+			r = *telem
+		}
+		r.Time = started
+		r.TraceID = traceID
+		r.SQL = sql
+		r.Shape = telemetry.NormalizeSQL(sql)
+		r.Outcome = outcome
+		r.Elapsed = elapsed.Nanoseconds()
+		if qerr != nil {
+			r.Error = qerr.Error()
+		}
+		sink.Append(r)
+	}
+}
+
+// classifyOutcome maps a served query's error to the trace-store outcome
+// taxonomy (tail sampling always retains every non-ok outcome).
+func classifyOutcome(err error) string {
+	var budget *BudgetError
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case IsOverloaded(err), errors.Is(err, ErrDraining):
+		return obs.OutcomeOverload
+	case errors.As(err, &budget):
+		return obs.OutcomeBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeTimeout
+	case errors.Is(err, context.Canceled):
+		return obs.OutcomeCancel
+	default:
+		return obs.OutcomeError
+	}
+}
+
 // maybeSlowLog dumps the query (and its span tree, when recorded) if it
-// crossed either slow-query threshold.
+// crossed either slow-query threshold. Span dumps are bounded two ways:
+// each dump renders at most SlowDumpSpans spans, and at most
+// SlowDumpBudget dumps are emitted per minute — under sustained overload
+// every query is "slow", and the tree dumps, not the one-line summaries,
+// are what would blow up the log.
 func (g *Gateway) maybeSlowLog(rec *obs.Recorder, sql string, elapsed time.Duration, cost float64, qerr error) {
 	overLat := g.cfg.SlowQueryLatency > 0 && elapsed >= g.cfg.SlowQueryLatency
 	overCost := g.cfg.SlowQueryCost > 0 && cost >= g.cfg.SlowQueryCost
@@ -363,10 +476,32 @@ func (g *Gateway) maybeSlowLog(rec *obs.Recorder, sql string, elapsed time.Durat
 	fmt.Fprintf(&b, "gateway: slow query trace=%s elapsed=%s text_cost=%.3fs err=%v sql=%q",
 		id, elapsed.Round(time.Millisecond), cost, qerr, sql)
 	if rec != nil {
-		b.WriteByte('\n')
-		obs.Dump(&b, rec.Root())
+		if g.allowSlowDump() {
+			b.WriteByte('\n')
+			obs.DumpLimited(&b, rec.Root().Snapshot(), g.cfg.SlowDumpSpans)
+		} else {
+			g.ctrs.slowDumpSuppressed.Add(1)
+			fmt.Fprintf(&b, " (span dump suppressed: over %d/min budget)", g.cfg.SlowDumpBudget)
+		}
 	}
 	logf("%s", b.String())
+}
+
+// allowSlowDump consumes one slot of the rotating per-minute span-dump
+// budget, resetting the window when the minute rolls over.
+func (g *Gateway) allowSlowDump() bool {
+	now := time.Now().Unix() / 60
+	g.slowDumps.Lock()
+	defer g.slowDumps.Unlock()
+	if g.slowDumps.window != now {
+		g.slowDumps.window = now
+		g.slowDumps.used = 0
+	}
+	if g.slowDumps.used >= g.cfg.SlowDumpBudget {
+		return false
+	}
+	g.slowDumps.used++
+	return true
 }
 
 // recordMethods feeds the per-join-method /metrics series: each TextJoin
@@ -507,14 +642,17 @@ func (g *Gateway) admit(ctx context.Context) (release func(), queued time.Durati
 
 // execute plans and runs one admitted query with an isolated per-query
 // meter and the configured budgets. With analyze set, it collects the
-// per-operator EXPLAIN ANALYZE actuals into the response.
-func (g *Gateway) execute(ctx context.Context, sql string, analyze bool) (*Response, error) {
+// per-operator EXPLAIN ANALYZE actuals into the response; with a
+// telemetry sink configured it collects the same actuals regardless and
+// returns the partially built telemetry record (the caller stamps the
+// identity/outcome fields).
+func (g *Gateway) execute(ctx context.Context, sql string, analyze bool) (*Response, *telemetry.Record, error) {
 	prep, err := g.eng.PrepareContext(ctx, sql)
 	if err != nil {
 		g.ctrs.planFailed.Add(1)
-		return nil, err
+		return nil, nil, err
 	}
-	if analyze {
+	if analyze || g.cfg.Telemetry != nil {
 		ctx = exec.WithAnalysis(ctx, exec.NewAnalysis())
 	}
 
@@ -542,24 +680,32 @@ func (g *Gateway) execute(ctx context.Context, sql string, analyze bool) (*Respo
 	// check, so the budget verdict overrides even a successful run.
 	if qm.BudgetExceeded() {
 		g.ctrs.budgetAborted.Add(1)
-		return nil, &BudgetError{Limit: g.cfg.CostLimit, Spent: qm.Snapshot().Cost}
+		return nil, nil, &BudgetError{Limit: g.cfg.CostLimit, Spent: qm.Snapshot().Cost}
 	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			g.ctrs.timedOut.Add(1)
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	g.recordMethods(prep.Plan(), res.Usage.Cost)
 	if res.Batches > 0 {
 		g.ctrs.execBatches.Add(uint64(res.Batches))
 	}
+	var telem *telemetry.Record
+	if g.cfg.Telemetry != nil {
+		telem = buildTelemetry(prep, res)
+	}
 	resp := &Response{
 		Plan:    prep.Explain(),
 		EstCost: res.EstCost,
 		Usage:   res.Usage,
-		Analyze: res.Analyze,
+	}
+	if analyze {
+		// The tree is always collected when telemetry is on, but /query
+		// responses only carry it in analyze mode — same shape as before.
+		resp.Analyze = res.Analyze
 	}
 	for _, c := range res.Table.Schema.Cols {
 		resp.Columns = append(resp.Columns, c.Name)
@@ -572,7 +718,72 @@ func (g *Gateway) execute(ctx context.Context, sql string, analyze bool) (*Respo
 		}
 		resp.Rows[i] = out
 	}
-	return resp, nil
+	return resp, telem, nil
+}
+
+// buildTelemetry flattens one successful run into the telemetry record's
+// plan-derived fields: per-node est-vs-act and per-foreign-predicate
+// observed fanouts (the inputs stats.Estimator's feedback import wants).
+func buildTelemetry(prep *core.Prepared, res *core.Result) *telemetry.Record {
+	r := &telemetry.Record{
+		EstCost:  res.EstCost,
+		ActCost:  res.Usage.Cost,
+		Rows:     res.Table.Cardinality(),
+		Probes:   res.Probes,
+		Batches:  res.BatchRounds,
+		Hedges:   res.Usage.Hedges,
+		Retries:  res.Usage.Retries,
+		CritCost: res.Usage.CritCost,
+	}
+	var flatten func(n *exec.AnalyzeNode, depth int)
+	flatten = func(n *exec.AnalyzeNode, depth int) {
+		if n == nil {
+			return
+		}
+		r.Nodes = append(r.Nodes, telemetry.NodeStats{
+			Op: n.Op, Depth: depth,
+			EstCard: n.EstCard, ActRows: n.ActRows,
+			EstCost: n.EstCost, ActCost: n.ActCost,
+		})
+		for _, c := range n.Children {
+			flatten(c, depth+1)
+		}
+	}
+	flatten(res.Analyze, 0)
+	// Walk plan and analyze tree in parallel (Tree mirrors the plan's
+	// shape) to attribute actual input/output rows to each text join.
+	var walk func(p plan.Node, a *exec.AnalyzeNode)
+	walk = func(p plan.Node, a *exec.AnalyzeNode) {
+		if p == nil || a == nil {
+			return
+		}
+		if tj, ok := p.(*plan.TextJoin); ok && len(a.Children) == 1 {
+			in, out := a.Children[0].ActRows, a.ActRows
+			fanout := 0.0
+			if in > 0 {
+				fanout = float64(out) / float64(in)
+			}
+			estFanout := 0.0
+			if ic := tj.Input.Card(); ic > 0 {
+				estFanout = tj.Card() / ic
+			}
+			for _, pr := range tj.Preds {
+				r.Predicates = append(r.Predicates, telemetry.PredicateStats{
+					Source: pr.Source, Table: pr.Table, Column: pr.Column, Field: pr.Field,
+					Method: tj.Method.String(), InRows: in, OutRows: out,
+					Fanout: fanout, EstFanout: estFanout,
+				})
+			}
+		}
+		kids := p.Children()
+		for i, c := range kids {
+			if i < len(a.Children) {
+				walk(c, a.Children[i])
+			}
+		}
+	}
+	walk(prep.Plan(), res.Analyze)
+	return r
 }
 
 // Stats snapshots the gateway's counters, histograms, cache statistics
@@ -607,6 +818,14 @@ func (g *Gateway) Stats() Snapshot {
 	}
 	s.Latency = g.latency.snapshot()
 	s.TextCost = g.textCost.snapshot()
+	if g.cfg.TraceStore != nil {
+		ts := g.cfg.TraceStore.Stats()
+		s.Traces = &ts
+	}
+	if g.cfg.Telemetry != nil {
+		st := g.cfg.Telemetry.Stats()
+		s.Telemetry = &st
+	}
 	return s
 }
 

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
+	"textjoin/internal/obs"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/texservice"
 )
 
@@ -23,8 +26,11 @@ import (
 //	POST /analyze  {"query": "select ..."}   → Response (+ analyze tree, trace)
 //	GET  /analyze?q=select+...               → Response (+ analyze tree, trace)
 //	POST /ingest   {"source": "...", "ops": [...]} → IngestResponse
+//	GET  /trace/{id}                         → retained obs.StoredTrace (full span tree)
+//	GET  /traces?n=50                        → retention-store stats + newest trace summaries
+//	GET  /telemetry?n=20                     → feedback-sink stats + aggregated predicate feedback + records
 //	GET  /stats                              → Snapshot
-//	GET  /metrics                            → Prometheus text exposition
+//	GET  /metrics                            → Prometheus text exposition (with trace exemplars)
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -97,6 +103,55 @@ func (g *Gateway) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "bad_request"})
+			return
+		}
+		ts := g.cfg.TraceStore
+		if ts == nil {
+			writeJSON(w, http.StatusNotImplemented, errorBody{Error: "trace store disabled (start queryd with -trace-store)", Kind: "disabled"})
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/trace/")
+		t, ok := ts.Get(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "no retained trace " + id + " (evicted or sampled out)", Kind: "not_found"})
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "bad_request"})
+			return
+		}
+		ts := g.cfg.TraceStore
+		if ts == nil {
+			writeJSON(w, http.StatusNotImplemented, errorBody{Error: "trace store disabled (start queryd with -trace-store)", Kind: "disabled"})
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Stats  obs.TraceStoreStats `json:"stats"`
+			Traces []obs.TraceSummary  `json:"traces"`
+		}{ts.Stats(), ts.List(limitParam(r, 50))})
+	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "bad_request"})
+			return
+		}
+		sink := g.cfg.Telemetry
+		if sink == nil {
+			writeJSON(w, http.StatusNotImplemented, errorBody{Error: "telemetry sink disabled (start queryd with -telemetry)", Kind: "disabled"})
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Stats    telemetry.SinkStats           `json:"stats"`
+			Feedback []telemetry.PredicateFeedback `json:"feedback"`
+			Records  []telemetry.Record            `json:"records"`
+		}{sink.Stats(), sink.Feedback(), sink.Records(limitParam(r, 20))})
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only", Kind: "bad_request"})
@@ -113,6 +168,15 @@ func (g *Gateway) Handler() http.Handler {
 		g.WriteMetrics(w)
 	})
 	return mux
+}
+
+// limitParam reads the ?n= listing bound, defaulted and floored at 1.
+func limitParam(r *http.Request, def int) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 1 {
+		return def
+	}
+	return n
 }
 
 // readQuery extracts the SQL text from ?q= or a JSON/raw body.

@@ -43,6 +43,7 @@ func (g *Gateway) WriteMetrics(w io.Writer) {
 	counter("queries_timed_out_total", "Queries aborted by the per-query deadline.", s.TimedOut)
 	counter("queries_plan_failed_total", "Queries that failed to parse, analyze or optimize.", s.PlanFailed)
 	counter("queries_slow_logged_total", "Queries dumped to the slow-query log.", s.SlowLogged)
+	counter("slow_dumps_suppressed_total", "Slow-query span dumps dropped by the per-minute dump budget.", s.SlowDumpSuppressed)
 	counter("exec_batches_total", "Column batches emitted by the vectorized execution engine.", s.ExecBatches)
 	counter("ingest_batches_total", "Acked document-ingest batches.", s.IngestBatches)
 	counter("ingest_ops_total", "Acked document-ingest operations (puts and deletes).", s.IngestOps)
@@ -132,18 +133,40 @@ func (g *Gateway) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "textjoin_join_method_text_cost_seconds_total{method=%q} %s\n", m.Method, fnum(m.TextCost))
 	}
 
+	// Trace-retention series, present only when queryd runs a trace store.
+	if s.Traces != nil {
+		gauge("traces_retained", "Traces currently held in the retention ring.", float64(s.Traces.Retained))
+		counter("traces_kept_total", "Traces admitted to the retention ring.", s.Traces.Kept)
+		counter("traces_tail_total", "Traces retained by the tail rules (error/overload/budget/timeout/slow).", s.Traces.Tail)
+		counter("traces_sampled_total", "Healthy traces retained by the 1-in-N sampler.", s.Traces.Sampled)
+		counter("traces_sampled_out_total", "Healthy traces dropped by the 1-in-N sampler.", s.Traces.SampledOut)
+		counter("traces_evicted_total", "Retained traces later overwritten by the ring.", s.Traces.Evicted)
+	}
+	// Telemetry-sink series, present only when queryd runs a feedback sink.
+	if s.Telemetry != nil {
+		gauge("telemetry_retained", "Telemetry records currently held in the sink ring.", float64(s.Telemetry.Retained))
+		counter("telemetry_records_total", "Telemetry records appended.", s.Telemetry.Appended)
+		counter("telemetry_file_lines_total", "Telemetry records written to the backing file.", s.Telemetry.FileLines)
+	}
+
 	writeHistogram(w, "query_latency_seconds", "Post-admission query latency.", s.Latency)
 	writeHistogram(w, "query_text_cost_seconds", "Per-query simulated text-service cost.", s.TextCost)
 }
 
 // writeHistogram emits one histogram: cumulative le buckets, +Inf, _sum,
-// _count.
+// _count. A bucket whose latest observation came from a retained trace
+// carries an OpenMetrics-style exemplar suffix — `# {trace_id="q-7"}
+// 0.0043` — linking the latency bucket to a trace /trace/{id} can serve.
 func writeHistogram(w io.Writer, name, help string, h HistSnapshot) {
 	fmt.Fprintf(w, "# HELP textjoin_%s %s\n# TYPE textjoin_%s histogram\n", name, help, name)
 	var cum int64
 	for i, n := range h.Buckets {
 		cum += n
-		fmt.Fprintf(w, "textjoin_%s_bucket{le=%q} %d\n", name, fnum(upperBound(i)), cum)
+		fmt.Fprintf(w, "textjoin_%s_bucket{le=%q} %d", name, fnum(upperBound(i)), cum)
+		if i < len(h.Exemplars) && h.Exemplars[i].TraceID != "" {
+			fmt.Fprintf(w, " # {trace_id=%q} %s", h.Exemplars[i].TraceID, fnum(h.Exemplars[i].Value))
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "textjoin_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
 	fmt.Fprintf(w, "textjoin_%s_sum %s\n", name, fnum(h.Sum))

@@ -20,11 +20,15 @@ import (
 //
 //	# HELP <metric_name> <free text>
 //	# TYPE <metric_name> <counter|gauge|histogram|summary|untyped>
-//	<metric_name>{<label>="<value>",...} <float> [<timestamp>]
+//	<metric_name>{<label>="<value>",...} <float> [<timestamp>] [# {<labels>} <float>]
+//
+// The trailing `# {...} <float>` is the OpenMetrics-style exemplar suffix
+// the exposition appends to histogram bucket lines that carry a retained
+// trace ID.
 var (
 	metricName = `[a-zA-Z_:][a-zA-Z0-9_:]*`
 	labelRe    = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
-	sampleRe   = regexp.MustCompile(`^(` + metricName + `)(\{([^}]*)\})? (\S+)( \d+)?$`)
+	sampleRe   = regexp.MustCompile(`^(` + metricName + `)(\{([^}]*)\})? (\S+)( \d+)?( # \{([^}]*)\} (\S+))?$`)
 	helpRe     = regexp.MustCompile(`^# HELP (` + metricName + `) .+$`)
 	typeRe     = regexp.MustCompile(`^# TYPE (` + metricName + `) (counter|gauge|histogram|summary|untyped)$`)
 )
@@ -75,6 +79,19 @@ func validatePromText(t *testing.T, text string) map[string]float64 {
 		v, err := strconv.ParseFloat(strings.TrimPrefix(value, "+"), 64)
 		if err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
 			t.Errorf("line %d: unparsable value %q", ln+1, value)
+		}
+		if m[6] != "" { // exemplar suffix
+			if !strings.HasSuffix(name, "_bucket") {
+				t.Errorf("line %d: exemplar on non-bucket series %q", ln+1, name)
+			}
+			for _, pair := range strings.Split(m[7], ",") {
+				if !labelRe.MatchString(pair) {
+					t.Errorf("line %d: malformed exemplar label %q in %q", ln+1, pair, line)
+				}
+			}
+			if _, err := strconv.ParseFloat(m[8], 64); err != nil {
+				t.Errorf("line %d: unparsable exemplar value %q", ln+1, m[8])
+			}
 		}
 		// A sample must belong to a declared family (histogram samples use
 		// the base name + _bucket/_sum/_count suffixes).

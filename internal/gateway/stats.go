@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"textjoin/internal/obs"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/texservice"
 )
 
@@ -19,26 +21,27 @@ import (
 // hold for every snapshot taken while the gateway is quiescent (and up to
 // in-flight transitions otherwise).
 type counters struct {
-	received         atomic.Uint64 // every call that reached admission
-	admitted         atomic.Uint64 // got a worker slot
-	completed        atomic.Uint64 // admitted and returned rows
-	failed           atomic.Uint64 // admitted and returned an error
-	shedQueueFull    atomic.Uint64 // shed: wait queue at capacity
-	shedQueueTimeout atomic.Uint64 // shed: queued longer than QueueTimeout
-	rejectedDraining atomic.Uint64 // rejected: gateway draining
-	abandonedQueue   atomic.Uint64 // caller's context ended while queued
-	budgetAborted    atomic.Uint64 // failed: per-query cost cap fired (subset of failed)
-	timedOut         atomic.Uint64 // failed: per-query deadline expired (subset of failed)
-	planFailed       atomic.Uint64 // failed: parse/analyze/optimize error (subset of failed)
-	slowLogged       atomic.Uint64 // queries dumped to the slow-query log
-	execBatches      atomic.Uint64 // column batches emitted by the vectorized engine
-	ingestBatches    atomic.Uint64 // acked ingest batches
-	ingestOps        atomic.Uint64 // acked ingest operations (puts + deletes)
-	ingestFailed     atomic.Uint64 // ingest batches that were rejected or failed
-	inFlight         atomic.Int64  // currently executing
-	queued           atomic.Int64  // currently waiting for a slot
-	inFlightPeak     atomic.Int64  // high-water mark of inFlight
-	queuedPeak       atomic.Int64  // high-water mark of queued
+	received           atomic.Uint64 // every call that reached admission
+	admitted           atomic.Uint64 // got a worker slot
+	completed          atomic.Uint64 // admitted and returned rows
+	failed             atomic.Uint64 // admitted and returned an error
+	shedQueueFull      atomic.Uint64 // shed: wait queue at capacity
+	shedQueueTimeout   atomic.Uint64 // shed: queued longer than QueueTimeout
+	rejectedDraining   atomic.Uint64 // rejected: gateway draining
+	abandonedQueue     atomic.Uint64 // caller's context ended while queued
+	budgetAborted      atomic.Uint64 // failed: per-query cost cap fired (subset of failed)
+	timedOut           atomic.Uint64 // failed: per-query deadline expired (subset of failed)
+	planFailed         atomic.Uint64 // failed: parse/analyze/optimize error (subset of failed)
+	slowLogged         atomic.Uint64 // queries dumped to the slow-query log
+	slowDumpSuppressed atomic.Uint64 // slow-log span dumps dropped by the per-minute budget
+	execBatches        atomic.Uint64 // column batches emitted by the vectorized engine
+	ingestBatches      atomic.Uint64 // acked ingest batches
+	ingestOps          atomic.Uint64 // acked ingest operations (puts + deletes)
+	ingestFailed       atomic.Uint64 // ingest batches that were rejected or failed
+	inFlight           atomic.Int64  // currently executing
+	queued             atomic.Int64  // currently waiting for a slot
+	inFlightPeak       atomic.Int64  // high-water mark of inFlight
+	queuedPeak         atomic.Int64  // high-water mark of queued
 }
 
 // raisePeak lifts a high-water-mark gauge to v if v is higher. The CAS
@@ -63,6 +66,16 @@ type histogram struct {
 	min     float64
 	max     float64
 	buckets [histBuckets]int64
+	// exemplars holds, per bucket, the most recent observation that came
+	// with a retained trace ID — the /metrics exposition appends it to the
+	// bucket line so a latency outlier links straight to its trace.
+	exemplars [histBuckets]Exemplar
+}
+
+// Exemplar ties one bucket observation to a retained trace.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 const (
@@ -89,7 +102,7 @@ func upperBound(i int) float64 {
 	return histBase * math.Pow(2, float64(i))
 }
 
-func (h *histogram) observe(v float64) {
+func (h *histogram) observe(v float64, exemplarID string) {
 	if v < 0 {
 		v = 0
 	}
@@ -103,7 +116,11 @@ func (h *histogram) observe(v float64) {
 	}
 	h.count++
 	h.sum += v
-	h.buckets[bucketOf(v)]++
+	b := bucketOf(v)
+	h.buckets[b]++
+	if exemplarID != "" {
+		h.exemplars[b] = Exemplar{TraceID: exemplarID, Value: v}
+	}
 }
 
 // HistSnapshot is a JSON-friendly view of a histogram: moments plus
@@ -125,6 +142,9 @@ type HistSnapshot struct {
 	// quantiles above summarize it — but the /metrics writer cumulates it
 	// into the le-labeled series Prometheus expects.
 	Buckets []int64 `json:"-"`
+	// Exemplars parallels Buckets: the latest retained-trace observation
+	// per bucket (zero TraceID = none). /metrics only.
+	Exemplars []Exemplar `json:"-"`
 }
 
 func (h *histogram) snapshot() HistSnapshot {
@@ -132,6 +152,7 @@ func (h *histogram) snapshot() HistSnapshot {
 	defer h.mu.Unlock()
 	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 	s.Buckets = append(s.Buckets, h.buckets[:]...)
+	s.Exemplars = append(s.Exemplars, h.exemplars[:]...)
 	if h.count == 0 {
 		return s
 	}
@@ -190,23 +211,24 @@ type Snapshot struct {
 	QueuedPeak   int  `json:"queued_peak"`
 	Draining     bool `json:"draining"`
 
-	Received         uint64 `json:"received"`
-	Admitted         uint64 `json:"admitted"`
-	Completed        uint64 `json:"completed"`
-	Failed           uint64 `json:"failed"`
-	ShedQueueFull    uint64 `json:"shed_queue_full"`
-	ShedQueueTimeout uint64 `json:"shed_queue_timeout"`
-	Shed             uint64 `json:"shed"` // ShedQueueFull + ShedQueueTimeout
-	RejectedDraining uint64 `json:"rejected_draining"`
-	AbandonedQueue   uint64 `json:"abandoned_queue"`
-	BudgetAborted    uint64 `json:"budget_aborted"`
-	TimedOut         uint64 `json:"timed_out"`
-	PlanFailed       uint64 `json:"plan_failed"`
-	SlowLogged       uint64 `json:"slow_logged"`
-	ExecBatches      uint64 `json:"exec_batches"`
-	IngestBatches    uint64 `json:"ingest_batches"`
-	IngestOps        uint64 `json:"ingest_ops"`
-	IngestFailed     uint64 `json:"ingest_failed"`
+	Received           uint64 `json:"received"`
+	Admitted           uint64 `json:"admitted"`
+	Completed          uint64 `json:"completed"`
+	Failed             uint64 `json:"failed"`
+	ShedQueueFull      uint64 `json:"shed_queue_full"`
+	ShedQueueTimeout   uint64 `json:"shed_queue_timeout"`
+	Shed               uint64 `json:"shed"` // ShedQueueFull + ShedQueueTimeout
+	RejectedDraining   uint64 `json:"rejected_draining"`
+	AbandonedQueue     uint64 `json:"abandoned_queue"`
+	BudgetAborted      uint64 `json:"budget_aborted"`
+	TimedOut           uint64 `json:"timed_out"`
+	PlanFailed         uint64 `json:"plan_failed"`
+	SlowLogged         uint64 `json:"slow_logged"`
+	SlowDumpSuppressed uint64 `json:"slow_dump_suppressed"`
+	ExecBatches        uint64 `json:"exec_batches"`
+	IngestBatches      uint64 `json:"ingest_batches"`
+	IngestOps          uint64 `json:"ingest_ops"`
+	IngestFailed       uint64 `json:"ingest_failed"`
 
 	Cache      CacheStats      `json:"cache"`
 	ProbeCache ProbeCacheStats `json:"probe_cache"`
@@ -214,30 +236,36 @@ type Snapshot struct {
 	Latency  HistSnapshot     `json:"latency_seconds"`
 	TextCost HistSnapshot     `json:"text_cost_seconds"`
 	Text     texservice.Usage `json:"text_usage"`
+
+	// Traces/Telemetry report the retention subsystems, present only when
+	// the respective store is configured.
+	Traces    *obs.TraceStoreStats `json:"traces,omitempty"`
+	Telemetry *telemetry.SinkStats `json:"telemetry,omitempty"`
 }
 
 func (c *counters) snapshot() Snapshot {
 	s := Snapshot{
-		Received:         c.received.Load(),
-		Admitted:         c.admitted.Load(),
-		Completed:        c.completed.Load(),
-		Failed:           c.failed.Load(),
-		ShedQueueFull:    c.shedQueueFull.Load(),
-		ShedQueueTimeout: c.shedQueueTimeout.Load(),
-		RejectedDraining: c.rejectedDraining.Load(),
-		AbandonedQueue:   c.abandonedQueue.Load(),
-		BudgetAborted:    c.budgetAborted.Load(),
-		TimedOut:         c.timedOut.Load(),
-		PlanFailed:       c.planFailed.Load(),
-		SlowLogged:       c.slowLogged.Load(),
-		ExecBatches:      c.execBatches.Load(),
-		IngestBatches:    c.ingestBatches.Load(),
-		IngestOps:        c.ingestOps.Load(),
-		IngestFailed:     c.ingestFailed.Load(),
-		InFlight:         int(c.inFlight.Load()),
-		Queued:           int(c.queued.Load()),
-		InFlightPeak:     int(c.inFlightPeak.Load()),
-		QueuedPeak:       int(c.queuedPeak.Load()),
+		Received:           c.received.Load(),
+		Admitted:           c.admitted.Load(),
+		Completed:          c.completed.Load(),
+		Failed:             c.failed.Load(),
+		ShedQueueFull:      c.shedQueueFull.Load(),
+		ShedQueueTimeout:   c.shedQueueTimeout.Load(),
+		RejectedDraining:   c.rejectedDraining.Load(),
+		AbandonedQueue:     c.abandonedQueue.Load(),
+		BudgetAborted:      c.budgetAborted.Load(),
+		TimedOut:           c.timedOut.Load(),
+		PlanFailed:         c.planFailed.Load(),
+		SlowLogged:         c.slowLogged.Load(),
+		SlowDumpSuppressed: c.slowDumpSuppressed.Load(),
+		ExecBatches:        c.execBatches.Load(),
+		IngestBatches:      c.ingestBatches.Load(),
+		IngestOps:          c.ingestOps.Load(),
+		IngestFailed:       c.ingestFailed.Load(),
+		InFlight:           int(c.inFlight.Load()),
+		Queued:             int(c.queued.Load()),
+		InFlightPeak:       int(c.inFlightPeak.Load()),
+		QueuedPeak:         int(c.queuedPeak.Load()),
 	}
 	s.Shed = s.ShedQueueFull + s.ShedQueueTimeout
 	return s

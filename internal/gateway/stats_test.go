@@ -46,12 +46,12 @@ func TestBucketBoundaries(t *testing.T) {
 // negative-value clamp.
 func TestHistogramObserveEdges(t *testing.T) {
 	var h histogram
-	h.observe(-1) // clamped to 0 → bucket 0
-	h.observe(0)
-	h.observe(histBase)            // exactly on the first boundary → bucket 0
-	h.observe(upperBound(3))       // exactly on a middle boundary → bucket 3
-	h.observe(upperBound(3) * 1.5) // inside bucket 4
-	h.observe(1e300)               // far beyond the last boundary → bucket 31
+	h.observe(-1, "") // clamped to 0 → bucket 0
+	h.observe(0, "")
+	h.observe(histBase, "")          // exactly on the first boundary → bucket 0
+	h.observe(upperBound(3), "")     // exactly on a middle boundary → bucket 3
+	h.observe(upperBound(3)*1.5, "") // inside bucket 4
+	h.observe(1e300, "")             // far beyond the last boundary → bucket 31
 
 	s := h.snapshot()
 	if s.Count != 6 {

@@ -60,6 +60,9 @@ type Span struct {
 	ended    bool
 	attrs    []Attr
 	children []*Span
+	// remotes holds pre-rendered subtrees grafted from other processes
+	// (AttachRemote); Snapshot merges them after the local children.
+	remotes []SpanSnapshot
 }
 
 // Name returns the span's name.
@@ -107,6 +110,36 @@ func (s *Span) Duration() time.Duration {
 		return s.dur
 	}
 	return time.Since(s.start)
+}
+
+// AttachRemote grafts a span subtree produced by another process under
+// this span. Every node of the subtree is tagged with the label (the
+// backend's address) unless a nested graft already named a farther
+// process. The subtree's offsets are relative to its own root, which is
+// anchored at this span's start — remote clocks never enter the trace, so
+// skew between processes cannot corrupt it. Safe on a nil receiver and
+// after End (a reply can land as the span is being closed).
+func (s *Span) AttachRemote(snap SpanSnapshot, label string) {
+	if s == nil {
+		return
+	}
+	TagRemote(&snap, label)
+	snap.StartNs = 0
+	s.mu.Lock()
+	s.remotes = append(s.remotes, snap)
+	s.mu.Unlock()
+}
+
+// TagRemote marks every span in the snapshot tree as produced by the
+// named process, preserving tags set by deeper grafts (a backend that is
+// itself a client of a farther backend).
+func TagRemote(snap *SpanSnapshot, label string) {
+	if snap.Remote == "" {
+		snap.Remote = label
+	}
+	for i := range snap.Children {
+		TagRemote(&snap.Children[i], label)
+	}
 }
 
 // child creates and attaches a new child span.

@@ -1,0 +1,205 @@
+// Trace retention: a bounded ring buffer of completed traces with
+// tail-based sampling. Head-based sampling decides before the query runs
+// and so keeps a blind uniform slice; tail-based sampling decides *after*
+// the outcome is known, so the interesting traces — errors, sheds, budget
+// kills, slow outliers — are always retained in full while the healthy
+// majority is thinned to a deterministic 1-in-N. The ring bounds memory:
+// a store holding C traces of at most a few hundred spans each is a few
+// MB regardless of how long queryd runs.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace outcomes as classified by the serving layer. Any outcome other
+// than OutcomeOK is always retained; OutcomeOK traces slower than the
+// store's slow threshold are reclassified OutcomeSlow and retained too.
+const (
+	OutcomeOK       = "ok"
+	OutcomeSlow     = "slow"
+	OutcomeError    = "error"
+	OutcomeOverload = "overload"
+	OutcomeBudget   = "budget"
+	OutcomeTimeout  = "timeout"
+	OutcomeCancel   = "cancel"
+)
+
+// StoredTrace is one retained trace: the identity and outcome of a query
+// plus its full span tree.
+type StoredTrace struct {
+	ID         string       `json:"id"`
+	Seq        uint64       `json:"seq"`
+	Start      time.Time    `json:"start"`
+	DurationNs int64        `json:"duration_ns"`
+	Outcome    string       `json:"outcome"`
+	Query      string       `json:"query,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Root       SpanSnapshot `json:"root"`
+}
+
+// TraceSummary is the /traces listing entry: everything but the tree.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Seq        uint64    `json:"seq"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	Outcome    string    `json:"outcome"`
+	Query      string    `json:"query,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	Spans      int       `json:"spans"`
+}
+
+// TraceStoreStats counts the store's sampling decisions.
+type TraceStoreStats struct {
+	Retained   int    `json:"retained"`    // traces currently in the ring
+	Kept       uint64 `json:"kept"`        // total traces admitted
+	Tail       uint64 `json:"tail"`        // admitted because of a non-ok outcome
+	Sampled    uint64 `json:"sampled"`     // ok traces admitted by the 1-in-N sampler
+	SampledOut uint64 `json:"sampled_out"` // ok traces dropped by the sampler
+	Evicted    uint64 `json:"evicted"`     // admitted traces later overwritten by the ring
+}
+
+// TraceStore retains completed traces in a fixed-capacity ring with
+// tail-based sampling. Safe for concurrent use.
+type TraceStore struct {
+	capacity int
+	sampleN  uint64        // keep 1 in N ok traces; <=1 keeps all
+	slow     time.Duration // ok traces at least this slow are retained as "slow"; 0 disables
+
+	mu      sync.Mutex
+	ring    []*StoredTrace
+	next    int
+	byID    map[string]int
+	seq     uint64
+	okSeen  uint64
+	kept    uint64
+	tail    uint64
+	sampled uint64
+	dropped uint64
+	evicted uint64
+}
+
+// NewTraceStore builds a store retaining up to capacity traces. sampleN
+// is the healthy-trace sampling rate (keep 1 in N; <=1 keeps every
+// trace), slow the latency past which an ok trace is retained
+// unconditionally as OutcomeSlow (0 disables the slow rule).
+func NewTraceStore(capacity, sampleN int, slow time.Duration) *TraceStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := uint64(1)
+	if sampleN > 1 {
+		n = uint64(sampleN)
+	}
+	return &TraceStore{
+		capacity: capacity,
+		sampleN:  n,
+		slow:     slow,
+		ring:     make([]*StoredTrace, capacity),
+		byID:     make(map[string]int, capacity),
+	}
+}
+
+// Offer submits a completed trace. The store reclassifies slow ok traces,
+// applies the sampling policy, and reports whether the trace was
+// retained (callers use the verdict to decide whether a histogram
+// exemplar may reference the ID).
+func (ts *TraceStore) Offer(t StoredTrace) bool {
+	if ts == nil {
+		return false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t.Outcome == OutcomeOK && ts.slow > 0 && time.Duration(t.DurationNs) >= ts.slow {
+		t.Outcome = OutcomeSlow
+	}
+	if t.Outcome == OutcomeOK {
+		// Deterministic 1-in-N counter sampling rather than a coin flip:
+		// the retention guarantee ("every Nth healthy trace") is then
+		// testable and the sampled set is evenly spread in time.
+		ts.okSeen++
+		if ts.okSeen%ts.sampleN != 0 {
+			ts.dropped++
+			return false
+		}
+		ts.sampled++
+	} else {
+		ts.tail++
+	}
+	ts.seq++
+	t.Seq = ts.seq
+	ts.kept++
+	if old := ts.ring[ts.next]; old != nil {
+		ts.evicted++
+		if ts.byID[old.ID] == ts.next {
+			delete(ts.byID, old.ID)
+		}
+	}
+	ts.ring[ts.next] = &t
+	ts.byID[t.ID] = ts.next
+	ts.next = (ts.next + 1) % ts.capacity
+	return true
+}
+
+// Get returns the retained trace with the given ID.
+func (ts *TraceStore) Get(id string) (StoredTrace, bool) {
+	if ts == nil {
+		return StoredTrace{}, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	i, ok := ts.byID[id]
+	if !ok || ts.ring[i] == nil || ts.ring[i].ID != id {
+		return StoredTrace{}, false
+	}
+	return *ts.ring[i], true
+}
+
+// List returns summaries of the newest retained traces, newest first, at
+// most limit entries (limit <= 0 means all).
+func (ts *TraceStore) List(limit int) []TraceSummary {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if limit <= 0 || limit > ts.capacity {
+		limit = ts.capacity
+	}
+	out := make([]TraceSummary, 0, limit)
+	// Walk backwards from the most recently written slot.
+	for k := 0; k < ts.capacity && len(out) < limit; k++ {
+		i := (ts.next - 1 - k + 2*ts.capacity) % ts.capacity
+		t := ts.ring[i]
+		if t == nil {
+			break
+		}
+		out = append(out, TraceSummary{
+			ID: t.ID, Seq: t.Seq, Start: t.Start, DurationNs: t.DurationNs,
+			Outcome: t.Outcome, Query: t.Query, Error: t.Error,
+			Spans: SpanCount(t.Root),
+		})
+	}
+	return out
+}
+
+// Stats reports the store's sampling counters.
+func (ts *TraceStore) Stats() TraceStoreStats {
+	if ts == nil {
+		return TraceStoreStats{}
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	retained := 0
+	for _, t := range ts.ring {
+		if t != nil {
+			retained++
+		}
+	}
+	return TraceStoreStats{
+		Retained: retained, Kept: ts.kept, Tail: ts.tail,
+		Sampled: ts.sampled, SampledOut: ts.dropped, Evicted: ts.evicted,
+	}
+}

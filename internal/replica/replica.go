@@ -546,6 +546,8 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 		probe  bool // this attempt acquired r's probe slot in pick
 		cancel context.CancelFunc
 		start  time.Time
+		sp     *obs.Span // per-attempt span (nil when tracing is off)
+		tagged bool      // cancel_cause already recorded (main goroutine only)
 	}
 	type outcome struct {
 		at  *attempt
@@ -567,6 +569,9 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 		// forever. Only the owner releases: another operation's probe may
 		// hold the flag on a replica we reached via the ejected fallback.
 		for at := range live {
+			if !at.tagged && at.sp != nil {
+				at.sp.SetAttr(obs.Str("cancel_cause", "caller_cancelled"))
+			}
 			if at.probe {
 				at.r.probing.Store(false)
 			}
@@ -575,7 +580,14 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 
 	launch := func(r *replicaState, hedge, probe bool) {
 		actx, cancel := context.WithCancel(base)
-		at := &attempt{r: r, hedge: hedge, probe: probe, cancel: cancel, start: time.Now()}
+		// One span per attempt, a child of the operation span: the trace
+		// then shows the full race — primary, hedge, failovers — with each
+		// loser tagged by why it was cancelled.
+		actx, asp := obs.StartSpan(actx, "replica.attempt")
+		if asp != nil {
+			asp.SetAttr(obs.Int("replica", r.idx), obs.Str("hedge", fmt.Sprint(hedge)))
+		}
+		at := &attempt{r: r, hedge: hedge, probe: probe, cancel: cancel, start: time.Now(), sp: asp}
 		tried[r.idx] = true
 		all = append(all, at)
 		live[at] = true
@@ -583,6 +595,12 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 		go func() {
 			v, err := f(actx, r.svc)
 			r.inflight.Add(-1)
+			if asp != nil {
+				if err != nil {
+					asp.SetAttr(obs.Str("err", err.Error()))
+				}
+				asp.End()
+			}
 			results <- outcome{at: at, v: v, err: err}
 		}()
 	}
@@ -623,6 +641,9 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 				if at.hedge {
 					s.hedgeWins.Add(1)
 				}
+				if at.sp != nil {
+					at.sp.SetAttr(obs.Str("outcome", "won"))
+				}
 				for l := range live {
 					l.cancel()
 					// A cancel counts as a hedge cancel only when the race
@@ -636,6 +657,20 @@ func (s *Set) do(ctx context.Context, op string, fresh bool, f func(context.Cont
 						// still lost: slowness evidence.
 						s.observeHedgeLoss(l.r)
 					}
+					if l.sp != nil {
+						// Tag the cancelled loser with why it lost; the span
+						// already Ended (or will, with a canceled err) but
+						// attributes attach regardless.
+						cause := "sibling_won"
+						switch {
+						case at.hedge && !l.hedge:
+							cause = "hedge_won"
+						case !at.hedge && l.hedge:
+							cause = "primary_won"
+						}
+						l.sp.SetAttr(obs.Str("cancel_cause", cause))
+					}
+					l.tagged = true
 				}
 				return out.v, st, nil
 			}

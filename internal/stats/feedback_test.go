@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"textjoin/internal/telemetry"
+)
+
+// TestSetPredicateFeedbackLoop: an estimate installed via SetPredicate
+// (the telemetry feedback path) is what Predicate returns — no sampling
+// probes hit the backend for a fed predicate — and PredicateCached
+// reflects the cache.
+func TestSetPredicateFeedbackLoop(t *testing.T) {
+	svc, tbl := fixture(t)
+	est := New(svc, WithSampleSize(100))
+
+	if _, ok := est.PredicateCached("student", "name", "author"); ok {
+		t.Fatal("cold estimator reports a cached predicate")
+	}
+
+	fed := Estimate{Sel: 0.5, Fanout: 2.5, CondFanout: 5, Samples: 40, Terms: 1, TermsMax: 1}
+	est.SetPredicate("student", "name", "author", fed)
+
+	got, ok := est.PredicateCached("student", "name", "author")
+	if !ok || got != fed {
+		t.Fatalf("PredicateCached = %+v/%v, want the fed estimate", got, ok)
+	}
+
+	before := svc.Meter().Snapshot().Searches
+	e, err := est.Predicate(tbl, "name", "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != fed {
+		t.Fatalf("Predicate = %+v, want the fed estimate %+v", e, fed)
+	}
+	if after := svc.Meter().Snapshot().Searches; after != before {
+		t.Fatalf("fed predicate still probed the backend (%d searches)", after-before)
+	}
+
+	// SetPredicate overrides an already-sampled estimate too (feedback
+	// replaces stale sampling).
+	est.SetPredicate("student", "name", "author", Estimate{Fanout: 9})
+	if e, _ := est.PredicateCached("student", "name", "author"); e.Fanout != 9 {
+		t.Fatalf("override not applied: %+v", e)
+	}
+}
+
+// TestFeedbackFromTelemetry closes the whole loop in-process: aggregated
+// sink feedback becomes estimator state, scaled against the previously
+// sampled estimate the way a consumer (queryd) would apply it.
+func TestFeedbackFromTelemetry(t *testing.T) {
+	svc, tbl := fixture(t)
+	est := New(svc, WithSampleSize(100))
+	sampled, err := est.Predicate(tbl, "name", "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := telemetry.NewSink(8)
+	sink.Append(telemetry.Record{Predicates: []telemetry.PredicateStats{{
+		Table: "student", Column: "name", Field: "author", InRows: 200, OutRows: 700,
+	}}})
+	fb := sink.Feedback()
+	if len(fb) != 1 {
+		t.Fatalf("feedback = %+v", fb)
+	}
+
+	// Apply observed fanout, keeping the sampled selectivity structure:
+	// CondFanout scales so Sel × CondFanout = Fanout stays consistent.
+	updated := sampled
+	updated.Fanout = fb[0].Fanout
+	if updated.Sel > 0 {
+		updated.CondFanout = updated.Fanout / updated.Sel
+	}
+	est.SetPredicate(fb[0].Table, fb[0].Column, fb[0].Field, updated)
+
+	got, err := est.Predicate(tbl, "name", "author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Fanout-3.5) > 1e-12 {
+		t.Fatalf("estimator fanout after feedback = %g, want 3.5 (700/200)", got.Fanout)
+	}
+	if math.Abs(got.Sel*got.CondFanout-got.Fanout) > 1e-12 {
+		t.Fatal("Sel*CondFanout != Fanout after feedback application")
+	}
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(traceID string, preds ...PredicateStats) Record {
+	return Record{
+		Time: time.Unix(1000, 0), TraceID: traceID, SQL: "select 1",
+		Shape: "select ?", Outcome: "ok", Predicates: preds,
+	}
+}
+
+func TestSinkRing(t *testing.T) {
+	s := NewSink(3)
+	for i := 0; i < 5; i++ {
+		s.Append(rec(fmt.Sprintf("q-%d", i)))
+	}
+	got := s.Records(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d records, want 3", len(got))
+	}
+	for i, want := range []string{"q-4", "q-3", "q-2"} {
+		if got[i].TraceID != want {
+			t.Errorf("Records[%d] = %s, want %s (newest first)", i, got[i].TraceID, want)
+		}
+	}
+	if got := s.Records(1); len(got) != 1 || got[0].TraceID != "q-4" {
+		t.Errorf("Records(1) = %+v", got)
+	}
+	st := s.Stats()
+	if st.Retained != 3 || st.Appended != 5 || st.Evicted != 2 {
+		t.Errorf("stats = %+v, want retained=3 appended=5 evicted=2", st)
+	}
+	if st.FileLines != 0 || st.FileError != "" {
+		t.Errorf("file counters nonzero without a backing file: %+v", st)
+	}
+}
+
+func TestSinkFileBacking(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	s := NewSink(2)
+	if err := s.SetFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Append(rec(fmt.Sprintf("q-%d", i)))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The ring holds 2, but the file holds all 4 — it is the durable side.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if r.TraceID != fmt.Sprintf("q-%d", lines) {
+			t.Errorf("line %d trace = %s, want q-%d", lines, r.TraceID, lines)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("file holds %d lines, want 4", lines)
+	}
+	if st := s.Stats(); st.FileLines != 4 || st.FileError != "" {
+		t.Errorf("stats = %+v, want file_lines=4 and no error", st)
+	}
+}
+
+// TestSinkFileFailureIsSticky: a write failure is remembered, file writes
+// stop, and Append keeps working in memory — telemetry must never fail a
+// query.
+func TestSinkFileFailureIsSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	s := NewSink(4)
+	if err := s.SetFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Close the backing file out from under the writer to force a flush
+	// failure on the next append.
+	s.mu.Lock()
+	s.f.Close()
+	s.mu.Unlock()
+	s.Append(rec("q-0"))
+	s.Append(rec("q-1"))
+	st := s.Stats()
+	if st.FileError == "" {
+		t.Fatal("write failure not remembered")
+	}
+	if st.Appended != 2 || st.Retained != 2 {
+		t.Errorf("in-memory appends broken after file failure: %+v", st)
+	}
+}
+
+func TestFeedbackAggregation(t *testing.T) {
+	s := NewSink(10)
+	// Two queries probe student.name→author with different fanouts; the
+	// aggregate weights by input rows: (20+5)/(100+10).
+	s.Append(rec("q-0", PredicateStats{
+		Table: "student", Column: "student.name", Field: "author", InRows: 100, OutRows: 20,
+	}))
+	s.Append(rec("q-1",
+		PredicateStats{Table: "student", Column: "student.name", Field: "author", InRows: 10, OutRows: 5},
+		PredicateStats{Table: "project", Column: "project.pname", Field: "title", InRows: 50, OutRows: 10},
+		PredicateStats{Table: "zero", Column: "zero.c", Field: "f", InRows: 0, OutRows: 9}, // skipped
+	))
+	fb := s.Feedback()
+	if len(fb) != 2 {
+		t.Fatalf("feedback has %d keys, want 2 (zero-input predicate skipped): %+v", len(fb), fb)
+	}
+	byKey := map[string]PredicateFeedback{}
+	for _, f := range fb {
+		byKey[f.Column] = f
+	}
+	sn := byKey["student.name"]
+	if sn.Queries != 2 || math.Abs(sn.Fanout-25.0/110.0) > 1e-12 {
+		t.Errorf("student.name feedback = %+v, want queries=2 fanout=%g", sn, 25.0/110.0)
+	}
+	pp := byKey["project.pname"]
+	if pp.Queries != 1 || math.Abs(pp.Fanout-0.2) > 1e-12 {
+		t.Errorf("project.pname feedback = %+v, want queries=1 fanout=0.2", pp)
+	}
+}
+
+func TestSinkConcurrent(t *testing.T) {
+	s := NewSink(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Append(rec(fmt.Sprintf("q-%d-%d", w, i), PredicateStats{
+					Table: "t", Column: "t.c", Field: "f", InRows: 10, OutRows: i % 10,
+				}))
+				if i%10 == 0 {
+					_ = s.Records(5)
+					_ = s.Feedback()
+					_ = s.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Appended != 400 || st.Retained != 64 {
+		t.Fatalf("stats after concurrent appends: %+v", st)
+	}
+}
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{
+			"SELECT student.name FROM student WHERE year > 2",
+			"select student.name from student where year > ?",
+		},
+		{
+			"select  *   from t1\n\twhere a = 'Gravano'",
+			"select * from t1 where a = ?",
+		},
+		{
+			"select * from t where a = 'it''s' and b = 3.25",
+			"select * from t where a = ? and b = ?",
+		},
+		{
+			`select "Weird""Name" from t`,
+			"select ? from t",
+		},
+		// Digits inside identifiers survive; leading literals don't.
+		{"select c2 from t1 where x = 42", "select c2 from t1 where x = ?"},
+		{"7 + x7", "? + x7"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeSQL(c.in); got != c.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// The point of shapes: two parameterizations normalize identically.
+	a := NormalizeSQL("select name from student where year > 2 and advisor = 'Kao'")
+	b := NormalizeSQL("SELECT name FROM student WHERE year > 3 AND advisor = 'Gravano'")
+	if a != b {
+		t.Errorf("same-shape queries normalized differently:\n%q\n%q", a, b)
+	}
+}

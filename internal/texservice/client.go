@@ -33,6 +33,7 @@ type Remote struct {
 	numDocs     int
 	maxTerms    int
 	shortFields []string
+	spanVer     int // server's span-return protocol version (0: never ask)
 
 	// slots bounds the number of live connections (the pool size): one
 	// token per in-use or to-be-dialed connection.
@@ -114,8 +115,13 @@ func Dial(addr string, meter *Meter, opts ...DialOption) (*Remote, error) {
 	r.numDocs = resp.NumDocs
 	r.maxTerms = resp.MaxTerms
 	r.shortFields = resp.Short
+	r.spanVer = resp.SpanVer
 	return r, nil
 }
+
+// SpanVersion reports the server's negotiated span-return protocol
+// version (0 means the server predates span return and is never asked).
+func (r *Remote) SpanVersion() int { return r.spanVer }
 
 // Close releases all pooled connections; subsequent calls fail.
 func (r *Remote) Close() error {
@@ -264,12 +270,16 @@ func (r *Remote) roundTrip(ctx context.Context, conn net.Conn, req wireRequest) 
 // call runs one operation under the retry policy and surfaces server-side
 // application errors. The span (one per logical call, however many
 // attempts it takes) records the attempt count; the context's trace ID
-// rides the wire so the server's request log can be correlated.
+// rides the wire so the server's request log can be correlated. When the
+// server speaks the span-return protocol, the reply carries the backend's
+// own span subtree, which is grafted under this call's span tagged with
+// the server address — remote legs stop being black boxes in the trace.
 func (r *Remote) call(ctx context.Context, op string, req wireRequest) (*wireResponse, error) {
 	ctx, sp := obs.StartSpan(ctx, "remote."+req.Op)
 	var used int
 	if sp != nil {
 		req.Trace = obs.IDFrom(ctx)
+		req.Spans = r.spanVer >= 1
 		defer func() {
 			sp.SetAttr(obs.Str("addr", r.addr), obs.Int("attempts", used))
 			sp.End()
@@ -302,6 +312,13 @@ func (r *Remote) call(ctx context.Context, op string, req wireRequest) (*wireRes
 			return nil, fmt.Errorf("texservice: %s failed after %d attempts: %w", op, attempts, err)
 		}
 		return nil, err
+	}
+	if resp.Spans != nil {
+		// Graft the backend's subtree (error replies included — a failed
+		// call's server-side view is the interesting one). AttachRemote is
+		// nil-safe, but resp.Spans is only present when we asked, i.e.
+		// when sp != nil.
+		sp.AttachRemote(*resp.Spans, r.addr)
 	}
 	if resp.Error != "" {
 		return nil, fmt.Errorf("texservice: %s: %s", op, resp.Error)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"textjoin/internal/obs"
 	"textjoin/internal/textidx"
 )
 
@@ -147,10 +148,36 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle dispatches one request. drop=true means the connection must be
-// severed without a reply (injected connection drop from a Faulty backend
-// or server shutdown mid-call).
-func (s *Server) handle(ctx context.Context, req wireRequest) (resp wireResponse, drop bool) {
+// handle runs one request, recording a server-side span tree when the
+// client asked for one (req.Spans under a propagated trace ID). The tree
+// is rooted at "textserve.<op>" with the backend's own spans (local
+// search, live-ingest apply, nested remote calls) as children, and rides
+// back on the reply with only relative offsets — the server's clock never
+// reaches the client.
+func (s *Server) handle(ctx context.Context, req wireRequest) (wireResponse, bool) {
+	if !req.Spans || req.Trace == "" {
+		return s.dispatch(ctx, req)
+	}
+	rec := obs.NewRecorder("textserve." + req.Op)
+	rec.ID = req.Trace
+	resp, drop := s.dispatch(obs.WithRecorder(ctx, rec), req)
+	if !drop {
+		root := rec.Root()
+		if resp.Error != "" {
+			root.SetAttr(obs.Str("err", resp.Error))
+		}
+		root.End()
+		snap := root.Snapshot()
+		resp.Spans = &snap
+		resp.SpanVer = spanWireVersion
+	}
+	return resp, drop
+}
+
+// dispatch routes one request to the backend service. drop=true means the
+// connection must be severed without a reply (injected connection drop
+// from a Faulty backend or server shutdown mid-call).
+func (s *Server) dispatch(ctx context.Context, req wireRequest) (resp wireResponse, drop bool) {
 	switch req.Op {
 	case "search":
 		return s.handleSearch(ctx, req)
@@ -190,7 +217,8 @@ func (s *Server) handle(ctx context.Context, req wireRequest) (resp wireResponse
 		return wireResponse{Version: ver}, false
 	case "info":
 		n, _ := s.svc.NumDocs()
-		return wireResponse{NumDocs: n, MaxTerms: s.svc.MaxTerms(), Short: s.svc.ShortFields()}, false
+		return wireResponse{NumDocs: n, MaxTerms: s.svc.MaxTerms(), Short: s.svc.ShortFields(),
+			SpanVer: spanWireVersion}, false
 	default:
 		return wireResponse{Error: fmt.Sprintf("texservice: unknown op %q", req.Op)}, false
 	}

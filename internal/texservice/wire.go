@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"textjoin/internal/obs"
 )
 
 // Wire protocol for the remote text service: each message is a 4-byte
@@ -28,6 +30,11 @@ type wireRequest struct {
 	// request logs correlate with client spans. Empty when the client is
 	// not tracing; servers must treat it as opaque.
 	Trace string `json:"trace,omitempty"`
+	// Spans asks the server to record its own span tree under Trace and
+	// return it on the reply. Clients set it only after the server
+	// advertised SpanVer >= 1 in its info response; older servers ignore
+	// the unknown field, so mixed-version fleets interoperate.
+	Spans bool `json:"spans,omitempty"`
 }
 
 type wireHit struct {
@@ -54,7 +61,24 @@ type wireResponse struct {
 	DocFreq  int               `json:"docFreq,omitempty"`
 	Ingest   *IngestResult     `json:"ingestResult,omitempty"`
 	Version  uint64            `json:"version,omitempty"`
+	// SpanVer advertises (on info replies) the span-return protocol the
+	// server speaks; 0 — the zero value an old server implies — means
+	// spans are never returned. Also stamped on replies that carry Spans.
+	SpanVer int `json:"spanVer,omitempty"`
+	// Spans is the server-side span subtree for this request, present only
+	// when the request set Spans and the server supports span return. All
+	// offsets inside are relative (see obs.SpanSnapshot), so client/server
+	// clock skew cannot corrupt the stitched trace.
+	Spans *obs.SpanSnapshot `json:"spans,omitempty"`
 }
+
+// spanWireVersion is the span-return protocol version this build speaks.
+const spanWireVersion = 1
+
+// SpanWireVersion reports the span-return protocol version this build
+// speaks (0 meant no span return; see Remote.SpanVersion for what a
+// dialed server negotiated).
+func SpanWireVersion() int { return spanWireVersion }
 
 // writeMessage frames and writes one JSON message.
 func writeMessage(w io.Writer, v interface{}) error {

@@ -36,9 +36,32 @@ go test -race -run Gateway ./internal/gateway
 
 # Observability gates: the span recorder must be race-clean under
 # concurrent recording/snapshotting, and the /metrics exposition must
-# parse as Prometheus text format (line-grammar validator, no deps).
+# parse as Prometheus text format (line-grammar validator, no deps) —
+# including the trace-store series and histogram bucket exemplars.
 go test -race ./internal/obs
 go test -race -run 'Metrics|Analyze|SlowQuery' ./internal/gateway
+
+# Distributed-tracing gates, all under the race detector:
+# 1. Trace-propagation smoke: a federation whose client links fail 30%
+#    of calls transiently must still produce a backend-grafted remote
+#    span under every scatter leg (per-leg retries re-ask until a reply
+#    carries the server subtree).
+# 2. Remote span return over the wire: version negotiation, skew-proof
+#    grafting, spans on error replies.
+# 3. Trace ring soak: concurrent queries hammer the tail-sampled store
+#    while /traces and /trace/{id} are polled; plus the tentpole 2x2
+#    sharded+replicated hedged-query trace acceptance test.
+go test -race -run 'TestTracePropagationUnderFaults' ./internal/shard
+go test -race -run 'Span' ./internal/texservice
+go test -race -run 'TestTraceRingConcurrent|TestShardedReplicatedHedgedTrace|TestTraceStore' ./internal/gateway
+go test -race ./internal/telemetry
+
+# Tracing overhead evidence: the disabled span path must stay in the
+# single-digit-ns / zero-alloc regime, and the trace experiment must
+# emit its machine-readable result file.
+go test -run 'TestDisabledSpanPathBudget' ./internal/bench
+go run ./cmd/benchrun -exp trace
+test -s BENCH_trace.json
 
 # Vectorized execution gates. The equivalence harness runs every join
 # method on the same pruned plans through both engines (vectorized and
